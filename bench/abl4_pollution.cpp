@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation 4: cache-pollution models for predicted OS intervals,
+ * plus branch-predictor warming.
+ *
+ * The paper's Sec. 4.5 model invalidates predicted-miss-count
+ * application lines in random sets. On an OS-dominated substrate
+ * that saturates (every set soon holds an invalid line) and ignores
+ * kernel-on-kernel displacement, so this repository adds synthetic
+ * installation and footprint-faithful installation (DESIGN.md).
+ * This bench quantifies each step, and the effect of replaying
+ * emulated branches into the shared predictor.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace osp;
+    using namespace osp::bench;
+
+    banner("Ablation 4",
+           "pollution policies and BP warming for predicted "
+           "intervals");
+
+    const PollutionPolicy policies[] = {
+        PollutionPolicy::None,
+        PollutionPolicy::PaperInvalidateApp,
+        PollutionPolicy::InvalidateAny,
+        PollutionPolicy::SyntheticInstall,
+        PollutionPolicy::Footprint,
+    };
+
+    TablePrinter table({"bench", "policy", "bp_warming",
+                        "time_err"});
+    for (const auto &name : osIntensiveWorkloads()) {
+        MachineConfig cfg = paperConfig();
+        RunTotals full = runFull(name, cfg, shapeScale);
+        for (PollutionPolicy policy : policies) {
+            MachineConfig c = cfg;
+            c.pollutionPolicy = policy;
+            AccelResult res =
+                runAccelerated(name, c, shapeScale);
+            double err = absError(
+                static_cast<double>(res.totals.totalCycles()),
+                static_cast<double>(full.totalCycles()));
+            table.addRow({name, pollutionPolicyName(policy), "on",
+                          TablePrinter::pct(err)});
+        }
+        // Footprint with BP warming disabled.
+        MachineConfig c = cfg;
+        c.bpWarming = false;
+        AccelResult res = runAccelerated(name, c, shapeScale);
+        double err = absError(
+            static_cast<double>(res.totals.totalCycles()),
+            static_cast<double>(full.totalCycles()));
+        table.addRow({name, "footprint", "off",
+                      TablePrinter::pct(err)});
+    }
+    table.print(std::cout);
+
+    paperNote(
+        "the paper's app-only invalidation suffices on its "
+        "app-centric caches; with 67-99% kernel instructions, "
+        "modelling the skipped service's own footprint (install/"
+        "footprint) and its branch-history pollution is what "
+        "recovers the 3%-level accuracy.");
+    return 0;
+}

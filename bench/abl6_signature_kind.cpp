@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation 6: instruction-count vs instruction-mix signatures.
+ *
+ * The paper (Sec. 3) notes that "other metrics such as the mix of
+ * instructions, branch history, or Basic Block Vector may also
+ * serve as good bases for constructing signatures" but leaves the
+ * exploration as future work, since count-based signatures already
+ * predict well. This bench runs that exploration: mix signatures
+ * additionally require per-class (load/store/branch) counts to
+ * match the cluster, splitting same-count paths of different
+ * composition at some cost in coverage (finer clusters take longer
+ * to learn and mismatch more often).
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace osp;
+    using namespace osp::bench;
+
+    banner("Ablation 6",
+           "signature basis: instruction count (paper) vs "
+           "count+mix (paper's future work)");
+
+    TablePrinter table({"bench", "signature", "coverage",
+                        "time_err", "clusters_sys_read",
+                        "outlier_frac"});
+
+    for (const auto &name : osIntensiveWorkloads()) {
+        MachineConfig cfg = paperConfig();
+        RunTotals full = runFull(name, cfg, shapeScale);
+        for (bool mix : {false, true}) {
+            PredictorParams pp = paperPredictor();
+            pp.useMixSignature = mix;
+
+            auto machine = makeMachine(name, cfg, shapeScale);
+            Accelerator accel(pp);
+            machine->setController(&accel);
+            const RunTotals &t = machine->run();
+            auto stats = accel.aggregateStats();
+
+            std::size_t read_clusters = 0;
+            if (t.perService[static_cast<int>(
+                                 ServiceType::SysRead)]
+                    .invocations) {
+                read_clusters =
+                    accel.predictor(ServiceType::SysRead)
+                        .table()
+                        .numClusters();
+            }
+            double outlier_frac =
+                stats.predictedRuns
+                    ? static_cast<double>(stats.outliers) /
+                          static_cast<double>(stats.predictedRuns)
+                    : 0.0;
+
+            table.addRow(
+                {name, mix ? "count+mix" : "count",
+                 TablePrinter::pct(t.coverage()),
+                 TablePrinter::pct(absError(
+                     static_cast<double>(t.totalCycles()),
+                     static_cast<double>(full.totalCycles()))),
+                 std::to_string(read_clusters),
+                 TablePrinter::pct(outlier_frac)});
+        }
+    }
+    table.print(std::cout);
+
+    paperNote(
+        "count-based signatures already give high accuracy (the "
+        "paper's conclusion); the mix refinement mostly adds "
+        "clusters and outliers without moving total error much on "
+        "these services, whose paths differ in count anyway.");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table regeneration benches.
+ *
+ * Every binary in bench/ regenerates one figure or table of the
+ * paper (see DESIGN.md's per-experiment index). The helpers here
+ * standardize configuration (paper Sec. 5.1 machine), workload
+ * scale, seeds, and output formatting so the tables are directly
+ * comparable across benches.
+ */
+
+#ifndef OSP_BENCH_COMMON_HH
+#define OSP_BENCH_COMMON_HH
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/accelerator.hh"
+#include "core/report.hh"
+#include "util/table.hh"
+#include "workload/registry.hh"
+
+namespace osp::bench
+{
+
+/** Seed printed by every bench; change to replay a different run. */
+inline constexpr std::uint64_t defaultSeed = 42;
+
+/** Work-volume scale for accuracy experiments. 2.0 gives per-service
+ *  invocation counts closer to the paper's multi-thousand range. */
+inline constexpr double accuracyScale = 2.0;
+
+/** Work-volume scale for characterization/shape experiments. */
+inline constexpr double shapeScale = 1.0;
+
+/** The paper's machine (Sec. 5.1), with an optional L2 size. */
+inline MachineConfig
+paperConfig(std::uint64_t l2_bytes = 1024 * 1024)
+{
+    MachineConfig cfg;
+    cfg.seed = defaultSeed;
+    cfg.hier.l2.sizeBytes = l2_bytes;
+    return cfg;
+}
+
+/** The paper's predictor configuration (Sec. 4.3-4.4 defaults:
+ *  pmin 3%, DoC 95% -> window 100; Statistical re-learning). */
+inline PredictorParams
+paperPredictor(RelearnStrategy strategy = RelearnStrategy::Statistical)
+{
+    PredictorParams p;
+    p.learningWindow = 100;
+    p.relearn.strategy = strategy;
+    return p;
+}
+
+/** Run a workload fully detailed. */
+inline RunTotals
+runFull(const std::string &name, const MachineConfig &cfg,
+        double scale)
+{
+    auto machine = makeMachine(name, cfg, scale);
+    return machine->run();
+}
+
+/** Run a workload in application-only mode. */
+inline RunTotals
+runAppOnly(const std::string &name, MachineConfig cfg, double scale)
+{
+    cfg.appOnly = true;
+    auto machine = makeMachine(name, cfg, scale);
+    return machine->run();
+}
+
+/** Result of an accelerated run. */
+struct AccelResult
+{
+    RunTotals totals;
+    ServicePredictor::Stats stats;
+};
+
+/** Run a workload with the accelerator attached. */
+inline AccelResult
+runAccelerated(const std::string &name, const MachineConfig &cfg,
+               double scale,
+               const PredictorParams &params = paperPredictor())
+{
+    auto machine = makeMachine(name, cfg, scale);
+    Accelerator accel(params);
+    machine->setController(&accel);
+    AccelResult out;
+    out.totals = machine->run();
+    out.stats = accel.aggregateStats();
+    return out;
+}
+
+/** Standard bench banner: figure id, description, seed. */
+inline void
+banner(const std::string &experiment, const std::string &what)
+{
+    std::cout << "==== " << experiment << ": " << what << " ====\n"
+              << "(seed " << defaultSeed
+              << "; paper machine: 4GHz 4-wide OOO, 126-entry "
+                 "window, 16KB L1I/L1D, 1MB 8-way L2 unless "
+                 "stated)\n\n";
+}
+
+/** Print the paper's reference values next to ours. */
+inline void
+paperNote(const std::string &note)
+{
+    std::cout << "\npaper reference: " << note << "\n\n";
+}
+
+} // namespace osp::bench
+
+#endif // OSP_BENCH_COMMON_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 2: speedup from growing the L2 from 512KB to 1MB, measured
+ * with application-only simulation versus full-system simulation.
+ *
+ * Application-only simulation wrongly concludes the larger cache is
+ * useless for OS-intensive workloads; full-system simulation shows
+ * up to 2.03x (iperf in the paper).
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace osp;
+    using namespace osp::bench;
+
+    banner("Figure 2",
+           "speedup of 1MB over 512KB L2: App-Only vs App+OS");
+
+    TablePrinter table({"bench", "app_only_speedup",
+                        "app_os_speedup"});
+
+    for (const auto &name : allWorkloads()) {
+        RunTotals app_small =
+            runAppOnly(name, paperConfig(512 * 1024), shapeScale);
+        RunTotals app_large =
+            runAppOnly(name, paperConfig(1024 * 1024), shapeScale);
+        RunTotals full_small =
+            runFull(name, paperConfig(512 * 1024), shapeScale);
+        RunTotals full_large =
+            runFull(name, paperConfig(1024 * 1024), shapeScale);
+
+        double app_speedup =
+            static_cast<double>(app_small.totalCycles()) /
+            static_cast<double>(app_large.totalCycles());
+        double full_speedup =
+            static_cast<double>(full_small.totalCycles()) /
+            static_cast<double>(full_large.totalCycles());
+
+        table.addRow({name, TablePrinter::fmt(app_speedup, 3),
+                      TablePrinter::fmt(full_speedup, 3)});
+    }
+
+    table.print(std::cout);
+    paperNote(
+        "App-Only bars ~1.0 for the OS-intensive set (misleading); "
+        "App+OS bars clearly >1, up to 2.03x for iperf; the two "
+        "bars agree for SPEC2000.");
+    return 0;
+}

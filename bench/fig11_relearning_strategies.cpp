@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 11: prediction coverage (a) and absolute execution-time
+ * error (b) of the four re-learning strategies.
+ *
+ * The paper: Best-Match covers 93% but errs 9.6% on average (29%
+ * worst); Eager errs only 1.5% but covers 74%; Statistical (89% /
+ * 3.2%) and Delayed (88% / 2.7%) balance both.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace osp;
+    using namespace osp::bench;
+
+    banner("Figure 11",
+           "coverage and absolute error of the re-learning "
+           "strategies (Best-Match / Statistical / Delayed / "
+           "Eager)");
+
+    const RelearnStrategy strategies[] = {
+        RelearnStrategy::BestMatch,
+        RelearnStrategy::Statistical,
+        RelearnStrategy::Delayed,
+        RelearnStrategy::Eager,
+    };
+
+    TablePrinter cov({"bench", "best-match", "statistical",
+                      "delayed", "eager", "stat+audit"});
+    TablePrinter err({"bench", "best-match", "statistical",
+                      "delayed", "eager", "stat+audit"});
+
+    RunningStats cov_avg[5];
+    RunningStats err_avg[5];
+
+    for (const auto &name : osIntensiveWorkloads()) {
+        MachineConfig cfg = paperConfig();
+        RunTotals full = runFull(name, cfg, accuracyScale);
+
+        std::vector<std::string> cov_row = {name};
+        std::vector<std::string> err_row = {name};
+        for (int s = 0; s < 5; ++s) {
+            // Columns 0-3 isolate the paper's strategy axis: audit
+            // sampling (this repo's drift extension) is disabled so
+            // it cannot blur the strategies' differences. Column 4
+            // is the repository default, Statistical + audits.
+            PredictorParams pp =
+                paperPredictor(strategies[s < 4 ? s : 1]);
+            pp.auditEvery = (s == 4) ? pp.auditEvery : 0;
+            AccelResult res =
+                runAccelerated(name, cfg, accuracyScale, pp);
+            double coverage = res.totals.coverage();
+            double error = absError(
+                static_cast<double>(res.totals.totalCycles()),
+                static_cast<double>(full.totalCycles()));
+            cov_row.push_back(TablePrinter::pct(coverage));
+            err_row.push_back(TablePrinter::pct(error));
+            cov_avg[s].add(coverage);
+            err_avg[s].add(error);
+        }
+        cov.addRow(cov_row);
+        err.addRow(err_row);
+    }
+
+    std::vector<std::string> cov_last = {"average"};
+    std::vector<std::string> err_last = {"average"};
+    for (int s = 0; s < 5; ++s) {
+        cov_last.push_back(TablePrinter::pct(cov_avg[s].mean()));
+        err_last.push_back(TablePrinter::pct(err_avg[s].mean()));
+    }
+    cov.addRow(cov_last);
+    err.addRow(err_last);
+
+    std::cout << "(a) coverage\n";
+    cov.print(std::cout);
+    std::cout << "\n(b) absolute execution-time error\n";
+    err.print(std::cout);
+
+    paperNote(
+        "coverage 93/89/88/74% and error 9.6/3.2/2.7/1.5% for "
+        "Best-Match/Statistical/Delayed/Eager: Statistical and "
+        "Delayed approach Eager's accuracy at near-Best-Match "
+        "coverage.");
+    return 0;
+}

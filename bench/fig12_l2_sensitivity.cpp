@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 12: absolute execution-time prediction error with L2 sizes
+ * of 1MB, 2MB and 4MB (8-way fixed).
+ *
+ * The paper: accuracy holds across sizes, with the average error
+ * slightly declining for larger L2 caches.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace osp;
+    using namespace osp::bench;
+
+    banner("Figure 12",
+           "absolute execution-time prediction error vs L2 size");
+
+    const std::uint64_t sizes[] = {1ULL << 20, 2ULL << 20,
+                                   4ULL << 20};
+
+    TablePrinter table({"bench", "1MB", "2MB", "4MB"});
+    RunningStats avg[3];
+
+    for (const auto &name : osIntensiveWorkloads()) {
+        std::vector<std::string> row = {name};
+        for (int i = 0; i < 3; ++i) {
+            MachineConfig cfg = paperConfig(sizes[i]);
+            RunTotals full = runFull(name, cfg, accuracyScale);
+            AccelResult pred =
+                runAccelerated(name, cfg, accuracyScale);
+            double err = absError(
+                static_cast<double>(pred.totals.totalCycles()),
+                static_cast<double>(full.totalCycles()));
+            row.push_back(TablePrinter::pct(err));
+            avg[i].add(err);
+        }
+        table.addRow(row);
+    }
+    table.addRow({"average", TablePrinter::pct(avg[0].mean()),
+                  TablePrinter::pct(avg[1].mean()),
+                  TablePrinter::pct(avg[2].mean())});
+    table.print(std::cout);
+
+    paperNote(
+        "errors stay low (a few percent) at every size and decline "
+        "slightly with larger L2 caches.");
+    return 0;
+}

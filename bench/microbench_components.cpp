@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot
+ * components: cache access, code generation (the emulation cost
+ * floor), branch prediction, and the two timing models. These bound
+ * the achievable Table 1 ratios.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/hierarchy.hh"
+#include "sim/codegen.hh"
+#include "sim/inorder_cpu.hh"
+#include "sim/ooo_cpu.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace osp;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheParams{"l1", 16 * 1024, 4, 64,
+                            ReplPolicy::Lru});
+    Pcg32 rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(64ULL * rng.range(1024));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 4095], false, Owner::App));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    MemoryHierarchy hier((HierarchyParams()));
+    Pcg32 rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(64ULL * rng.range(65536));
+    std::size_t i = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hier.access(
+            addrs[i++ & 4095], AccessType::Load, Owner::App,
+            now += 4));
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void
+BM_CodegenLowering(benchmark::State &state)
+{
+    CodeProfile prof;
+    prof.code = Region{0x400000, 32 * 1024};
+    CodeGenerator gen(1, 1);
+    for (auto _ : state) {
+        if (gen.done()) {
+            gen.pushCompute(prof, 4096, Region{0x1000000, 65536},
+                            PatternKind::Random);
+        }
+        benchmark::DoNotOptimize(gen.next());
+    }
+}
+BENCHMARK(BM_CodegenLowering);
+
+void
+BM_GsharePredict(benchmark::State &state)
+{
+    GshareBp bp(12);
+    Pcg32 rng(1);
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bp.predictAndUpdate(pc, rng.chance(0.9)));
+        pc += 4;
+    }
+}
+BENCHMARK(BM_GsharePredict);
+
+void
+BM_InOrderExecute(benchmark::State &state)
+{
+    MemoryHierarchy hier((HierarchyParams()));
+    CpuParams params;
+    GshareBp bp(12);
+    InOrderCpu cpu(params, &hier, &bp);
+    CodeProfile prof;
+    prof.code = Region{0x400000, 32 * 1024};
+    CodeGenerator gen(1, 2);
+    for (auto _ : state) {
+        if (gen.done()) {
+            gen.pushCompute(prof, 4096, Region{0x1000000, 65536},
+                            PatternKind::Random);
+        }
+        cpu.execute(gen.next(), Owner::App);
+    }
+    benchmark::DoNotOptimize(cpu.now());
+}
+BENCHMARK(BM_InOrderExecute);
+
+void
+BM_OooExecute(benchmark::State &state)
+{
+    MemoryHierarchy hier((HierarchyParams()));
+    CpuParams params;
+    GshareBp bp(12);
+    OooCpu cpu(params, &hier, &bp);
+    CodeProfile prof;
+    prof.code = Region{0x400000, 32 * 1024};
+    CodeGenerator gen(1, 3);
+    for (auto _ : state) {
+        if (gen.done()) {
+            gen.pushCompute(prof, 4096, Region{0x1000000, 65536},
+                            PatternKind::Random);
+        }
+        cpu.execute(gen.next(), Owner::App);
+    }
+    benchmark::DoNotOptimize(cpu.now());
+}
+BENCHMARK(BM_OooExecute);
+
+} // namespace
+
+BENCHMARK_MAIN();

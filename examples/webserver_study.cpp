@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A realistic design study: how much does a larger L2 help an
+ * OS-heavy web server? — the question the paper's introduction uses
+ * to motivate full-system simulation (Figs. 2 and 10).
+ *
+ * The study sweeps L2 sizes three ways:
+ *   1. application-only simulation (fast, misleading),
+ *   2. full-system simulation (accurate, slow),
+ *   3. accelerated full-system simulation (the paper's technique).
+ *
+ * The accelerated column reproduces the full-system conclusions at a
+ * fraction of the detailed-simulation work.
+ *
+ * Usage: webserver_study [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/accelerator.hh"
+#include "core/report.hh"
+#include "util/table.hh"
+#include "workload/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace osp;
+
+    double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    const std::uint64_t l2_sizes[] = {256 << 10, 512 << 10,
+                                      1 << 20, 2 << 20};
+
+    std::cout << "L2 design study on the ab-rand web server\n\n";
+    TablePrinter table({"l2_size", "app_only_cycles",
+                        "full_cycles", "accel_cycles", "accel_err",
+                        "coverage", "est_speedup"});
+
+    for (std::uint64_t l2 : l2_sizes) {
+        MachineConfig cfg;
+        cfg.seed = 42;
+        cfg.hier.l2.sizeBytes = l2;
+
+        cfg.appOnly = true;
+        auto app = makeMachine("ab-rand", cfg, scale);
+        Cycles app_cycles = app->run().totalCycles();
+        cfg.appOnly = false;
+
+        auto full = makeMachine("ab-rand", cfg, scale);
+        Cycles full_cycles = full->run().totalCycles();
+
+        auto fast = makeMachine("ab-rand", cfg, scale);
+        Accelerator accel;
+        fast->setController(&accel);
+        const RunTotals &pred = fast->run();
+
+        table.addRow(
+            {std::to_string(l2 >> 10) + "KB",
+             std::to_string(app_cycles),
+             std::to_string(full_cycles),
+             std::to_string(pred.totalCycles()),
+             TablePrinter::pct(absError(
+                 static_cast<double>(pred.totalCycles()),
+                 static_cast<double>(full_cycles))),
+             TablePrinter::pct(pred.coverage()),
+             TablePrinter::fmt(estimatedSpeedup(pred), 2) + "x"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading the table: application-only cycles barely "
+           "move with L2 size\n(the wrong conclusion); full-system "
+           "and accelerated cycles agree on the\nreal benefit, and "
+           "the accelerated runs skip most detailed OS work.\n";
+    return 0;
+}

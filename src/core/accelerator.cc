@@ -1,0 +1,150 @@
+#include "accelerator.hh"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+Accelerator::Accelerator(const PredictorParams &params)
+    : params_(params)
+{
+}
+
+ServicePredictor &
+Accelerator::predictorRef(ServiceType type)
+{
+    auto idx = static_cast<int>(type);
+    if (idx < 0 || idx >= numServiceTypes)
+        osp_panic("Accelerator: bad service type ", idx);
+    if (!predictors[idx]) {
+        predictors[idx] =
+            std::make_unique<ServicePredictor>(params_);
+    }
+    return *predictors[idx];
+}
+
+const ServicePredictor &
+Accelerator::predictor(ServiceType type) const
+{
+    auto idx = static_cast<int>(type);
+    if (idx < 0 || idx >= numServiceTypes || !predictors[idx])
+        osp_panic("Accelerator: no predictor for service ", idx);
+    return *predictors[idx];
+}
+
+DetailLevel
+Accelerator::chooseLevel(ServiceType type)
+{
+    return predictorRef(type).decideDetail() ? DetailLevel::OooCache
+                                             : DetailLevel::Emulate;
+}
+
+ServiceController::Prediction
+Accelerator::onServiceEnd(const IntervalOutcome &outcome)
+{
+    ServicePredictor &pred = predictorRef(outcome.type);
+    Prediction result;
+
+    if (outcome.detailed) {
+        ServiceMetrics m;
+        m.insts = outcome.insts;
+        m.cycles = outcome.cycles;
+        m.mem = outcome.mem;
+        m.loads = outcome.loads;
+        m.stores = outcome.stores;
+        m.branches = outcome.branches;
+        pred.recordDetailed(m);
+        return result;
+    }
+
+    Signature sig{outcome.insts, outcome.loads, outcome.stores,
+                  outcome.branches};
+    ServiceMetrics m = pred.predict(sig, outcome.invocation);
+    result.cycles = m.cycles;
+    result.mem = m.mem;
+    return result;
+}
+
+void
+Accelerator::saveState(std::ostream &os) const
+{
+    os << "ospredict-profile v1\n";
+    for (int t = 0; t < numServiceTypes; ++t) {
+        if (!predictors[t])
+            continue;
+        auto snapshots = predictors[t]->table().snapshotAll();
+        if (snapshots.empty())
+            continue;
+        os << "service " << t << " " << snapshots.size() << "\n";
+        for (const auto &s : snapshots) {
+            os << s.count << " " << s.instMean << " " << s.instM2
+               << " " << s.cyclesMean << " " << s.cyclesM2 << " "
+               << s.ipcMean << " " << s.l1iAccMean << " "
+               << s.l1iMissMean << " " << s.l1dAccMean << " "
+               << s.l1dMissMean << " " << s.l2AccMean << " "
+               << s.l2MissMean << "\n";
+        }
+    }
+    os << "end\n";
+}
+
+bool
+Accelerator::loadState(std::istream &is)
+{
+    std::string header;
+    std::string version;
+    if (!(is >> header >> version) ||
+        header != "ospredict-profile" || version != "v1") {
+        return false;
+    }
+    std::string word;
+    while (is >> word) {
+        if (word == "end")
+            return true;
+        if (word != "service")
+            return false;
+        int type = -1;
+        std::size_t count = 0;
+        if (!(is >> type >> count) || type < 0 ||
+            type >= numServiceTypes) {
+            return false;
+        }
+        std::vector<ClusterSnapshot> snapshots(count);
+        for (auto &s : snapshots) {
+            if (!(is >> s.count >> s.instMean >> s.instM2 >>
+                  s.cyclesMean >> s.cyclesM2 >> s.ipcMean >>
+                  s.l1iAccMean >> s.l1iMissMean >> s.l1dAccMean >>
+                  s.l1dMissMean >> s.l2AccMean >> s.l2MissMean)) {
+                return false;
+            }
+        }
+        predictorRef(static_cast<ServiceType>(type))
+            .restoreTable(snapshots);
+    }
+    return false;  // missing "end"
+}
+
+ServicePredictor::Stats
+Accelerator::aggregateStats() const
+{
+    ServicePredictor::Stats total;
+    for (const auto &p : predictors) {
+        if (!p)
+            continue;
+        const auto &s = p->stats();
+        total.warmupRuns += s.warmupRuns;
+        total.learnedRuns += s.learnedRuns;
+        total.predictedRuns += s.predictedRuns;
+        total.outliers += s.outliers;
+        total.relearnEvents += s.relearnEvents;
+        total.audits += s.audits;
+        total.auditFailures += s.auditFailures;
+        total.driftResets += s.driftResets;
+    }
+    return total;
+}
+
+} // namespace osp

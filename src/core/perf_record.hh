@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The per-invocation performance record the predictor learns and
+ * predicts: instruction count (the signature), cycles, and
+ * memory-hierarchy counters (Sec. 4.3's PLT entry payload).
+ */
+
+#ifndef OSP_CORE_PERF_RECORD_HH
+#define OSP_CORE_PERF_RECORD_HH
+
+#include "mem/hierarchy.hh"
+#include "util/types.hh"
+
+namespace osp
+{
+
+/**
+ * An invocation's behaviour signature, obtainable in pure emulation
+ * (no timing models): the dynamic instruction count — the paper's
+ * signature — optionally refined by the instruction mix (the
+ * paper's suggested future work: two paths with equal counts but
+ * different load/store/branch composition are distinct behaviour
+ * points).
+ */
+struct Signature
+{
+    InstCount insts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+};
+
+/** One OS-service invocation's measured (or predicted) performance. */
+struct ServiceMetrics
+{
+    InstCount insts = 0;
+    Cycles cycles = 0;
+    HierarchyCounts mem;
+    /** Instruction mix (mix-signature support). */
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+
+    Signature
+    signature() const
+    {
+        return Signature{insts, loads, stores, branches};
+    }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(insts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+} // namespace osp
+
+#endif // OSP_CORE_PERF_RECORD_HH

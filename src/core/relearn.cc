@@ -1,0 +1,137 @@
+#include "relearn.hh"
+
+#include <algorithm>
+
+#include "stats/student_t.hh"
+#include "util/logging.hh"
+
+namespace osp
+{
+
+const char *
+relearnStrategyName(RelearnStrategy strategy)
+{
+    switch (strategy) {
+      case RelearnStrategy::BestMatch: return "best-match";
+      case RelearnStrategy::Eager: return "eager";
+      case RelearnStrategy::Delayed: return "delayed";
+      case RelearnStrategy::Statistical: return "statistical";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Never re-learn; always live with the closest-cluster guess. */
+class BestMatchPolicy : public RelearnPolicy
+{
+  public:
+    bool
+    onOutlier(PerfLookupTable &, InstCount, std::uint64_t) override
+    {
+        return false;
+    }
+};
+
+/** Re-learn on every single outlier. */
+class EagerPolicy : public RelearnPolicy
+{
+  public:
+    bool
+    onOutlier(PerfLookupTable &plt, InstCount signature,
+              std::uint64_t invocation) override
+    {
+        plt.recordOutlier(signature, invocation);
+        return true;
+    }
+};
+
+/** Re-learn once one outlier cluster accumulates N occurrences. */
+class DelayedPolicy : public RelearnPolicy
+{
+  public:
+    explicit DelayedPolicy(std::uint64_t threshold)
+        : threshold(threshold)
+    {
+    }
+
+    bool
+    onOutlier(PerfLookupTable &plt, InstCount signature,
+              std::uint64_t invocation) override
+    {
+        OutlierEntry &entry =
+            plt.recordOutlier(signature, invocation);
+        return entry.matchCount >= threshold;
+    }
+
+  private:
+    std::uint64_t threshold;
+};
+
+/**
+ * The Statistical strategy: per outlier occurrence, compute an EPO
+ * (occurrences of this outlier cluster within the last W invocations
+ * of the service, divided by W), and once minEpos EPOs exist, test
+ * whether the one-sided upper confidence bound B_y on the true
+ * probability of occurrence reaches pMin (Eq. 8).
+ */
+class StatisticalPolicy : public RelearnPolicy
+{
+  public:
+    explicit StatisticalPolicy(const RelearnParams &params)
+        : params(params)
+    {
+    }
+
+    bool
+    onOutlier(PerfLookupTable &plt, InstCount signature,
+              std::uint64_t invocation) override
+    {
+        OutlierEntry &entry =
+            plt.recordOutlier(signature, invocation);
+
+        // EPO: members of this outlier cluster within the moving
+        // window (invocation - W, invocation].
+        auto in_window = static_cast<double>(std::count_if(
+            entry.occurredAt.begin(), entry.occurredAt.end(),
+            [&](std::uint64_t at) {
+                return at + params.movingWindow > invocation;
+            }));
+        entry.epos.push_back(
+            in_window / static_cast<double>(params.movingWindow));
+
+        if (entry.epos.size() <
+            static_cast<std::size_t>(params.minEpos)) {
+            return false;
+        }
+        double bound = epoUpperBound(entry.epos, params.alpha);
+        // B_y < pMin: at least (1-alpha) confident the cluster is
+        // rarer than pMin -> keep predicting. Otherwise re-learn.
+        return bound >= params.pMin;
+    }
+
+  private:
+    RelearnParams params;
+};
+
+} // namespace
+
+std::unique_ptr<RelearnPolicy>
+RelearnPolicy::make(const RelearnParams &params)
+{
+    switch (params.strategy) {
+      case RelearnStrategy::BestMatch:
+        return std::make_unique<BestMatchPolicy>();
+      case RelearnStrategy::Eager:
+        return std::make_unique<EagerPolicy>();
+      case RelearnStrategy::Delayed:
+        return std::make_unique<DelayedPolicy>(
+            params.delayedThreshold);
+      case RelearnStrategy::Statistical:
+        return std::make_unique<StatisticalPolicy>(params);
+    }
+    osp_panic("RelearnPolicy::make: bad strategy");
+}
+
+} // namespace osp

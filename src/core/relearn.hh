@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The four re-learning strategies of Sec. 4.4.
+ *
+ * During prediction periods, an invocation whose signature matches
+ * no PLT cluster is an *outlier*. Its performance is predicted from
+ * the closest cluster either way; the strategy decides whether the
+ * outlier should also trigger a re-learning period (a fresh window
+ * of fully-simulated invocations):
+ *
+ *  - Best-Match:  never re-learn (highest coverage, worst accuracy);
+ *  - Eager:       re-learn on every outlier (best accuracy, lowest
+ *                 coverage);
+ *  - Delayed:     re-learn once the same outlier cluster has
+ *                 occurred a fixed number of times (4 in the paper);
+ *  - Statistical: collect estimated probabilities of occurrence
+ *                 (EPOs) over a moving window of W invocations, and
+ *                 re-learn only when the one-sided Student's-t upper
+ *                 bound B_y on the outlier cluster's true
+ *                 probability reaches p_min (Eq. 4-8) — i.e. when we
+ *                 can no longer be confident the cluster is too rare
+ *                 to matter.
+ */
+
+#ifndef OSP_CORE_RELEARN_HH
+#define OSP_CORE_RELEARN_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "plt.hh"
+
+namespace osp
+{
+
+/** Strategy selector. */
+enum class RelearnStrategy
+{
+    BestMatch,
+    Eager,
+    Delayed,
+    Statistical,
+};
+
+/** Display name ("best-match", "eager", ...). */
+const char *relearnStrategyName(RelearnStrategy strategy);
+
+/** Tunables consumed by the policies. */
+struct RelearnParams
+{
+    RelearnStrategy strategy = RelearnStrategy::Statistical;
+    /** Minimum probability of occurrence worth capturing. */
+    double pMin = 0.03;
+    /** Moving-window length W for EPO estimation. */
+    std::uint64_t movingWindow = 100;
+    /** Outlier occurrences before Delayed re-learns. */
+    std::uint64_t delayedThreshold = 4;
+    /** EPOs required before Statistical tests the bound. */
+    std::uint64_t minEpos = 4;
+    /** One-sided significance level for the t-test. */
+    double alpha = 0.05;
+};
+
+/**
+ * Decides whether an outlier occurrence triggers re-learning.
+ * Stateless across services: all state lives in the PLT's outlier
+ * entries, so one policy instance serves every service type.
+ */
+class RelearnPolicy
+{
+  public:
+    virtual ~RelearnPolicy() = default;
+
+    /**
+     * Handle one outlier occurrence.
+     *
+     * @param plt        the service's lookup table (outlier entries
+     *                   are recorded/cleared here)
+     * @param signature  the outlier's instruction count
+     * @param invocation per-service invocation index
+     * @return true to trigger a re-learning period (the caller must
+     *         then clear outlier entries via the PLT)
+     */
+    virtual bool onOutlier(PerfLookupTable &plt, InstCount signature,
+                           std::uint64_t invocation) = 0;
+
+    /** Factory. */
+    static std::unique_ptr<RelearnPolicy>
+    make(const RelearnParams &params);
+};
+
+} // namespace osp
+
+#endif // OSP_CORE_RELEARN_HH

@@ -1,0 +1,117 @@
+#include "report.hh"
+
+#include <cmath>
+#include <map>
+
+namespace osp
+{
+
+double
+absError(double measured, double reference)
+{
+    if (reference == 0.0)
+        return 0.0;
+    return std::fabs(measured - reference) / std::fabs(reference);
+}
+
+double
+estimatedSpeedup(InstCount total_insts, InstCount predicted_insts,
+                 double slowdown)
+{
+    if (total_insts == 0)
+        return 1.0;
+    auto n = static_cast<double>(total_insts);
+    auto x = static_cast<double>(predicted_insts);
+    return n / (x / slowdown + (n - x));
+}
+
+double
+estimatedSpeedup(const RunTotals &totals, double slowdown)
+{
+    return estimatedSpeedup(totals.totalInsts(), totals.osPredInsts,
+                            slowdown);
+}
+
+std::vector<ServiceCharacterization>
+characterizeServices(const std::vector<IntervalRecord> &intervals,
+                     double range_frac, std::uint64_t skip_first)
+{
+    // Bucket intervals per service, building a PLT per service with
+    // the same clustering rule the predictor uses.
+    std::map<int, ServiceCharacterization> chars;
+    std::map<int, PerfLookupTable> tables;
+
+    for (const auto &rec : intervals) {
+        if (rec.invocation < skip_first)
+            continue;
+        int t = static_cast<int>(rec.type);
+        auto [it, fresh] =
+            chars.try_emplace(t, ServiceCharacterization{});
+        if (fresh)
+            it->second.type = rec.type;
+        ServiceCharacterization &c = it->second;
+        ++c.invocations;
+        c.cycles.add(static_cast<double>(rec.cycles));
+        c.ipc.add(rec.ipc());
+        c.insts.add(static_cast<double>(rec.insts));
+
+        auto [tit, tfresh] = tables.try_emplace(t, range_frac);
+        ServiceMetrics m;
+        m.insts = rec.insts;
+        m.cycles = rec.cycles;
+        m.mem = rec.mem;
+        tit->second.record(m);
+    }
+
+    std::vector<ServiceCharacterization> out;
+    out.reserve(chars.size());
+    for (auto &[t, c] : chars) {
+        c.cvCycles = c.cycles.cv();
+        c.cvIpc = c.ipc.cv();
+        const PerfLookupTable &plt = tables.at(t);
+        c.numClusters = plt.numClusters();
+        double weight_total = 0.0;
+        double cyc = 0.0;
+        double ipc = 0.0;
+        for (const auto &cluster : plt.allClusters()) {
+            auto w = static_cast<double>(cluster.count());
+            weight_total += w;
+            cyc += w * cluster.cyclesStats().cv();
+            ipc += w * cluster.ipcStats().cv();
+        }
+        if (weight_total > 0.0) {
+            c.clusteredCvCycles = cyc / weight_total;
+            c.clusteredCvIpc = ipc / weight_total;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+CvSummary
+summarizeCv(const std::vector<ServiceCharacterization> &services)
+{
+    CvSummary s;
+    double weight_total = 0.0;
+    for (const auto &c : services) {
+        // Only services invoked more than once have defined
+        // variation (mirrors Fig. 3's filter).
+        if (c.invocations < 2)
+            continue;
+        auto w = static_cast<double>(c.invocations);
+        weight_total += w;
+        s.cvCycles += w * c.cvCycles;
+        s.clusteredCvCycles += w * c.clusteredCvCycles;
+        s.cvIpc += w * c.cvIpc;
+        s.clusteredCvIpc += w * c.clusteredCvIpc;
+    }
+    if (weight_total > 0.0) {
+        s.cvCycles /= weight_total;
+        s.clusteredCvCycles /= weight_total;
+        s.cvIpc /= weight_total;
+        s.clusteredCvIpc /= weight_total;
+    }
+    return s;
+}
+
+} // namespace osp

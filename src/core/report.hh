@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment bookkeeping: error metrics, the Eq. 10 speedup
+ * estimate, and offline characterization of recorded OS-service
+ * intervals (the Sec. 3 methodology, used by the Figs. 3-6
+ * benches).
+ */
+
+#ifndef OSP_CORE_REPORT_HH
+#define OSP_CORE_REPORT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "plt.hh"
+#include "sim/machine.hh"
+
+namespace osp
+{
+
+/** |measured - reference| / reference (0 when reference is 0). */
+double absError(double measured, double reference);
+
+/**
+ * The paper's Eq. 10 simulation-speedup estimate.
+ *
+ * @param total_insts     N: all instructions in the run
+ * @param predicted_insts X: instructions fast-forwarded in
+ *                        emulation during prediction periods
+ * @param slowdown        detailed-over-emulation slowdown ratio
+ *                        (the paper measures 133x for Simics
+ *                        ooo-cache vs inorder-nocache)
+ */
+double estimatedSpeedup(InstCount total_insts,
+                        InstCount predicted_insts,
+                        double slowdown = 133.0);
+
+/** Eq. 10 applied to a finished accelerated run. */
+double estimatedSpeedup(const RunTotals &totals,
+                        double slowdown = 133.0);
+
+/**
+ * Offline characterization of one service type from a recorded
+ * interval log: the per-service mean/stddev (Fig. 3), and the
+ * clustered-vs-unclustered coefficient of variation (Fig. 6)
+ * computed with the same scaled-cluster rule the predictor uses.
+ */
+struct ServiceCharacterization
+{
+    ServiceType type = ServiceType::SysRead;
+    std::uint64_t invocations = 0;
+    RunningStats cycles;
+    RunningStats ipc;
+    RunningStats insts;
+    /** Unclustered CV (the whole service as one cluster). */
+    double cvCycles = 0.0;
+    double cvIpc = 0.0;
+    /** Occurrence-weighted mean of per-cluster CVs. */
+    double clusteredCvCycles = 0.0;
+    double clusteredCvIpc = 0.0;
+    std::size_t numClusters = 0;
+};
+
+/**
+ * Characterize every service present in an interval log.
+ *
+ * @param intervals  the Machine's recorded intervals
+ * @param range_frac scaled-cluster half-range (paper: 0.05)
+ * @param skip_first per-service invocations to exclude, mirroring
+ *                   the predictor's delayed learning start: the
+ *                   cold-start transient is not behaviour the
+ *                   clusters are meant to describe (Sec. 4.4)
+ * @return one entry per service type that occurred, ordered by type
+ */
+std::vector<ServiceCharacterization>
+characterizeServices(const std::vector<IntervalRecord> &intervals,
+                     double range_frac = 0.05,
+                     std::uint64_t skip_first = 0);
+
+/**
+ * Occurrence-weighted averages of (unclustered, clustered) CVs over
+ * all services — the per-benchmark bars of Fig. 6.
+ */
+struct CvSummary
+{
+    double cvCycles = 0.0;
+    double clusteredCvCycles = 0.0;
+    double cvIpc = 0.0;
+    double clusteredCvIpc = 0.0;
+};
+
+CvSummary
+summarizeCv(const std::vector<ServiceCharacterization> &services);
+
+} // namespace osp
+
+#endif // OSP_CORE_REPORT_HH

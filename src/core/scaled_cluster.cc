@@ -1,0 +1,170 @@
+#include "scaled_cluster.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+ScaledCluster::ScaledCluster(const ServiceMetrics &first,
+                             double range_frac, double ema_alpha)
+    : rangeFrac(range_frac), emaAlpha(ema_alpha)
+{
+    if (range_frac <= 0.0 || range_frac >= 1.0)
+        osp_fatal("ScaledCluster range fraction must be in (0,1)");
+    if (ema_alpha < 0.0 || ema_alpha >= 1.0)
+        osp_fatal("ScaledCluster EMA alpha must be in [0,1)");
+    add(first);
+}
+
+ScaledCluster::ScaledCluster(const ClusterSnapshot &s,
+                             double range_frac, double ema_alpha)
+    : rangeFrac(range_frac), emaAlpha(ema_alpha)
+{
+    if (range_frac <= 0.0 || range_frac >= 1.0)
+        osp_fatal("ScaledCluster range fraction must be in (0,1)");
+    auto mk = [&](double mean, double m2 = 0.0) {
+        return RunningStats::fromMoments(s.count, mean, m2, mean,
+                                         mean);
+    };
+    insts_ = mk(s.instMean, s.instM2);
+    cycles_ = mk(s.cyclesMean, s.cyclesM2);
+    ipc_ = mk(s.ipcMean);
+    l1iAcc = mk(s.l1iAccMean);
+    l1iMiss = mk(s.l1iMissMean);
+    l1dAcc = mk(s.l1dAccMean);
+    l1dMiss = mk(s.l1dMissMean);
+    l2Acc = mk(s.l2AccMean);
+    l2Miss = mk(s.l2MissMean);
+    centroid_ = s.instMean;
+    ema[0] = s.cyclesMean;
+    ema[1] = s.l1iAccMean;
+    ema[2] = s.l1iMissMean;
+    ema[3] = s.l1dAccMean;
+    ema[4] = s.l1dMissMean;
+    ema[5] = s.l2AccMean;
+    ema[6] = s.l2MissMean;
+}
+
+ClusterSnapshot
+ScaledCluster::snapshot() const
+{
+    ClusterSnapshot s;
+    s.count = cycles_.count();
+    s.instMean = insts_.mean();
+    s.instM2 = insts_.variance() * static_cast<double>(s.count);
+    s.cyclesMean = cycles_.mean();
+    s.cyclesM2 = cycles_.variance() * static_cast<double>(s.count);
+    s.ipcMean = ipc_.mean();
+    s.l1iAccMean = l1iAcc.mean();
+    s.l1iMissMean = l1iMiss.mean();
+    s.l1dAccMean = l1dAcc.mean();
+    s.l1dMissMean = l1dMiss.mean();
+    s.l2AccMean = l2Acc.mean();
+    s.l2MissMean = l2Miss.mean();
+    return s;
+}
+
+void
+ScaledCluster::add(const ServiceMetrics &m)
+{
+    bool first = (cycles_.count() == 0);
+    insts_.add(static_cast<double>(m.insts));
+    cycles_.add(static_cast<double>(m.cycles));
+    ipc_.add(m.ipc());
+    loads_.add(static_cast<double>(m.loads));
+    stores_.add(static_cast<double>(m.stores));
+    branches_.add(static_cast<double>(m.branches));
+    l1iAcc.add(static_cast<double>(m.mem.l1iAccesses));
+    l1iMiss.add(static_cast<double>(m.mem.l1iMisses));
+    l1dAcc.add(static_cast<double>(m.mem.l1dAccesses));
+    l1dMiss.add(static_cast<double>(m.mem.l1dMisses));
+    l2Acc.add(static_cast<double>(m.mem.l2Accesses));
+    l2Miss.add(static_cast<double>(m.mem.l2Misses));
+    centroid_ = insts_.mean();
+
+    const double values[7] = {
+        static_cast<double>(m.cycles),
+        static_cast<double>(m.mem.l1iAccesses),
+        static_cast<double>(m.mem.l1iMisses),
+        static_cast<double>(m.mem.l1dAccesses),
+        static_cast<double>(m.mem.l1dMisses),
+        static_cast<double>(m.mem.l2Accesses),
+        static_cast<double>(m.mem.l2Misses),
+    };
+    if (first) {
+        for (int i = 0; i < 7; ++i)
+            ema[i] = values[i];
+    } else {
+        for (int i = 0; i < 7; ++i)
+            ema[i] += emaAlpha * (values[i] - ema[i]);
+    }
+}
+
+bool
+ScaledCluster::matches(InstCount insts) const
+{
+    auto x = static_cast<double>(insts);
+    return x >= rangeLo() && x <= rangeHi();
+}
+
+double
+ScaledCluster::distance(InstCount insts) const
+{
+    return std::fabs(static_cast<double>(insts) - centroid_);
+}
+
+bool
+ScaledCluster::matchesMix(const Signature &sig) const
+{
+    auto dim_ok = [&](const RunningStats &stats, std::uint64_t v) {
+        double mean = stats.mean();
+        if (mean < 32.0)
+            return true;  // too small to be discriminative
+        auto x = static_cast<double>(v);
+        return x >= mean * (1.0 - rangeFrac) &&
+               x <= mean * (1.0 + rangeFrac);
+    };
+    return dim_ok(loads_, sig.loads) &&
+           dim_ok(stores_, sig.stores) &&
+           dim_ok(branches_, sig.branches);
+}
+
+namespace
+{
+
+std::uint64_t
+roundStat(double x)
+{
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+} // namespace
+
+ServiceMetrics
+ScaledCluster::predict() const
+{
+    ServiceMetrics m;
+    m.insts = roundStat(insts_.mean());
+    if (emaAlpha > 0.0) {
+        m.cycles = roundStat(ema[0]);
+        m.mem.l1iAccesses = roundStat(ema[1]);
+        m.mem.l1iMisses = roundStat(ema[2]);
+        m.mem.l1dAccesses = roundStat(ema[3]);
+        m.mem.l1dMisses = roundStat(ema[4]);
+        m.mem.l2Accesses = roundStat(ema[5]);
+        m.mem.l2Misses = roundStat(ema[6]);
+    } else {
+        m.cycles = roundStat(cycles_.mean());
+        m.mem.l1iAccesses = roundStat(l1iAcc.mean());
+        m.mem.l1iMisses = roundStat(l1iMiss.mean());
+        m.mem.l1dAccesses = roundStat(l1dAcc.mean());
+        m.mem.l1dMisses = roundStat(l1dMiss.mean());
+        m.mem.l2Accesses = roundStat(l2Acc.mean());
+        m.mem.l2Misses = roundStat(l2Miss.mean());
+    }
+    return m;
+}
+
+} // namespace osp

@@ -1,0 +1,204 @@
+#include "service_predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/learning_window.hh"
+#include "util/logging.hh"
+
+namespace osp
+{
+
+ServicePredictor::ServicePredictor(const PredictorParams &p)
+    : params(p),
+      window(p.learningWindow
+                 ? p.learningWindow
+                 : learningWindowSize(p.pMin, p.doc)),
+      plt(p.clusterRange, p.emaAlpha, p.useMixSignature),
+      policy(RelearnPolicy::make(p.relearn))
+{
+    if (params.warmupInvocations == 0)
+        mode_ = Mode::Learning;
+}
+
+bool
+ServicePredictor::warmupStable() const
+{
+    std::uint64_t w = params.stabilityWindow;
+    if (w == 0)
+        return true;
+    // Too few samples to assess drift: do not extend the warm-up
+    // beyond the configured minimum.
+    if (warmupCpi.size() < 2 * w)
+        return true;
+    double recent = 0.0;
+    double prior = 0.0;
+    std::size_t n = warmupCpi.size();
+    for (std::size_t i = n - w; i < n; ++i)
+        recent += warmupCpi[i];
+    for (std::size_t i = n - 2 * w; i < n - w; ++i)
+        prior += warmupCpi[i];
+    if (prior <= 0.0)
+        return true;
+    return std::fabs(recent - prior) / prior <
+           params.stabilityTolerance;
+}
+
+bool
+ServicePredictor::decideDetail()
+{
+    if (mode_ != Mode::Predicting)
+        return true;
+    if (params.auditEvery && ++sinceAudit >= params.auditEvery) {
+        sinceAudit = 0;
+        auditPending = true;
+        return true;
+    }
+    return false;
+}
+
+void
+ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
+{
+    if (auditPending && mode_ == Mode::Predicting) {
+        // Audit sample: compare reality with what we would have
+        // predicted for this signature.
+        auditPending = false;
+        ++stats_.audits;
+        const ScaledCluster *cluster =
+            plt.match(metrics.signature());
+        if (!cluster)
+            cluster = plt.closest(metrics.insts);
+        bool failed = true;
+        if (cluster) {
+            // Variance-aware check: a deviation only fails the
+            // audit if it exceeds both the relative tolerance and
+            // three standard deviations of the cluster's own
+            // historical spread — ordinary within-cluster noise
+            // must not trigger drift resets.
+            double predicted =
+                static_cast<double>(cluster->predict().cycles);
+            double actual = static_cast<double>(metrics.cycles);
+            double spread =
+                3.0 * cluster->cyclesStats().stddev();
+            double bound = std::max(
+                params.auditTolerance * predicted, spread);
+            failed = predicted > 0.0 &&
+                     std::fabs(actual - predicted) > bound;
+        }
+        if (failed) {
+            // Drift evidence: do NOT fold the sample into the
+            // cluster (it would inflate the spread and drag the
+            // mean just enough to mask further failures).
+            ++stats_.auditFailures;
+            ++consecutiveAuditFailures;
+            if (consecutiveAuditFailures >=
+                params.auditTriggerCount) {
+                // Sustained drift: re-enter a learning window
+                // *without* clearing the table. The fresh window's
+                // samples pull each cluster's running means toward
+                // current behaviour; if drift persists, later
+                // audits trigger again and the means converge
+                // geometrically — while a noisy-but-stationary
+                // service loses nothing.
+                consecutiveAuditFailures = 0;
+                ++stats_.driftResets;
+                ++stats_.relearnEvents;
+                mode_ = Mode::Learning;
+                phaseCount = 0;
+                ++stats_.learnedRuns;
+                plt.record(metrics);
+                ++phaseCount;
+                return;
+            }
+            return;
+        }
+        // A passing audit refreshes the matched cluster.
+        consecutiveAuditFailures = 0;
+        ++stats_.learnedRuns;
+        plt.record(metrics);
+        return;
+    }
+    auditPending = false;
+
+    switch (mode_) {
+      case Mode::Warmup:
+        ++stats_.warmupRuns;
+        ++phaseCount;
+        if (metrics.insts) {
+            warmupCpi.push_back(
+                static_cast<double>(metrics.cycles) /
+                static_cast<double>(metrics.insts));
+        }
+        if (phaseCount >= params.warmupInvocations &&
+            (warmupStable() ||
+             phaseCount >= params.maxWarmupInvocations)) {
+            mode_ = Mode::Learning;
+            phaseCount = 0;
+            warmupCpi.clear();
+            warmupCpi.shrink_to_fit();
+        }
+        return;
+      case Mode::Learning:
+        ++stats_.learnedRuns;
+        plt.record(metrics);
+        ++phaseCount;
+        if (phaseCount >= window) {
+            mode_ = Mode::Predicting;
+            phaseCount = 0;
+        }
+        return;
+      case Mode::Predicting:
+        // A detailed run while predicting (e.g. the controller was
+        // overridden): still learn from it.
+        ++stats_.learnedRuns;
+        plt.record(metrics);
+        return;
+    }
+    osp_panic("ServicePredictor: bad mode");
+}
+
+void
+ServicePredictor::restoreTable(
+    const std::vector<ClusterSnapshot> &snapshots)
+{
+    plt.restore(snapshots);
+    mode_ = snapshots.empty() ? Mode::Warmup : Mode::Predicting;
+    phaseCount = 0;
+    warmupCpi.clear();
+}
+
+ServiceMetrics
+ServicePredictor::predict(const Signature &signature,
+                          std::uint64_t invocation_index,
+                          bool *was_outlier)
+{
+    ++stats_.predictedRuns;
+
+    const ScaledCluster *cluster = plt.match(signature);
+    bool outlier = (cluster == nullptr);
+    if (was_outlier)
+        *was_outlier = outlier;
+
+    if (outlier) {
+        ++stats_.outliers;
+        cluster = plt.closest(signature.insts);
+        if (policy->onOutlier(plt, signature.insts,
+                              invocation_index)) {
+            // Re-learning period: another full window of detailed
+            // simulation for this service.
+            ++stats_.relearnEvents;
+            plt.clearOutliers();
+            mode_ = Mode::Learning;
+            phaseCount = 0;
+        }
+    }
+
+    ServiceMetrics prediction;
+    if (cluster)
+        prediction = cluster->predict();
+    prediction.insts = signature.insts;
+    return prediction;
+}
+
+} // namespace osp

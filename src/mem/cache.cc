@@ -1,0 +1,254 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint64_t x)
+{
+    std::uint32_t shift = 0;
+    while ((1ULL << shift) < x)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params, std::uint64_t seed)
+    : params_(params), rng(seed, 0x9e3779b97f4a7c15ULL)
+{
+    if (!isPowerOfTwo(params_.lineBytes))
+        osp_fatal(params_.name, ": line size must be a power of two");
+    if (params_.assoc == 0)
+        osp_fatal(params_.name, ": associativity must be >= 1");
+    if (params_.sizeBytes == 0 ||
+        params_.sizeBytes % (static_cast<std::uint64_t>(
+                                 params_.lineBytes) *
+                             params_.assoc) != 0) {
+        osp_fatal(params_.name,
+                  ": size must be a positive multiple of line size"
+                  " times associativity");
+    }
+    std::uint64_t sets =
+        params_.sizeBytes /
+        (static_cast<std::uint64_t>(params_.lineBytes) *
+         params_.assoc);
+    if (!isPowerOfTwo(sets))
+        osp_fatal(params_.name, ": number of sets must be a power of"
+                                " two, got ", sets);
+    numSets_ = static_cast<std::uint32_t>(sets);
+    lineShift = log2u(params_.lineBytes);
+    lines.resize(static_cast<std::size_t>(numSets_) * params_.assoc);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> lineShift) &
+                                      (numSets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift;
+}
+
+std::uint32_t
+Cache::victimWay(std::uint32_t set)
+{
+    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
+    // Invalid way first.
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid)
+            return w;
+    }
+    if (params_.repl == ReplPolicy::Random)
+        return rng.range(params_.assoc);
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < params_.assoc; ++w) {
+        if (base[w].lruStamp < base[victim].lruStamp)
+            victim = w;
+    }
+    return victim;
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool is_write, Owner owner)
+{
+    AccessResult result;
+    std::uint32_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
+
+    auto owner_idx = static_cast<int>(owner);
+    stats_.accesses[owner_idx] += 1;
+    ++lruClock;
+
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            result.hit = true;
+            line.lruStamp = lruClock;
+            if (is_write)
+                line.dirty = true;
+            return result;
+        }
+    }
+
+    // Miss: allocate (write-allocate policy), evicting if needed.
+    stats_.misses[owner_idx] += 1;
+    std::uint32_t way = victimWay(set);
+    Line &line = base[way];
+    if (line.valid) {
+        stats_.evictions += 1;
+        if (line.dirty) {
+            stats_.writebacks += 1;
+            result.writeback = true;
+        }
+        if (line.owner == Owner::App && owner == Owner::Os) {
+            stats_.crossEvictions += 1;
+            result.crossEviction = true;
+        }
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = is_write;
+    line.owner = owner;
+    line.lruStamp = lruClock;
+    return result;
+}
+
+bool
+Cache::install(Addr addr, Owner owner)
+{
+    std::uint32_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
+    ++lruClock;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lruStamp = lruClock;
+            return false;
+        }
+    }
+    std::uint32_t way = victimWay(set);
+    Line &line = base[way];
+    if (line.valid)
+        stats_.injectedEvictions += 1;
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = false;
+    line.owner = owner;
+    line.lruStamp = lruClock;
+    return true;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint32_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *base =
+        &lines[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Cache::pollute(std::uint64_t count, PollutionMode mode)
+{
+    std::uint64_t affected = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint32_t set = rng.range(numSets_);
+        Line *base =
+            &lines[static_cast<std::size_t>(set) * params_.assoc];
+
+        // Invalid slot first: a free victim for Install, a no-op
+        // draw for the invalidating modes (Sec. 4.5 victim order).
+        std::int32_t invalid_way = -1;
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            if (!base[w].valid) {
+                invalid_way = static_cast<std::int32_t>(w);
+                break;
+            }
+        }
+
+        std::int32_t victim = -1;
+        if (invalid_way >= 0) {
+            if (mode != PollutionMode::Install)
+                continue;
+            victim = invalid_way;
+        } else {
+            // LRU among eligible lines, then more recently used.
+            for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+                if (mode == PollutionMode::InvalidateApp &&
+                    base[w].owner != Owner::App) {
+                    continue;
+                }
+                if (victim < 0 ||
+                    base[w].lruStamp < base[victim].lruStamp) {
+                    victim = static_cast<std::int32_t>(w);
+                }
+            }
+            if (victim < 0)
+                continue;
+        }
+
+        Line &line = base[victim];
+        if (mode == PollutionMode::Install) {
+            // Synthetic fill: a tag outside the architectural
+            // address space so it can never hit, owned by the OS,
+            // MRU (the skipped service just touched it).
+            line.valid = true;
+            line.tag = (1ULL << 52) + syntheticTag++;
+            line.dirty = false;
+            line.owner = Owner::Os;
+            line.lruStamp = ++lruClock;
+        } else {
+            line.valid = false;
+            line.dirty = false;
+        }
+        stats_.injectedEvictions += 1;
+        ++affected;
+    }
+    return affected;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::uint64_t
+Cache::residentLines(Owner owner) const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines) {
+        if (line.valid && line.owner == owner)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace osp

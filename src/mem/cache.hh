@@ -1,0 +1,201 @@
+/**
+ * @file
+ * A set-associative cache model with owner-tagged lines.
+ *
+ * Matches the memory system of the paper's Sec. 5.1: write-back,
+ * write-allocate, LRU replacement, 64-byte lines. Every resident line
+ * carries the Owner (application or OS) that brought it in, which
+ * provides (a) exact per-owner hit/miss statistics — the separation
+ * of OS from application performance the technique requires — and
+ * (b) the substrate for the cache-pollution model of Sec. 4.5, which
+ * evicts application-owned victims from uniformly random sets when an
+ * OS service is predicted instead of simulated.
+ */
+
+#ifndef OSP_MEM_CACHE_HH
+#define OSP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace osp
+{
+
+/** Replacement policy selector for Cache. */
+enum class ReplPolicy
+{
+    Lru,     //!< least-recently-used (the paper's configuration)
+    Random,  //!< uniform random victim (for ablation)
+};
+
+/** Static geometry and policy of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";     //!< for error messages / reports
+    std::uint64_t sizeBytes = 0;    //!< total capacity
+    std::uint32_t assoc = 1;        //!< ways per set
+    std::uint32_t lineBytes = 64;   //!< line size (power of two)
+    ReplPolicy repl = ReplPolicy::Lru;
+};
+
+/** Per-owner access/miss/eviction counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses[numOwners] = {0, 0};
+    std::uint64_t misses[numOwners] = {0, 0};
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    /** App-owned lines evicted by OS fills (natural pollution). */
+    std::uint64_t crossEvictions = 0;
+    /** Lines evicted by the pollution injector (predicted OS
+     *  pollution, Sec. 4.5). */
+    std::uint64_t injectedEvictions = 0;
+
+    std::uint64_t
+    totalAccesses() const
+    {
+        return accesses[0] + accesses[1];
+    }
+
+    std::uint64_t totalMisses() const { return misses[0] + misses[1]; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t a = totalAccesses();
+        return a ? static_cast<double>(totalMisses()) /
+                       static_cast<double>(a)
+                 : 0.0;
+    }
+
+    double
+    missRateFor(Owner owner) const
+    {
+        auto i = static_cast<int>(owner);
+        return accesses[i] ? static_cast<double>(misses[i]) /
+                                 static_cast<double>(accesses[i])
+                           : 0.0;
+    }
+};
+
+/**
+ * One level of cache. Latencies live in MemoryHierarchy; the Cache
+ * itself only tracks residency, replacement and statistics.
+ */
+class Cache
+{
+  public:
+    /** Outcome of one access. */
+    struct AccessResult
+    {
+        bool hit = false;
+        /** A dirty victim was evicted (writeback traffic). */
+        bool writeback = false;
+        /** An app-owned line was displaced by an OS fill. */
+        bool crossEviction = false;
+    };
+
+    /** @param params geometry/policy
+     *  @param seed   seed for random replacement and pollution */
+    explicit Cache(const CacheParams &params,
+                   std::uint64_t seed = 12345);
+
+    /**
+     * Access one address. On a miss the line is allocated
+     * (write-allocate) and a victim evicted if the set is full.
+     *
+     * @param addr     byte address of the access
+     * @param is_write true for stores (marks the line dirty)
+     * @param owner    who performs the access
+     */
+    AccessResult access(Addr addr, bool is_write, Owner owner);
+
+    /** True if the address is currently resident (no state change,
+     *  no statistics). */
+    bool probe(Addr addr) const;
+
+    /** How injected pollution treats the victim slot. */
+    enum class PollutionMode
+    {
+        /** Invalidate an application-owned victim; a set with an
+         *  invalid line yields no victim (the paper's Sec. 4.5
+         *  formulation). */
+        InvalidateApp,
+        /** Invalidate the LRU victim regardless of owner. */
+        InvalidateAny,
+        /** Replace the victim (or an invalid slot) with a synthetic
+         *  never-matching OS-owned line, modelling the skipped
+         *  service actually fetching its footprint. Keeps sets full,
+         *  so repeated pollution cannot saturate into a no-op — see
+         *  DESIGN.md and the abl4 bench. */
+        Install,
+    };
+
+    /**
+     * Inject @p count predicted-miss displacements into uniformly
+     * random sets (Sec. 4.5).
+     *
+     * @return number of slots actually affected.
+     */
+    std::uint64_t pollute(std::uint64_t count, PollutionMode mode);
+
+    /**
+     * Silently make @p addr resident on behalf of a skipped OS
+     * service (footprint-faithful pollution): a hit refreshes LRU, a
+     * miss fills the victim slot. No access/miss statistics are
+     * touched; evictions count as injected.
+     *
+     * @return true if the line was filled (was not resident).
+     */
+    bool install(Addr addr, Owner owner);
+
+    /** Invalidate everything (cold-start). Statistics survive. */
+    void flush();
+
+    /** Number of currently valid lines owned by @p owner. */
+    std::uint64_t residentLines(Owner owner) const;
+
+    /** Accumulated statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Reset statistics (contents survive). */
+    void resetStats() { stats_ = CacheStats(); }
+
+    /** Geometry accessors. */
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return params_.assoc; }
+    std::uint32_t lineBytes() const { return params_.lineBytes; }
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        Owner owner = Owner::App;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    /** Pick the victim way in a (full) set per the policy. */
+    std::uint32_t victimWay(std::uint32_t set);
+
+    CacheParams params_;
+    std::uint32_t numSets_ = 0;
+    std::uint32_t lineShift = 0;
+    std::uint64_t lruClock = 0;
+    std::uint64_t syntheticTag = 0;
+    std::vector<Line> lines;  //!< numSets * assoc, set-major
+    CacheStats stats_;
+    Pcg32 rng;
+};
+
+} // namespace osp
+
+#endif // OSP_MEM_CACHE_HH

@@ -1,0 +1,168 @@
+#include "hierarchy.hh"
+
+#include <algorithm>
+
+namespace osp
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+    : params_(params),
+      l1i_(params.l1i, params.seed * 3 + 1),
+      l1d_(params.l1d, params.seed * 3 + 2),
+      l2_(params.l2, params.seed * 3 + 3)
+{
+    if (params_.tlbEntries) {
+        // A TLB is a set-associative cache of 4KB pages.
+        CacheParams tlb;
+        tlb.sizeBytes =
+            static_cast<std::uint64_t>(params_.tlbEntries) * 4096;
+        tlb.assoc = params_.tlbAssoc;
+        tlb.lineBytes = 4096;
+        tlb.name = "itlb";
+        itlb_ = std::make_unique<Cache>(tlb, params.seed * 3 + 4);
+        tlb.name = "dtlb";
+        dtlb_ = std::make_unique<Cache>(tlb, params.seed * 3 + 5);
+    }
+}
+
+AccessOutcome
+MemoryHierarchy::access(Addr addr, AccessType type, Owner owner,
+                        Cycles now)
+{
+    AccessOutcome out;
+    bool is_fetch = (type == AccessType::InstFetch);
+    bool is_write = (type == AccessType::Store);
+    Cache &l1 = is_fetch ? l1i_ : l1d_;
+    Cycles l1_lat =
+        is_fetch ? params_.l1iHitLatency : params_.l1dHitLatency;
+
+    // Address translation first.
+    Cache *tlb = is_fetch ? itlb_.get() : dtlb_.get();
+    if (tlb) {
+        auto tlb_res = tlb->access(addr, false, owner);
+        if (!tlb_res.hit) {
+            out.tlbMiss = true;
+            out.latency += params_.tlbMissPenalty;
+        }
+    }
+
+    auto l1_res = l1.access(addr, is_write, owner);
+    out.latency += l1_lat;
+    if (l1_res.hit)
+        return out;
+
+    out.l1Miss = true;
+    // L1 dirty writeback occupies the bus toward L2 only in spirit;
+    // the L1<->L2 link is not a modeled resource, so nothing to add.
+
+    auto l2_res = l2_.access(addr, is_write, owner);
+    out.latency += params_.l2HitLatency;
+    if (l2_res.hit)
+        return out;
+
+    out.l2Miss = true;
+    // Memory access: latency plus bus occupancy/queueing.
+    Cycles request_at = now + out.latency;
+    Cycles bus_start = std::max(request_at, busFreeAt);
+    busFreeAt = bus_start + params_.busCyclesPerLine;
+    Cycles queueing = bus_start - request_at;
+    out.latency += queueing + params_.memLatency;
+    if (l2_res.writeback) {
+        // Posted writeback: occupies the bus, does not stall the load.
+        busFreeAt += params_.busCyclesPerLine;
+    }
+    if (params_.l2NextLinePrefetch) {
+        // Next-line prefetch: silently fill line+1 into the L2 and
+        // account its bus occupancy (it never stalls the demand
+        // load).
+        if (l2_.install(addr + l2_.lineBytes(), owner))
+            busFreeAt += params_.busCyclesPerLine;
+    }
+    return out;
+}
+
+bool
+MemoryHierarchy::probeL1(Addr addr, AccessType type) const
+{
+    const Cache &l1 =
+        type == AccessType::InstFetch ? l1i_ : l1d_;
+    return l1.probe(addr);
+}
+
+void
+MemoryHierarchy::pollute(std::uint64_t l1i_lines,
+                         std::uint64_t l1d_lines,
+                         std::uint64_t l2_lines,
+                         Cache::PollutionMode mode)
+{
+    l1i_.pollute(l1i_lines, mode);
+    l1d_.pollute(l1d_lines, mode);
+    l2_.pollute(l2_lines, mode);
+}
+
+MemoryHierarchy::InstallOutcome
+MemoryHierarchy::installLine(Addr addr, bool is_code, Owner owner)
+{
+    InstallOutcome out;
+    out.l1Fill = (is_code ? l1i_ : l1d_).install(addr, owner);
+    out.l2Fill = l2_.install(addr, owner);
+    // Footprint pollution displaces TLB entries too.
+    Cache *tlb = is_code ? itlb_.get() : dtlb_.get();
+    if (tlb)
+        tlb->install(addr, owner);
+    return out;
+}
+
+HierarchyCounts
+MemoryHierarchy::counts() const
+{
+    HierarchyCounts c;
+    c.l1iAccesses = l1i_.stats().totalAccesses();
+    c.l1iMisses = l1i_.stats().totalMisses();
+    c.l1dAccesses = l1d_.stats().totalAccesses();
+    c.l1dMisses = l1d_.stats().totalMisses();
+    c.l2Accesses = l2_.stats().totalAccesses();
+    c.l2Misses = l2_.stats().totalMisses();
+    return c;
+}
+
+HierarchyCounts
+MemoryHierarchy::countsFor(Owner owner) const
+{
+    auto i = static_cast<int>(owner);
+    HierarchyCounts c;
+    c.l1iAccesses = l1i_.stats().accesses[i];
+    c.l1iMisses = l1i_.stats().misses[i];
+    c.l1dAccesses = l1d_.stats().accesses[i];
+    c.l1dMisses = l1d_.stats().misses[i];
+    c.l2Accesses = l2_.stats().accesses[i];
+    c.l2Misses = l2_.stats().misses[i];
+    return c;
+}
+
+void
+MemoryHierarchy::flushAll()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+    if (itlb_)
+        itlb_->flush();
+    if (dtlb_)
+        dtlb_->flush();
+    busFreeAt = 0;
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+    if (itlb_)
+        itlb_->resetStats();
+    if (dtlb_)
+        dtlb_->resetStats();
+}
+
+} // namespace osp

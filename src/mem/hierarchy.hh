@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The three-level memory hierarchy of the paper's Sec. 5.1.
+ *
+ * L1I (16KB, 2-way), L1D (16KB, 4-way, 2-cycle hit), unified L2
+ * (1MB, 8-way, 8-cycle hit), 300-cycle memory latency, and a
+ * split-transaction 8-byte bus at 1/5 the core frequency (6.4 GB/s
+ * at 4 GHz) whose occupancy adds queueing delay to overlapping
+ * misses. All lines are 64 bytes, LRU, write-back/write-allocate.
+ *
+ * Demand accesses are tagged with their Owner so OS and application
+ * statistics stay separable. Writeback traffic occupies the bus but
+ * is not counted as demand L2 accesses (a deliberate simplification;
+ * the technique only consumes demand-miss counts).
+ */
+
+#ifndef OSP_MEM_HIERARCHY_HH
+#define OSP_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache.hh"
+#include "util/types.hh"
+
+namespace osp
+{
+
+/** What kind of memory reference is being made. */
+enum class AccessType
+{
+    InstFetch,
+    Load,
+    Store,
+};
+
+/** Tunable parameters of the hierarchy; defaults match Sec. 5.1. */
+struct HierarchyParams
+{
+    CacheParams l1i{"l1i", 16 * 1024, 2, 64, ReplPolicy::Lru};
+    CacheParams l1d{"l1d", 16 * 1024, 4, 64, ReplPolicy::Lru};
+    CacheParams l2{"l2", 1024 * 1024, 8, 64, ReplPolicy::Lru};
+    Cycles l1iHitLatency = 1;
+    Cycles l1dHitLatency = 2;
+    Cycles l2HitLatency = 8;
+    Cycles memLatency = 300;
+    /** Bus occupancy per 64B line: 8 transfers of 8B at 800 MHz seen
+     *  from a 4 GHz core = 40 core cycles. */
+    Cycles busCyclesPerLine = 40;
+    /**
+     * TLB model: separate instruction/data TLBs, set-associative
+     * over 4KB pages, with a fixed page-walk penalty on a miss.
+     * The kernel's large footprints trash the TLBs just like the
+     * caches, which is part of why OS-heavy execution is slow;
+     * the footprint pollution policy replays this for predicted
+     * intervals. Set tlbEntries to 0 to disable.
+     */
+    std::uint32_t tlbEntries = 64;
+    std::uint32_t tlbAssoc = 4;
+    Cycles tlbMissPenalty = 30;
+    /**
+     * Next-line prefetch into the L2 on every L2 demand miss
+     * (ablation substrate; off by default to match the paper's
+     * machine).
+     */
+    bool l2NextLinePrefetch = false;
+    /** Seed for replacement/pollution randomness. */
+    std::uint64_t seed = 1;
+};
+
+/** Timing and outcome of one demand access. */
+struct AccessOutcome
+{
+    Cycles latency = 0;  //!< total load-to-use latency
+    bool l1Miss = false;
+    bool l2Miss = false;
+    bool tlbMiss = false;
+};
+
+/** Plain counter snapshot used for interval deltas. */
+struct HierarchyCounts
+{
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+
+    HierarchyCounts
+    operator-(const HierarchyCounts &o) const
+    {
+        HierarchyCounts d;
+        d.l1iAccesses = l1iAccesses - o.l1iAccesses;
+        d.l1iMisses = l1iMisses - o.l1iMisses;
+        d.l1dAccesses = l1dAccesses - o.l1dAccesses;
+        d.l1dMisses = l1dMisses - o.l1dMisses;
+        d.l2Accesses = l2Accesses - o.l2Accesses;
+        d.l2Misses = l2Misses - o.l2Misses;
+        return d;
+    }
+
+    HierarchyCounts &
+    operator+=(const HierarchyCounts &o)
+    {
+        l1iAccesses += o.l1iAccesses;
+        l1iMisses += o.l1iMisses;
+        l1dAccesses += o.l1dAccesses;
+        l1dMisses += o.l1dMisses;
+        l2Accesses += o.l2Accesses;
+        l2Misses += o.l2Misses;
+        return *this;
+    }
+};
+
+/**
+ * The full cache/memory system. Stateless about time except for bus
+ * occupancy: the caller passes the current cycle and receives the
+ * access latency including bus queueing.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &params);
+
+    /**
+     * Perform one demand access.
+     *
+     * @param addr  byte address
+     * @param type  fetch / load / store
+     * @param owner application or OS
+     * @param now   current core cycle (for bus queueing)
+     */
+    AccessOutcome access(Addr addr, AccessType type, Owner owner,
+                         Cycles now);
+
+    /** Would this access hit in its L1? (No state change; used by
+     *  CPU models to decide MSHR admission before accessing.) */
+    bool probeL1(Addr addr, AccessType type) const;
+
+    /**
+     * Inject predicted OS cache pollution (Sec. 4.5): displace the
+     * given number of lines in each level.
+     *
+     * @param mode victim treatment (see Cache::PollutionMode)
+     */
+    void pollute(std::uint64_t l1i_lines, std::uint64_t l1d_lines,
+                 std::uint64_t l2_lines,
+                 Cache::PollutionMode mode =
+                     Cache::PollutionMode::Install);
+
+    /** Fill outcome of installLine(). */
+    struct InstallOutcome
+    {
+        bool l1Fill = false;
+        bool l2Fill = false;
+    };
+
+    /**
+     * Footprint-faithful pollution: silently make one address a
+     * skipped OS service touched resident in the right L1 and the
+     * L2 (see Cache::install).
+     */
+    InstallOutcome installLine(Addr addr, bool is_code, Owner owner);
+
+    /** Total (both-owner) counter snapshot, for interval deltas. */
+    HierarchyCounts counts() const;
+
+    /** Per-owner counter snapshot. */
+    HierarchyCounts countsFor(Owner owner) const;
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+    /** TLBs (null when disabled). */
+    const Cache *itlb() const { return itlb_.get(); }
+    const Cache *dtlb() const { return dtlb_.get(); }
+
+    const HierarchyParams &params() const { return params_; }
+
+    /** Drop all cached contents (statistics survive). */
+    void flushAll();
+
+    /** Zero all statistics (contents survive). */
+    void resetStats();
+
+  private:
+    HierarchyParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    std::unique_ptr<Cache> itlb_;
+    std::unique_ptr<Cache> dtlb_;
+    Cycles busFreeAt = 0;
+};
+
+} // namespace osp
+
+#endif // OSP_MEM_HIERARCHY_HH

@@ -1,0 +1,44 @@
+#include "interrupts.hh"
+
+namespace osp
+{
+
+InterruptController::InterruptController(InstCount timer_period)
+    : timerPeriod_(timer_period),
+      nextTimerAt(timer_period ? timer_period : ~InstCount(0))
+{
+}
+
+void
+InterruptController::schedule(ServiceType type, InstCount at,
+                              SyscallArgs args)
+{
+    heap.push(Event{at, type, args});
+}
+
+std::optional<ServiceRequest>
+InterruptController::nextDue(InstCount now)
+{
+    // Deliver whichever of (device events, timer) is due first.
+    bool device_due = !heap.empty() && heap.top().at <= now;
+    bool timer_due = timerPeriod_ && nextTimerAt <= now;
+
+    if (device_due &&
+        (!timer_due || heap.top().at <= nextTimerAt)) {
+        Event e = heap.top();
+        heap.pop();
+        ServiceRequest req;
+        req.type = e.type;
+        req.args = e.args;
+        return req;
+    }
+    if (timer_due) {
+        nextTimerAt += timerPeriod_;
+        ServiceRequest req;
+        req.type = ServiceType::IntTimer;
+        return req;
+    }
+    return std::nullopt;
+}
+
+} // namespace osp

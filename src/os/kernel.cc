@@ -1,0 +1,662 @@
+#include "kernel.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+namespace
+{
+constexpr std::uint64_t pageBytes = 4096;
+constexpr std::uint64_t mssBytes = 1448;
+/** Pages speculatively filled after a page-cache miss. */
+constexpr std::uint32_t readaheadPages = 3;
+/** Dirty pages accumulated before a writeback burst. */
+constexpr std::uint64_t writebackBatch = 64;
+/** Dir pseudo-file-id flag (sys_open of a directory). */
+constexpr std::uint64_t dirIdFlag = 0x40000000ULL;
+} // namespace
+
+SyntheticKernel::SyntheticKernel(const KernelParams &params)
+    : params_(params),
+      layout_(makeKernelLayout()),
+      vfs_(params.vfs, params.seed),
+      net_(layout_.socketArea, params.maxSockets),
+      pageCache_(params.pageCachePages, layout_.pageCacheArea.base),
+      irq(params.timerPeriod),
+      rng(params.seed, 0x05C001ULL)
+{
+    fdTable.resize(64);
+    userPagePresent.assign(params.userSpaceSpan / pageBytes, false);
+    entryProf = entryProfile(layout_);
+    for (int t = 0; t < numServiceTypes; ++t)
+        svcProf[t] = serviceProfile(layout_,
+                                    static_cast<ServiceType>(t));
+}
+
+std::uint64_t
+SyntheticKernel::jitter(std::uint64_t base)
+{
+    if (params_.opJitter <= 0.0)
+        return base;
+    double f = rng.uniform(1.0 - params_.opJitter,
+                           1.0 + params_.opJitter);
+    auto n = static_cast<std::uint64_t>(
+        static_cast<double>(base) * f);
+    return n ? n : 1;
+}
+
+void
+SyntheticKernel::compute(CodeGenerator *gen,
+                         const CodeProfile &profile,
+                         std::uint64_t ops, Region data,
+                         PatternKind pattern)
+{
+    if (gen)
+        gen->pushCompute(profile, ops, data, pattern);
+}
+
+void
+SyntheticKernel::copy(CodeGenerator *gen, ServiceType svc,
+                      std::uint64_t bytes, Region src, Region dst)
+{
+    if (gen)
+        gen->pushCopy(copyProfile(layout_, svc), bytes, src, dst);
+}
+
+void
+SyntheticKernel::planEntry(CodeGenerator *gen)
+{
+    compute(gen, entryProf, jitter(90), layout_.stack);
+}
+
+void
+SyntheticKernel::planExit(CodeGenerator *gen)
+{
+    compute(gen, entryProf, jitter(70), layout_.stack);
+}
+
+std::int32_t
+SyntheticKernel::allocFd(Fd::Kind kind, std::uint32_t id)
+{
+    for (std::size_t i = 0; i < fdTable.size(); ++i) {
+        if (fdTable[i].kind == Fd::Kind::Free) {
+            fdTable[i] = Fd{kind, id, 0, false};
+            return static_cast<std::int32_t>(i);
+        }
+    }
+    fdTable.push_back(Fd{kind, id, 0, false});
+    return static_cast<std::int32_t>(fdTable.size() - 1);
+}
+
+SyntheticKernel::Fd &
+SyntheticKernel::fdRef(std::uint64_t fd, const char *who)
+{
+    if (fd >= fdTable.size() ||
+        fdTable[fd].kind == Fd::Kind::Free) {
+        osp_panic(who, ": bad file descriptor ", fd);
+    }
+    return fdTable[fd];
+}
+
+bool
+SyntheticKernel::touchUserPage(Addr addr)
+{
+    if (addr >= kernelBase)
+        return false;
+    std::uint64_t page = addr / pageBytes;
+    if (page >= userPagePresent.size())
+        return false;
+    if (userPagePresent[page])
+        return false;
+    userPagePresent[page] = true;
+    return true;
+}
+
+std::optional<ServiceRequest>
+SyntheticKernel::pendingInterrupt(InstCount now)
+{
+    return irq.nextDue(now);
+}
+
+ServiceResult
+SyntheticKernel::invoke(ServiceType type, const SyscallArgs &args,
+                        InstCount now, CodeGenerator *gen)
+{
+    switch (type) {
+      case ServiceType::SysRead: return doRead(args, now, gen);
+      case ServiceType::SysWrite: return doWrite(args, now, gen);
+      case ServiceType::SysOpen: return doOpen(args, gen);
+      case ServiceType::SysClose: return doClose(args, gen);
+      case ServiceType::SysStat64: return doStat(args, gen);
+      case ServiceType::SysPoll: return doPoll(args, gen);
+      case ServiceType::SysSocketcall:
+        return doSocketcall(args, now, gen);
+      case ServiceType::SysWritev: return doWritev(args, now, gen);
+      case ServiceType::SysFcntl64: return doFcntl(args, gen);
+      case ServiceType::SysIpc: return doIpc(args, gen);
+      case ServiceType::SysGettimeofday:
+        return doGettimeofday(gen);
+      case ServiceType::SysBrk: return doBrk(args, gen);
+      case ServiceType::IntPageFault:
+        return doPageFault(args, gen);
+      case ServiceType::IntDisk: return doDiskIrq(gen);
+      case ServiceType::IntNic: return doNicIrq(now, gen);
+      case ServiceType::IntTimer: return doTimerIrq(gen);
+      case ServiceType::NumTypes: break;
+    }
+    osp_panic("SyntheticKernel::invoke: bad service type ",
+              static_cast<int>(type));
+}
+
+ServiceResult
+SyntheticKernel::doRead(const SyscallArgs &args, InstCount now,
+                        CodeGenerator *gen)
+{
+    Fd &fd = fdRef(args.arg0, "sys_read");
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysRead)];
+
+    if (fd.kind == Fd::Kind::Socket) {
+        planEntry(gen);
+        std::uint64_t got = recvBytes(ServiceType::SysRead, fd.id,
+                                      args.arg1, args.arg2, gen);
+        planExit(gen);
+        return ServiceResult{got};
+    }
+
+    if (fd.kind == Fd::Kind::Dir) {
+        // getdents: enumerate the directory once.
+        planEntry(gen);
+        if (fd.dirEof) {
+            compute(gen, prof, jitter(120), layout_.dentryArea,
+                    PatternKind::Random);
+            planExit(gen);
+            return ServiceResult{0};
+        }
+        const auto &entries = vfs_.dirFiles(fd.id);
+        std::uint64_t bytes = 48ULL * entries.size();
+        compute(gen, prof, jitter(150), layout_.dentryArea,
+                PatternKind::Random);
+        compute(gen, prof, jitter(35) * entries.size(),
+                layout_.dentryArea, PatternKind::PointerChase);
+        copy(gen, ServiceType::SysRead, bytes, layout_.dentryArea,
+             Region{args.arg2, bytes});
+        fd.dirEof = true;
+        planExit(gen);
+        return ServiceResult{bytes};
+    }
+
+    // Regular file read through the page cache.
+    std::uint64_t size = vfs_.fileSize(fd.id);
+    std::uint64_t remaining =
+        fd.offset < size ? size - fd.offset : 0;
+    std::uint64_t n = std::min<std::uint64_t>(args.arg1, remaining);
+
+    planEntry(gen);
+    if (n == 0) {
+        compute(gen, prof, jitter(120), layout_.dentryArea,
+                PatternKind::Random);
+        planExit(gen);
+        return ServiceResult{0};
+    }
+
+    compute(gen, prof, jitter(220), layout_.dentryArea,
+            PatternKind::Random);
+
+    std::uint64_t cursor = fd.offset;
+    std::uint64_t end = fd.offset + n;
+    std::uint32_t miss_count = 0;
+    std::uint32_t total_pages =
+        static_cast<std::uint32_t>(size / pageBytes) + 1;
+
+    while (cursor < end) {
+        auto page = static_cast<std::uint32_t>(cursor / pageBytes);
+        std::uint64_t in_page = pageBytes - (cursor % pageBytes);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(in_page, end - cursor);
+        Region dst{args.arg2 + (cursor - fd.offset), chunk};
+
+        auto frame = pageCache_.lookup(fd.id, page);
+        if (frame) {
+            // Fast path: page resident, lock + copy to user.
+            compute(gen, prof, jitter(60), layout_.mmArea);
+            copy(gen, ServiceType::SysRead, chunk,
+                 Region{*frame, pageBytes}, dst);
+        } else {
+            // Slow path: allocate a frame, submit block I/O,
+            // readahead, then copy.
+            ++miss_count;
+            auto fill = pageCache_.fill(fd.id, page);
+            compute(gen, prof, jitter(450), layout_.driverArea,
+                    PatternKind::Random);
+            compute(gen, prof,
+                    jitter(fill.evicted ? 380 : 260),
+                    layout_.mmArea, PatternKind::Random);
+            compute(gen, prof, jitter(380), layout_.driverArea);
+            for (std::uint32_t ra = 1; ra <= readaheadPages; ++ra) {
+                std::uint32_t rp = page + ra;
+                if (rp >= total_pages)
+                    break;
+                if (!pageCache_.lookup(fd.id, rp)) {
+                    pageCache_.fill(fd.id, rp);
+                    compute(gen, prof, jitter(160),
+                            layout_.driverArea);
+                }
+            }
+            copy(gen, ServiceType::SysRead, chunk,
+                 Region{fill.frameAddr, pageBytes}, dst);
+        }
+        cursor += chunk;
+    }
+    fd.offset += n;
+    planExit(gen);
+
+    if (miss_count && !diskIrqPending) {
+        diskIrqPending = true;
+        irq.schedule(ServiceType::IntDisk,
+                     now + params_.diskLatency);
+    }
+    return ServiceResult{n};
+}
+
+ServiceResult
+SyntheticKernel::doWrite(const SyscallArgs &args, InstCount now,
+                         CodeGenerator *gen)
+{
+    Fd &fd = fdRef(args.arg0, "sys_write");
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysWrite)];
+
+    if (fd.kind == Fd::Kind::Socket) {
+        planEntry(gen);
+        std::uint64_t sent = sendBytes(ServiceType::SysWrite, fd.id,
+                                       args.arg1, args.arg2, now,
+                                       gen);
+        planExit(gen);
+        return ServiceResult{sent};
+    }
+
+    // File append through the page cache.
+    std::uint64_t n = args.arg1;
+    planEntry(gen);
+    compute(gen, prof, jitter(180), layout_.dentryArea,
+            PatternKind::Random);
+    std::uint64_t cursor = fd.offset;
+    std::uint64_t end = fd.offset + n;
+    while (cursor < end) {
+        auto page = static_cast<std::uint32_t>(cursor / pageBytes);
+        std::uint64_t in_page = pageBytes - (cursor % pageBytes);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(in_page, end - cursor);
+        auto fill = pageCache_.fill(fd.id, page);
+        if (fill.evicted)
+            compute(gen, prof, jitter(120), layout_.mmArea,
+                    PatternKind::Random);
+        copy(gen, ServiceType::SysWrite, chunk,
+             Region{args.arg2 + (cursor - fd.offset), chunk},
+             Region{fill.frameAddr, pageBytes});
+        compute(gen, prof, jitter(80), layout_.mmArea);
+        ++dirtyPages;
+        cursor += chunk;
+    }
+    fd.offset += n;
+
+    if (dirtyPages >= writebackBatch) {
+        // Periodic writeback burst: walk the dirty list and submit.
+        dirtyPages = 0;
+        compute(gen, prof, jitter(800), layout_.driverArea,
+                PatternKind::Random);
+        if (!diskIrqPending) {
+            diskIrqPending = true;
+            irq.schedule(ServiceType::IntDisk,
+                         now + params_.diskLatency);
+        }
+    }
+    planExit(gen);
+    return ServiceResult{n};
+}
+
+ServiceResult
+SyntheticKernel::doOpen(const SyscallArgs &args, CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysOpen)];
+    planEntry(gen);
+
+    if (args.arg0 & dirIdFlag) {
+        auto dir =
+            static_cast<std::uint32_t>(args.arg0 & ~dirIdFlag);
+        if (dir >= vfs_.numDirs())
+            osp_panic("sys_open: bad dir id ", dir);
+        compute(gen, prof, jitter(340), layout_.dentryArea,
+                PatternKind::PointerChase);
+        compute(gen, prof, jitter(90), layout_.stack);
+        planExit(gen);
+        return ServiceResult{static_cast<std::uint64_t>(
+            allocFd(Fd::Kind::Dir, dir))};
+    }
+
+    auto file = static_cast<std::uint32_t>(args.arg0);
+    std::uint32_t depth = vfs_.pathDepth(file);
+    std::uint32_t misses = vfs_.resolve(file);
+    // Cached components walk the dcache hash; missed components
+    // allocate dentries and read inodes.
+    compute(gen, prof, jitter(120) * (depth - misses),
+            layout_.dentryArea, PatternKind::PointerChase);
+    compute(gen, prof, jitter(420) * misses, layout_.dentryArea,
+            PatternKind::Random);
+    compute(gen, prof, jitter(90), layout_.stack);
+    planExit(gen);
+    return ServiceResult{static_cast<std::uint64_t>(
+        allocFd(Fd::Kind::File, file))};
+}
+
+ServiceResult
+SyntheticKernel::doClose(const SyscallArgs &args, CodeGenerator *gen)
+{
+    Fd &fd = fdRef(args.arg0, "sys_close");
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysClose)];
+    planEntry(gen);
+    compute(gen, prof, jitter(240), layout_.dentryArea,
+            PatternKind::Random);
+    if (fd.kind == Fd::Kind::Socket)
+        net_.closeSocket(fd.id);
+    fd = Fd();
+    planExit(gen);
+    return ServiceResult{0};
+}
+
+ServiceResult
+SyntheticKernel::doStat(const SyscallArgs &args, CodeGenerator *gen)
+{
+    auto file = static_cast<std::uint32_t>(args.arg0);
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysStat64)];
+    std::uint32_t depth = vfs_.pathDepth(file);
+    std::uint32_t misses = vfs_.resolve(file);
+    planEntry(gen);
+    compute(gen, prof, jitter(150), layout_.dentryArea,
+            PatternKind::Random);
+    compute(gen, prof, jitter(110) * (depth - misses),
+            layout_.dentryArea, PatternKind::PointerChase);
+    compute(gen, prof, jitter(380) * misses, layout_.dentryArea,
+            PatternKind::Random);
+    copy(gen, ServiceType::SysStat64, 128, layout_.dentryArea,
+         Region{args.arg1, 128});
+    planExit(gen);
+    return ServiceResult{vfs_.fileSize(file)};
+}
+
+ServiceResult
+SyntheticKernel::doPoll(const SyscallArgs &args, CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysPoll)];
+    std::uint64_t nfds = std::max<std::uint64_t>(args.arg1 + 1, 1);
+    Fd &fd = fdRef(args.arg0, "sys_poll");
+    if (fd.kind != Fd::Kind::Socket)
+        osp_panic("sys_poll: fd ", args.arg0, " is not a socket");
+
+    planEntry(gen);
+    compute(gen, prof, jitter(110) * nfds, layout_.socketArea,
+            PatternKind::PointerChase);
+    std::uint64_t ready = net_.rxAvailable(fd.id) > 0 ? 1 : 0;
+    if (!ready) {
+        // Block until the next request arrives: scheduler round trip
+        // plus softirq receive processing.
+        compute(gen, prof, jitter(1300), layout_.stack,
+                PatternKind::Random);
+        net_.deliverRx(fd.id, 600);
+        ready = 1;
+    }
+    planExit(gen);
+    return ServiceResult{ready};
+}
+
+std::uint64_t
+SyntheticKernel::sendBytes(ServiceType svc, std::uint32_t sock,
+                           std::uint64_t bytes, Addr user_buf,
+                           InstCount now, CodeGenerator *gen)
+{
+    const CodeProfile &prof = svcProf[static_cast<int>(svc)];
+    Region skb = net_.skbPool();
+    Region sock_buf = net_.socketBuffer(sock);
+
+    compute(gen, prof, jitter(160), layout_.socketArea,
+            PatternKind::Random);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        std::uint64_t seg =
+            std::min<std::uint64_t>(mssBytes, bytes - done);
+        // TCP segmentation: sk_buff allocation walks the pool.
+        compute(gen, prof, jitter(140), skb, PatternKind::Random);
+        copy(gen, svc, seg, Region{user_buf + done, seg}, sock_buf);
+        done += seg;
+    }
+    net_.queueTx(sock, bytes);
+    if (!nicIrqPending) {
+        nicIrqPending = true;
+        irq.schedule(ServiceType::IntNic, now + params_.nicLatency);
+    }
+    return bytes;
+}
+
+std::uint64_t
+SyntheticKernel::recvBytes(ServiceType svc, std::uint32_t sock,
+                           std::uint64_t bytes, Addr user_buf,
+                           CodeGenerator *gen)
+{
+    const CodeProfile &prof = svcProf[static_cast<int>(svc)];
+    Region skb = net_.skbPool();
+
+    compute(gen, prof, jitter(150), layout_.socketArea,
+            PatternKind::Random);
+    std::uint64_t avail = net_.takeRx(sock, bytes);
+    if (avail == 0) {
+        // Nothing buffered: block; the next client request arrives
+        // and is processed by the softirq path before we return.
+        compute(gen, prof, jitter(700), skb, PatternKind::Random);
+        net_.deliverRx(sock, bytes);
+        avail = net_.takeRx(sock, bytes);
+    }
+    std::uint64_t done = 0;
+    while (done < avail) {
+        std::uint64_t seg =
+            std::min<std::uint64_t>(mssBytes, avail - done);
+        compute(gen, prof, jitter(150), skb, PatternKind::Random);
+        copy(gen, svc, seg, skb, Region{user_buf + done, seg});
+        done += seg;
+    }
+    return avail;
+}
+
+ServiceResult
+SyntheticKernel::doSocketcall(const SyscallArgs &args, InstCount now,
+                              CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysSocketcall)];
+    planEntry(gen);
+    ServiceResult result;
+    switch (args.arg0) {
+      case 0:  // accept
+        {
+            compute(gen, prof, jitter(850), layout_.socketArea,
+                    PatternKind::Random);
+            std::uint32_t sock = net_.openSocket();
+            result.value = static_cast<std::uint64_t>(
+                allocFd(Fd::Kind::Socket, sock));
+            break;
+        }
+      case 1:  // send
+        {
+            Fd &fd = fdRef(args.arg1, "socketcall(send)");
+            result.value = sendBytes(ServiceType::SysSocketcall,
+                                     fd.id, args.arg2, 0, now, gen);
+            break;
+        }
+      case 2:  // recv
+      default:
+        {
+            Fd &fd = fdRef(args.arg1, "socketcall(recv)");
+            result.value = recvBytes(ServiceType::SysSocketcall,
+                                     fd.id, args.arg2, 0, gen);
+            break;
+        }
+    }
+    planExit(gen);
+    return result;
+}
+
+ServiceResult
+SyntheticKernel::doWritev(const SyscallArgs &args, InstCount now,
+                          CodeGenerator *gen)
+{
+    Fd &fd = fdRef(args.arg0, "sys_writev");
+    if (fd.kind != Fd::Kind::Socket)
+        osp_panic("sys_writev: fd ", args.arg0, " is not a socket");
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysWritev)];
+    std::uint64_t iovcnt = std::max<std::uint64_t>(args.arg2, 1);
+
+    planEntry(gen);
+    compute(gen, prof, jitter(200), layout_.socketArea,
+            PatternKind::Random);
+    compute(gen, prof, jitter(90) * iovcnt, layout_.stack);
+    sendBytes(ServiceType::SysWritev, fd.id, args.arg1, 0, now, gen);
+    planExit(gen);
+    return ServiceResult{args.arg1};
+}
+
+ServiceResult
+SyntheticKernel::doFcntl(const SyscallArgs &args, CodeGenerator *gen)
+{
+    fdRef(args.arg0, "sys_fcntl64");
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysFcntl64)];
+    planEntry(gen);
+    compute(gen, prof, jitter(170 + 40 * (args.arg1 % 4)),
+            layout_.stack, PatternKind::Random);
+    planExit(gen);
+    return ServiceResult{0};
+}
+
+ServiceResult
+SyntheticKernel::doIpc(const SyscallArgs &args, CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysIpc)];
+    planEntry(gen);
+    compute(gen, prof, jitter(300), layout_.ipcArea,
+            PatternKind::Random);
+    bool contended = rng.chance(params_.ipcContention);
+    if (contended) {
+        // Sleeping waiter to wake: scheduler interaction.
+        compute(gen, prof, jitter(350), layout_.stack,
+                PatternKind::Random);
+    }
+    planExit(gen);
+    return ServiceResult{args.arg0};
+}
+
+ServiceResult
+SyntheticKernel::doGettimeofday(CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysGettimeofday)];
+    planEntry(gen);
+    compute(gen, prof, jitter(95), layout_.timeArea);
+    planExit(gen);
+    return ServiceResult{timerTicks};
+}
+
+ServiceResult
+SyntheticKernel::doBrk(const SyscallArgs &args, CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::SysBrk)];
+    std::uint64_t pages = (args.arg0 + pageBytes - 1) / pageBytes;
+    planEntry(gen);
+    compute(gen, prof, jitter(260), layout_.mmArea,
+            PatternKind::Random);
+    compute(gen, prof, jitter(40) * pages, layout_.mmArea);
+    planExit(gen);
+    return ServiceResult{pages};
+}
+
+ServiceResult
+SyntheticKernel::doPageFault(const SyscallArgs &args,
+                             CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::IntPageFault)];
+    planEntry(gen);
+    // VMA lookup is a tree walk; then anonymous zero-fill.
+    compute(gen, prof, jitter(750), layout_.mmArea,
+            PatternKind::PointerChase);
+    Addr page_base = args.arg0 & ~(pageBytes - 1);
+    copy(gen, ServiceType::IntPageFault, pageBytes,
+         Region{layout_.mmArea.base, pageBytes},
+         Region{page_base, pageBytes});
+    planExit(gen);
+    return ServiceResult{0};
+}
+
+ServiceResult
+SyntheticKernel::doDiskIrq(CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::IntDisk)];
+    diskIrqPending = false;
+    planEntry(gen);
+    compute(gen, prof, jitter(650), layout_.driverArea,
+            PatternKind::Random);
+    compute(gen, prof, jitter(150), layout_.stack);
+    planExit(gen);
+    return ServiceResult{0};
+}
+
+ServiceResult
+SyntheticKernel::doNicIrq(InstCount now, CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::IntNic)];
+    nicIrqPending = false;
+    planEntry(gen);
+    compute(gen, prof, jitter(380), layout_.driverArea,
+            PatternKind::Random);
+    std::uint32_t sent = net_.drainTx(64);
+    compute(gen, prof, jitter(260) * sent, net_.skbPool(),
+            PatternKind::Random);
+    if (net_.pendingTxPackets() > 0 && !nicIrqPending) {
+        nicIrqPending = true;
+        irq.schedule(ServiceType::IntNic,
+                     now + params_.nicLatency / 2);
+    }
+    planExit(gen);
+    return ServiceResult{sent};
+}
+
+ServiceResult
+SyntheticKernel::doTimerIrq(CodeGenerator *gen)
+{
+    const CodeProfile &prof =
+        svcProf[static_cast<int>(ServiceType::IntTimer)];
+    ++timerTicks;
+    planEntry(gen);
+    compute(gen, prof, jitter(820), layout_.timeArea,
+            PatternKind::Random);
+    if (timerTicks % 4 == 0) {
+        // Scheduler tick: runqueue accounting.
+        compute(gen, prof, jitter(600), layout_.stack,
+                PatternKind::Random);
+    }
+    planExit(gen);
+    return ServiceResult{timerTicks};
+}
+
+} // namespace osp

@@ -1,0 +1,90 @@
+#include "layout.hh"
+
+namespace osp
+{
+
+std::uint64_t
+serviceCodeFootprint(ServiceType type)
+{
+    switch (type) {
+      case ServiceType::SysRead: return 48 * 1024;
+      case ServiceType::SysWrite: return 32 * 1024;
+      case ServiceType::SysOpen: return 40 * 1024;
+      case ServiceType::SysClose: return 12 * 1024;
+      case ServiceType::SysPoll: return 24 * 1024;
+      case ServiceType::SysSocketcall: return 48 * 1024;
+      case ServiceType::SysStat64: return 24 * 1024;
+      case ServiceType::SysWritev: return 40 * 1024;
+      case ServiceType::SysFcntl64: return 8 * 1024;
+      case ServiceType::SysIpc: return 16 * 1024;
+      case ServiceType::SysGettimeofday: return 4 * 1024;
+      case ServiceType::SysBrk: return 12 * 1024;
+      case ServiceType::IntPageFault: return 24 * 1024;
+      case ServiceType::IntDisk: return 32 * 1024;
+      case ServiceType::IntNic: return 48 * 1024;
+      case ServiceType::IntTimer: return 16 * 1024;
+      case ServiceType::NumTypes: break;
+    }
+    return 16 * 1024;
+}
+
+KernelLayout
+makeKernelLayout()
+{
+    KernelLayout layout;
+    Addr cursor = layout.entryCode.base + layout.entryCode.size;
+    for (int t = 0; t < numServiceTypes; ++t) {
+        std::uint64_t bytes =
+            serviceCodeFootprint(static_cast<ServiceType>(t));
+        layout.serviceCode[t] = Region{cursor, bytes};
+        cursor += bytes;
+    }
+    return layout;
+}
+
+CodeProfile
+serviceProfile(const KernelLayout &layout, ServiceType type)
+{
+    CodeProfile p;
+    p.loadFrac = 0.28;
+    p.storeFrac = 0.12;
+    p.branchFrac = 0.20;
+    p.fpFrac = 0.0;
+    p.depChance = 0.50;
+    p.depDistMean = 2.5;
+    p.branchRandomFrac = 0.12;
+    p.code = layout.serviceCode[static_cast<int>(type)];
+    p.blockRunBytes = 128;  // branchy kernel code: short runs
+    return p;
+}
+
+CodeProfile
+entryProfile(const KernelLayout &layout)
+{
+    CodeProfile p;
+    p.loadFrac = 0.30;
+    p.storeFrac = 0.25;  // context save/restore is store-heavy
+    p.branchFrac = 0.08;
+    p.depChance = 0.35;
+    p.depDistMean = 4.0;
+    p.branchRandomFrac = 0.05;
+    p.code = layout.entryCode;
+    p.blockRunBytes = 512;  // straight-line stub code
+    return p;
+}
+
+CodeProfile
+copyProfile(const KernelLayout &layout, ServiceType type)
+{
+    CodeProfile p;
+    // Mix fractions are ignored by pushCopy (it emits a fixed
+    // load/store/alu/branch pattern); only the code region and
+    // block-run length matter.
+    p.branchRandomFrac = 0.0;
+    const Region &svc = layout.serviceCode[static_cast<int>(type)];
+    p.code = Region{svc.base, 4 * 1024};
+    p.blockRunBytes = 2048;  // tight unrolled loop
+    return p;
+}
+
+} // namespace osp

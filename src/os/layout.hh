@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The kernel's address-space layout and per-service code profiles.
+ *
+ * The synthetic kernel occupies the top of the flat address space
+ * (like the 3GB/1GB x86 Linux split the paper's guest used). Each
+ * service handler executes out of its own code sub-region, so the
+ * kernel's aggregate instruction footprint (~430KB) is much larger
+ * than the 16KB L1I — the main reason OS IPC is characteristically
+ * low (paper Fig. 3b) — and, together with the kernel data
+ * structures, contends with the application for L2 space, which is
+ * what makes the L2-size experiments (Figs. 2, 10, 12) interesting
+ * for OS-intensive workloads.
+ */
+
+#ifndef OSP_OS_LAYOUT_HH
+#define OSP_OS_LAYOUT_HH
+
+#include "sim/code_profile.hh"
+#include "sim/service_types.hh"
+#include "util/types.hh"
+
+namespace osp
+{
+
+/** Boundary between user and kernel addresses. */
+inline constexpr Addr kernelBase = 0xC0000000ULL;
+
+/** Kernel address-space map. */
+struct KernelLayout
+{
+    /** Shared syscall/interrupt entry+exit stub code. */
+    Region entryCode{0xC0000000ULL, 8 * 1024};
+    /** Per-service handler code (filled in by makeKernelLayout). */
+    Region serviceCode[numServiceTypes];
+    /** Kernel stacks / thread_info. */
+    Region stack{0xC0800000ULL, 16 * 1024};
+    /** Dentry + inode caches (VFS metadata). */
+    Region dentryArea{0xC0900000ULL, 256 * 1024};
+    /** Socket structures and sk_buff pool. Sized so the transmit
+     *  path's working set thrashes a 512KB L2 but fits 1MB
+     *  (iperf's 2x speedup in the paper's Fig. 2). */
+    Region socketArea{0xC0A00000ULL, 640 * 1024};
+    /** Device driver rings and DMA descriptors. */
+    Region driverArea{0xC0B00000ULL, 64 * 1024};
+    /** struct page array, page tables, mm bookkeeping. */
+    Region mmArea{0xC0C00000ULL, 128 * 1024};
+    /** SysV IPC structures (semaphores, message queues). */
+    Region ipcArea{0xC0D00000ULL, 32 * 1024};
+    /** Timekeeping (jiffies, timer wheel). */
+    Region timeArea{0xC0D80000ULL, 16 * 1024};
+    /** Page-cache page frames (4KB each). */
+    Region pageCacheArea{0xD0000000ULL, 64ULL * 1024 * 1024};
+};
+
+/** Build the layout, packing per-service code regions. */
+KernelLayout makeKernelLayout();
+
+/** Code footprint (bytes) of one service's handler. */
+std::uint64_t serviceCodeFootprint(ServiceType type);
+
+/**
+ * The instruction-mix profile a service handler executes with.
+ * Kernel code is branchy, serial (short dependency distances) and
+ * has poor spatial locality compared to application loops.
+ */
+CodeProfile serviceProfile(const KernelLayout &layout,
+                           ServiceType type);
+
+/** Profile of the shared kernel entry/exit stubs. */
+CodeProfile entryProfile(const KernelLayout &layout);
+
+/**
+ * Profile of a tight kernel copy loop (copy_to_user and friends):
+ * tiny code footprint, long straight-line runs, well-predicted.
+ * The code region is the first 4KB of the owning service's region.
+ */
+CodeProfile copyProfile(const KernelLayout &layout, ServiceType type);
+
+} // namespace osp
+
+#endif // OSP_OS_LAYOUT_HH

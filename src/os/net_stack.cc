@@ -1,0 +1,104 @@
+#include "net_stack.hh"
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+namespace
+{
+constexpr std::uint64_t mssBytes = 1448;
+} // namespace
+
+NetStack::NetStack(Region buffer_area, std::uint32_t max_sockets)
+    : area(buffer_area)
+{
+    if (max_sockets == 0)
+        osp_fatal("NetStack needs at least one socket");
+    sockets.resize(max_sockets);
+    // Half the area is per-socket buffers, half is the skb pool.
+    perSocketBytes = (area.size / 2) / max_sockets;
+    if (perSocketBytes < 4096)
+        osp_fatal("NetStack buffer area too small: ", area.size);
+    skbPool_ = Region{area.base + area.size / 2, area.size / 2};
+}
+
+std::uint32_t
+NetStack::openSocket()
+{
+    for (std::uint32_t s = 0; s < sockets.size(); ++s) {
+        if (!sockets[s].open) {
+            sockets[s].open = true;
+            sockets[s].rxAvail = 0;
+            return s;
+        }
+    }
+    osp_fatal("NetStack: socket table exhausted");
+}
+
+void
+NetStack::closeSocket(std::uint32_t sock)
+{
+    if (sock >= sockets.size() || !sockets[sock].open)
+        osp_panic("NetStack::closeSocket: bad socket ", sock);
+    sockets[sock].open = false;
+    sockets[sock].rxAvail = 0;
+}
+
+std::uint32_t
+NetStack::queueTx(std::uint32_t sock, std::uint64_t bytes)
+{
+    if (sock >= sockets.size() || !sockets[sock].open)
+        osp_panic("NetStack::queueTx: bad socket ", sock);
+    auto packets = static_cast<std::uint32_t>(
+        (bytes + mssBytes - 1) / mssBytes);
+    txBacklog += packets;
+    return packets;
+}
+
+void
+NetStack::deliverRx(std::uint32_t sock, std::uint64_t bytes)
+{
+    if (sock >= sockets.size() || !sockets[sock].open)
+        osp_panic("NetStack::deliverRx: bad socket ", sock);
+    sockets[sock].rxAvail += bytes;
+}
+
+std::uint64_t
+NetStack::takeRx(std::uint32_t sock, std::uint64_t max_bytes)
+{
+    if (sock >= sockets.size() || !sockets[sock].open)
+        osp_panic("NetStack::takeRx: bad socket ", sock);
+    std::uint64_t taken = sockets[sock].rxAvail < max_bytes
+                              ? sockets[sock].rxAvail
+                              : max_bytes;
+    sockets[sock].rxAvail -= taken;
+    return taken;
+}
+
+std::uint64_t
+NetStack::rxAvailable(std::uint32_t sock) const
+{
+    if (sock >= sockets.size())
+        osp_panic("NetStack::rxAvailable: bad socket ", sock);
+    return sockets[sock].rxAvail;
+}
+
+std::uint32_t
+NetStack::drainTx(std::uint32_t max_packets)
+{
+    std::uint32_t sent =
+        txBacklog < max_packets ? txBacklog : max_packets;
+    txBacklog -= sent;
+    return sent;
+}
+
+Region
+NetStack::socketBuffer(std::uint32_t sock) const
+{
+    if (sock >= sockets.size())
+        osp_panic("NetStack::socketBuffer: bad socket ", sock);
+    return Region{area.base + sock * perSocketBytes, perSocketBytes};
+}
+
+} // namespace osp

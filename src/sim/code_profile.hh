@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Static descriptions of synthesized code: instruction mixes, code
+ * footprints and data-access patterns.
+ *
+ * A CodeProfile captures what distinguishes, say, kernel
+ * copy-to-user loops (high load/store fraction, short dependency
+ * chains, tiny code footprint) from VFS path resolution
+ * (pointer-chasing, branchy, large cold code footprint). Workloads
+ * and OS service handlers compose these into work items which the
+ * CodeGenerator lowers into MicroOps.
+ */
+
+#ifndef OSP_SIM_CODE_PROFILE_HH
+#define OSP_SIM_CODE_PROFILE_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace osp
+{
+
+/** A contiguous range of the (flat) simulated address space. */
+struct Region
+{
+    Addr base = 0;
+    std::uint64_t size = 0;
+
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < base + size;
+    }
+};
+
+/** How a stream of data accesses walks its region. */
+enum class PatternKind : std::uint8_t
+{
+    Sequential,    //!< base..end with a fixed stride, wrapping
+    Random,        //!< uniform random line-aligned addresses
+    PointerChase,  //!< random but serialized by dependences
+    Hot,           //!< 90% of accesses to a small hot prefix
+};
+
+/**
+ * Instruction mix and micro-architectural character of a piece of
+ * synthesized code. Fractions are cumulative-checked at generation
+ * time (load + store + branch + fp <= 1; remainder is integer ALU).
+ */
+struct CodeProfile
+{
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double fpFrac = 0.0;
+
+    /** Probability an op carries a register dependence on a recent
+     *  producer; higher = more serial code (lower ILP). */
+    double depChance = 0.35;
+    /** Mean of the geometric dependency-distance distribution; small
+     *  values create long serial chains. */
+    double depDistMean = 4.0;
+
+    /** Fraction of branches whose direction is effectively random
+     *  (unlearnable by the predictor); the rest follow a strongly
+     *  biased taken pattern the predictor learns quickly. */
+    double branchRandomFrac = 0.05;
+
+    /** FP execute latency (cycles) when cls == FpAlu. */
+    std::uint8_t fpLatency = 4;
+
+    /** Static code region instruction fetches walk through. */
+    Region code{0x00400000ULL, 8 * 1024};
+    /** Average dynamic basic-block run before the fetch point jumps
+     *  somewhere else in the code region (bytes of straight-line
+     *  code; instructions are 4 bytes). */
+    std::uint32_t blockRunBytes = 256;
+};
+
+} // namespace osp
+
+#endif // OSP_SIM_CODE_PROFILE_HH

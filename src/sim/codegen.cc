@@ -1,0 +1,274 @@
+#include "codegen.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+CodeGenerator::CodeGenerator(std::uint64_t seed, std::uint64_t stream)
+    : rng(seed, stream)
+{
+}
+
+void
+CodeGenerator::pushCompute(const CodeProfile &profile,
+                           std::uint64_t num_ops, Region data,
+                           PatternKind pattern, std::uint32_t stride)
+{
+    if (num_ops == 0)
+        return;
+    WorkItem item;
+    item.kind = WorkItem::Kind::Compute;
+    item.profile = profile;
+    item.opsLeft = num_ops;
+    item.data = data;
+    item.pattern = pattern;
+    item.stride = std::max<std::uint32_t>(stride, 1);
+    startItem(item);
+    items.push_back(item);
+}
+
+void
+CodeGenerator::pushCopy(const CodeProfile &profile,
+                        std::uint64_t bytes, Region src, Region dst)
+{
+    if (bytes == 0)
+        return;
+    WorkItem item;
+    item.kind = WorkItem::Kind::Copy;
+    item.profile = profile;
+    std::uint64_t units = (bytes + 15) / 16;
+    item.opsLeft = units * 4;
+    item.src = src;
+    item.dst = dst;
+    item.srcCursor = src.base;
+    item.dstCursor = dst.base;
+    startItem(item);
+    items.push_back(item);
+}
+
+void
+CodeGenerator::startItem(WorkItem &item)
+{
+    const Region &code = item.profile.code;
+    if (code.size < 64)
+        osp_panic("code region too small: ", code.size);
+    // Start fetching at a random 64-byte-aligned block.
+    std::uint64_t blocks = code.size / 64;
+    item.pc = code.base + 64ULL * rng.range(
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            blocks, 0xffffffffULL)));
+    item.blockLeft = item.profile.blockRunBytes;
+    if (item.data.size == 0)
+        item.data = Region{code.base, 4096};
+    if (item.kind == WorkItem::Kind::Compute &&
+        item.pattern == PatternKind::Sequential) {
+        auto it = seqCursors.find(item.data.base);
+        item.dataCursor = it != seqCursors.end() &&
+                                  item.data.contains(it->second)
+                              ? it->second
+                              : item.data.base;
+    } else {
+        item.dataCursor = item.data.base;
+    }
+}
+
+std::uint64_t
+CodeGenerator::pendingOps() const
+{
+    std::uint64_t n = 0;
+    for (const auto &item : items)
+        n += item.opsLeft;
+    return n;
+}
+
+Addr
+CodeGenerator::nextPc(WorkItem &item)
+{
+    const Region &code = item.profile.code;
+    if (item.blockLeft < 4) {
+        // Jump to a new block within the code footprint.
+        std::uint64_t blocks = code.size / 64;
+        item.pc = code.base + 64ULL * rng.range(
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                blocks, 0xffffffffULL)));
+        item.blockLeft = item.profile.blockRunBytes;
+    }
+    Addr pc = item.pc;
+    item.pc += 4;
+    item.blockLeft -= 4;
+    if (item.pc >= code.base + code.size) {
+        item.pc = code.base;
+        item.blockLeft = item.profile.blockRunBytes;
+    }
+    return pc;
+}
+
+Addr
+CodeGenerator::dataAddr(WorkItem &item, bool chase)
+{
+    const Region &region = item.data;
+    if (region.size == 0)
+        return region.base;
+    switch (chase ? PatternKind::PointerChase : item.pattern) {
+      case PatternKind::Sequential:
+        {
+            Addr a = item.dataCursor;
+            item.dataCursor += item.stride;
+            if (item.dataCursor >= region.base + region.size)
+                item.dataCursor = region.base;
+            return a;
+        }
+      case PatternKind::Random:
+      case PatternKind::PointerChase:
+        {
+            std::uint64_t lines = std::max<std::uint64_t>(
+                region.size / 64, 1);
+            std::uint32_t pick = rng.range(
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    lines, 0xffffffffULL)));
+            return region.base + 64ULL * pick;
+        }
+      case PatternKind::Hot:
+        {
+            // 90% of accesses hit the first 10% of the region.
+            std::uint64_t hot = std::max<std::uint64_t>(
+                region.size / 10, 64);
+            std::uint64_t span = rng.chance(0.9) ? hot : region.size;
+            std::uint64_t lines = std::max<std::uint64_t>(
+                span / 64, 1);
+            std::uint32_t pick = rng.range(
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    lines, 0xffffffffULL)));
+            return region.base + 64ULL * pick;
+        }
+    }
+    return region.base;
+}
+
+MicroOp
+CodeGenerator::next()
+{
+    if (items.empty())
+        osp_panic("CodeGenerator::next() called with no work queued");
+    WorkItem &item = items.front();
+    MicroOp op = item.kind == WorkItem::Kind::Compute
+                     ? lowerCompute(item)
+                     : lowerCopy(item);
+    item.opsLeft -= 1;
+    if (item.opsLeft == 0) {
+        if (item.kind == WorkItem::Kind::Compute &&
+            item.pattern == PatternKind::Sequential) {
+            seqCursors[item.data.base] = item.dataCursor;
+        }
+        items.pop_front();
+    }
+    return op;
+}
+
+MicroOp
+CodeGenerator::lowerCompute(WorkItem &item)
+{
+    const CodeProfile &p = item.profile;
+    MicroOp op;
+    op.pc = nextPc(item);
+
+    double roll = rng.uniform();
+    bool chase = item.pattern == PatternKind::PointerChase;
+    if (roll < p.loadFrac) {
+        op.cls = OpClass::Load;
+        op.effAddr = dataAddr(item, chase);
+        op.execLat = 0;  // latency comes from the memory system
+        if (chase) {
+            // Serialize on the previous load (pointer dereference);
+            // opsSinceLoad is 1 when the previous op was a load.
+            op.depDist = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(opsSinceLoad, 255));
+        }
+    } else if (roll < p.loadFrac + p.storeFrac) {
+        op.cls = OpClass::Store;
+        op.effAddr = dataAddr(item, false);
+        op.execLat = 1;
+    } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac) {
+        op.cls = OpClass::Branch;
+        op.execLat = 1;
+        if (rng.chance(p.branchRandomFrac)) {
+            op.taken = rng.chance(0.5);
+        } else {
+            // Strongly biased (loop-like) branch; predictors learn it.
+            op.taken = !rng.chance(0.02);
+        }
+    } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac +
+                          p.fpFrac) {
+        op.cls = OpClass::FpAlu;
+        op.execLat = p.fpLatency;
+    } else {
+        op.cls = OpClass::IntAlu;
+        op.execLat = 1;
+    }
+
+    if (op.cls != OpClass::Load || !chase) {
+        if (rng.chance(p.depChance)) {
+            double mean = std::max(p.depDistMean, 1.0);
+            std::uint32_t d = rng.geometric(1.0 / mean);
+            op.depDist =
+                static_cast<std::uint8_t>(std::min<std::uint32_t>(
+                    d, 255));
+        }
+    }
+    opsSinceLoad = op.cls == OpClass::Load
+                       ? 1
+                       : std::min<std::uint32_t>(opsSinceLoad + 1,
+                                                 255);
+    return op;
+}
+
+MicroOp
+CodeGenerator::lowerCopy(WorkItem &item)
+{
+    MicroOp op;
+    op.pc = nextPc(item);
+    switch (item.copyPhase) {
+      case 0:
+        op.cls = OpClass::Load;
+        op.effAddr = item.srcCursor;
+        op.execLat = 0;
+        break;
+      case 1:
+        op.cls = OpClass::Store;
+        op.effAddr = item.dstCursor;
+        op.execLat = 1;
+        op.depDist = 1;  // stores the value just loaded
+        break;
+      case 2:
+        op.cls = OpClass::IntAlu;
+        op.execLat = 1;
+        break;
+      case 3:
+      default:
+        op.cls = OpClass::Branch;
+        op.execLat = 1;
+        op.taken = true;  // loop-closing branch, well predicted
+        item.srcCursor += 16;
+        item.dstCursor += 16;
+        if (item.src.size &&
+            item.srcCursor >= item.src.base + item.src.size) {
+            item.srcCursor = item.src.base;
+        }
+        if (item.dst.size &&
+            item.dstCursor >= item.dst.base + item.dst.size) {
+            item.dstCursor = item.dst.base;
+        }
+        break;
+    }
+    opsSinceLoad = op.cls == OpClass::Load
+                       ? 1
+                       : std::min<std::uint32_t>(opsSinceLoad + 1,
+                                                 255);
+    item.copyPhase = (item.copyPhase + 1) & 3;
+    return op;
+}
+
+} // namespace osp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lowering of declarative work items into MicroOp streams.
+ *
+ * Workloads and OS service handlers describe what a piece of code
+ * does ("run 1200 VFS-profile ops over the dentry region", "copy
+ * 16KB from the page cache to the user buffer") and the
+ * CodeGenerator turns that into a deterministic instruction stream.
+ *
+ * Determinism matters: the same plan produces the same instruction
+ * count whether it is consumed by the detailed timing models or by
+ * the fast emulator, which is precisely the property that makes the
+ * instruction count usable as a performance-behaviour signature
+ * (Sec. 3 of the paper).
+ */
+
+#ifndef OSP_SIM_CODEGEN_HH
+#define OSP_SIM_CODEGEN_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "code_profile.hh"
+#include "microop.hh"
+#include "util/random.hh"
+
+namespace osp
+{
+
+/**
+ * A queue of work items lowered lazily into MicroOps.
+ *
+ * Each instance owns its RNG, so two generators never perturb each
+ * other and a given (seed, stream) pair replays exactly.
+ */
+class CodeGenerator
+{
+  public:
+    explicit CodeGenerator(std::uint64_t seed, std::uint64_t stream);
+
+    /**
+     * Queue a generic compute block.
+     *
+     * @param profile  instruction mix / code footprint to draw from
+     * @param num_ops  exact number of MicroOps the block yields
+     * @param data     region loads and stores fall into
+     * @param pattern  how data accesses walk the region
+     * @param stride   stride for sequential patterns (bytes)
+     */
+    void pushCompute(const CodeProfile &profile, std::uint64_t num_ops,
+                     Region data,
+                     PatternKind pattern = PatternKind::Sequential,
+                     std::uint32_t stride = 64);
+
+    /**
+     * Queue a copy loop moving @p bytes from @p src to @p dst.
+     * Lowered as 4 ops per 16 bytes: load, store, index update,
+     * loop branch. Yields exactly 4 * ceil(bytes/16) ops.
+     */
+    void pushCopy(const CodeProfile &profile, std::uint64_t bytes,
+                  Region src, Region dst);
+
+    /** True when every queued item is exhausted. */
+    bool done() const { return items.empty(); }
+
+    /** Exact number of MicroOps left across all queued items. */
+    std::uint64_t pendingOps() const;
+
+    /** Produce the next MicroOp. Calling with done() is a panic. */
+    MicroOp next();
+
+    /** Drop all queued work. */
+    void clear() { items.clear(); }
+
+  private:
+    struct WorkItem
+    {
+        enum class Kind : std::uint8_t { Compute, Copy };
+        Kind kind = Kind::Compute;
+        CodeProfile profile;  //!< copied: callers may reuse/destroy
+        std::uint64_t opsLeft = 0;
+        // Data-access cursors.
+        Region data;
+        PatternKind pattern = PatternKind::Sequential;
+        std::uint32_t stride = 64;
+        Addr dataCursor = 0;
+        // Copy state.
+        Region src;
+        Region dst;
+        Addr srcCursor = 0;
+        Addr dstCursor = 0;
+        std::uint8_t copyPhase = 0;
+        // Fetch state.
+        Addr pc = 0;
+        std::uint32_t blockLeft = 0;
+    };
+
+    /** Pick a data address for the current item and advance cursors. */
+    Addr dataAddr(WorkItem &item, bool chase);
+
+    /** Advance the fetch point; returns the pc for the next op. */
+    Addr nextPc(WorkItem &item);
+
+    MicroOp lowerCompute(WorkItem &item);
+    MicroOp lowerCopy(WorkItem &item);
+
+    void startItem(WorkItem &item);
+
+    std::deque<WorkItem> items;
+    Pcg32 rng;
+    /** Dynamic distance (ops) since the last emitted load, for
+     *  pointer-chase dependence chains. */
+    std::uint32_t opsSinceLoad = 255;
+    /**
+     * Sequential-pattern cursors persisted across work items, keyed
+     * by region base: a streaming workload split into many compute
+     * blocks keeps walking forward instead of restarting at the
+     * region base each block.
+     */
+    std::unordered_map<Addr, Addr> seqCursors;
+};
+
+} // namespace osp
+
+#endif // OSP_SIM_CODEGEN_HH

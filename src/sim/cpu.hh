@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared CPU-model interface and parameters.
+ *
+ * The simulator supports the same detail levels the paper measures
+ * in Table 1 — in-order or out-of-order core, with or without the
+ * cache model attached — plus pure functional emulation. All timing
+ * models consume MicroOps one at a time and account cycles against
+ * an *interval* that the Machine opens and drains at every
+ * user/kernel mode switch; a mode switch serializes the pipeline,
+ * which is architecturally faithful (syscall/iret are serializing on
+ * x86) and gives each OS-service interval a well-defined cycle cost.
+ */
+
+#ifndef OSP_SIM_CPU_HH
+#define OSP_SIM_CPU_HH
+
+#include <cstdint>
+
+#include "branch_predictor.hh"
+#include "mem/hierarchy.hh"
+#include "microop.hh"
+#include "util/types.hh"
+
+namespace osp
+{
+
+/** Core parameters; defaults follow Sec. 5.1 (Pentium-4-like). */
+struct CpuParams
+{
+    std::uint32_t issueWidth = 4;       //!< fetch/issue width
+    std::uint32_t retireWidth = 3;      //!< commit width
+    std::uint32_t windowSize = 126;     //!< in-flight instructions
+    Cycles mispredictPenalty = 10;
+    std::uint32_t mshrs = 8;            //!< outstanding misses
+    /** Flat memory-access latency when no cache model is attached
+     *  (the "nocache" detail levels of Table 1). */
+    Cycles noCacheMemLatency = 2;
+};
+
+/**
+ * Interface of an interval-draining timing model.
+ *
+ * The memory hierarchy pointer may be null: that is the "nocache"
+ * configuration, where every access costs CpuParams::noCacheMemLatency.
+ */
+class CpuModel
+{
+  public:
+    virtual ~CpuModel() = default;
+
+    /** Account one instruction. */
+    virtual void execute(const MicroOp &op, Owner owner) = 0;
+
+    /**
+     * Close the current interval: complete everything in flight and
+     * return the cycles the interval consumed. The next interval
+     * starts from a serialized (empty) pipeline.
+     */
+    virtual Cycles drain() = 0;
+
+    /** Absolute cycle count since construction/reset. */
+    virtual Cycles now() const = 0;
+
+    /** Instructions executed since construction/reset. */
+    virtual InstCount instructions() const = 0;
+
+    /** Full reset (pipeline, clocks, statistics). */
+    virtual void reset() = 0;
+};
+
+} // namespace osp
+
+#endif // OSP_SIM_CPU_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simulation detail levels (the modes of the paper's Table 1, plus
+ * pure functional emulation used for fast-forwarding).
+ */
+
+#ifndef OSP_SIM_DETAIL_LEVEL_HH
+#define OSP_SIM_DETAIL_LEVEL_HH
+
+namespace osp
+{
+
+/** How much timing detail to model while executing instructions. */
+enum class DetailLevel
+{
+    Emulate,         //!< functional only: count instructions
+    InOrderNoCache,  //!< in-order core, flat memory
+    InOrderCache,    //!< in-order core + cache hierarchy
+    OooNoCache,      //!< out-of-order core, flat memory
+    OooCache,        //!< out-of-order core + cache hierarchy
+};
+
+/** Short display name for reports. */
+inline const char *
+detailLevelName(DetailLevel level)
+{
+    switch (level) {
+      case DetailLevel::Emulate: return "emulate";
+      case DetailLevel::InOrderNoCache: return "inorder-nocache";
+      case DetailLevel::InOrderCache: return "inorder-cache";
+      case DetailLevel::OooNoCache: return "ooo-nocache";
+      case DetailLevel::OooCache: return "ooo-cache";
+    }
+    return "?";
+}
+
+/** True if the level uses the cache hierarchy. */
+inline bool
+usesCaches(DetailLevel level)
+{
+    return level == DetailLevel::InOrderCache ||
+           level == DetailLevel::OooCache;
+}
+
+/** True if the level models timing at all. */
+inline bool
+isDetailed(DetailLevel level)
+{
+    return level != DetailLevel::Emulate;
+}
+
+} // namespace osp
+
+#endif // OSP_SIM_DETAIL_LEVEL_HH

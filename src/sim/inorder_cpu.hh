@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A single-issue in-order core with blocking memory accesses.
+ *
+ * This is the fast timing model of Table 1 ("inorder" rows): every
+ * instruction costs one cycle plus memory stalls plus branch
+ * misprediction penalties. With no cache model attached it runs at
+ * roughly 1 IPC, like Simics's in-order mode.
+ */
+
+#ifndef OSP_SIM_INORDER_CPU_HH
+#define OSP_SIM_INORDER_CPU_HH
+
+#include <vector>
+
+#include "cpu.hh"
+
+namespace osp
+{
+
+/** See file comment. */
+class InOrderCpu : public CpuModel
+{
+  public:
+    /**
+     * @param params    core parameters (mispredictPenalty and
+     *                  noCacheMemLatency are used)
+     * @param hierarchy cache model, or nullptr for flat memory
+     * @param bp        branch predictor, or nullptr to assume
+     *                  perfect prediction
+     */
+    InOrderCpu(const CpuParams &params, MemoryHierarchy *hierarchy,
+               GshareBp *bp);
+
+    void execute(const MicroOp &op, Owner owner) override;
+    Cycles drain() override;
+    Cycles now() const override { return now_; }
+    InstCount instructions() const override { return insts; }
+    void reset() override;
+
+  private:
+    CpuParams params;
+    MemoryHierarchy *hier;
+    GshareBp *bp;
+    Cycles now_ = 0;
+    Cycles intervalStart = 0;
+    InstCount insts = 0;
+    Addr lastFetchLine = ~static_cast<Addr>(0);
+    /** Write-buffer slots: store misses retire immediately unless
+     *  all slots are busy, bounding memory-system pressure. */
+    std::vector<Cycles> storeBusyUntil;
+};
+
+} // namespace osp
+
+#endif // OSP_SIM_INORDER_CPU_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The three interfaces the Machine binds together: the guest
+ * application (UserProgram), the guest kernel (KernelIface), and the
+ * acceleration controller (ServiceController).
+ *
+ * Layering: sim/ owns only the abstractions; os/ implements
+ * KernelIface, workload/ implements UserProgram, and core/ (the
+ * paper's contribution) implements ServiceController.
+ */
+
+#ifndef OSP_SIM_INTERFACES_HH
+#define OSP_SIM_INTERFACES_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "codegen.hh"
+#include "detail_level.hh"
+#include "mem/hierarchy.hh"
+#include "microop.hh"
+#include "service_types.hh"
+#include "util/types.hh"
+
+namespace osp
+{
+
+/**
+ * A guest application. The Machine pulls user-mode instructions from
+ * it; when the program needs the OS it raises a syscall instead of
+ * an instruction.
+ */
+class UserProgram
+{
+  public:
+    virtual ~UserProgram() = default;
+
+    /** What the program produced on this step. */
+    enum class Step
+    {
+        Op,       //!< @p op was filled with a user-mode instruction
+        Syscall,  //!< @p req was filled with a service request
+        Done,     //!< the program finished
+    };
+
+    /** Produce the next instruction or service request. */
+    virtual Step step(MicroOp &op, ServiceRequest &req) = 0;
+
+    /** Deliver the result of a completed synchronous service. */
+    virtual void onServiceReturn(ServiceType type,
+                                 ServiceResult result) = 0;
+
+    /**
+     * True while the program is still in its skipped warm-up phase
+     * (e.g. the first 300 HTTP requests of Sec. 5.2). The Machine
+     * runs warm-up in pure emulation and resets statistics when it
+     * ends.
+     */
+    virtual bool inWarmup() const { return false; }
+
+    /** Workload display name ("ab-rand", "du", ...). */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * A guest kernel. Functionally executes OS services (updating its
+ * own state: page cache, sockets, ...) and, when asked, plans the
+ * instruction stream the service executes. The plan is produced by
+ * the same call that updates state, so detailed simulation and fast
+ * emulation observe the identical instruction count — the
+ * mode-invariant signature the paper's predictor requires.
+ */
+class KernelIface
+{
+  public:
+    virtual ~KernelIface() = default;
+
+    /**
+     * Execute one service invocation functionally and, if @p gen is
+     * non-null, queue its instruction plan into @p gen.
+     *
+     * @param type service type
+     * @param args user-provided arguments
+     * @param now  retired-instruction count at entry (for scheduling
+     *             deferred interrupts)
+     * @param gen  plan sink, or nullptr for functional-only
+     *             execution (application-only simulation)
+     */
+    virtual ServiceResult invoke(ServiceType type,
+                                 const SyscallArgs &args,
+                                 InstCount now,
+                                 CodeGenerator *gen) = 0;
+
+    /**
+     * The next interrupt due at or before the given
+     * retired-instruction count, if any. Arrival is keyed to
+     * instruction counts, not cycles, so detailed and emulated runs
+     * observe identical interrupt schedules.
+     */
+    virtual std::optional<ServiceRequest>
+    pendingInterrupt(InstCount now) = 0;
+
+    /**
+     * Record a user-mode touch of @p addr; returns true if it
+     * page-faults (first touch of the page), in which case the
+     * Machine runs the Int_14 service before the access.
+     */
+    virtual bool touchUserPage(Addr addr) = 0;
+};
+
+/**
+ * Decides, per OS-service invocation, whether to simulate in detail
+ * (learning) or skip to emulation and predict (prediction) — the
+ * paper's core mechanism. Implemented by core/Accelerator; a null
+ * controller means every service is fully simulated.
+ */
+class ServiceController
+{
+  public:
+    /** Cycle/miss prediction for an emulated invocation. */
+    struct Prediction
+    {
+        Cycles cycles = 0;
+        HierarchyCounts mem;  //!< predicted per-interval cache deltas
+    };
+
+    /** One finished OS-service interval. */
+    struct IntervalOutcome
+    {
+        ServiceType type = ServiceType::SysRead;
+        /** Per-type invocation index (0-based). */
+        std::uint64_t invocation = 0;
+        InstCount insts = 0;      //!< the signature
+        /** Instruction mix (populated when wantsOpMix(), or when
+         *  the interval's op stream was consumed anyway). */
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t branches = 0;
+        bool detailed = false;    //!< fully simulated?
+        Cycles cycles = 0;        //!< valid when detailed
+        HierarchyCounts mem;      //!< valid when detailed
+    };
+
+    virtual ~ServiceController() = default;
+
+    /**
+     * Controllers using instruction-mix signatures return true so
+     * the Machine tallies per-class counts even in emulation (it
+     * then always lowers the op stream instead of taking the
+     * analytic-count shortcut).
+     */
+    virtual bool wantsOpMix() const { return false; }
+
+    /** Choose the detail level for the next invocation of @p type. */
+    virtual DetailLevel chooseLevel(ServiceType type) = 0;
+
+    /**
+     * Consume a finished interval. For a detailed interval the
+     * return value is ignored; for an emulated interval the
+     * controller must return its performance prediction, which the
+     * Machine adds to the run totals and uses to inject cache
+     * pollution.
+     */
+    virtual Prediction onServiceEnd(const IntervalOutcome &outcome) = 0;
+};
+
+} // namespace osp
+
+#endif // OSP_SIM_INTERFACES_HH

@@ -1,0 +1,401 @@
+#include "machine.hh"
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+const char *
+pollutionPolicyName(PollutionPolicy policy)
+{
+    switch (policy) {
+      case PollutionPolicy::None: return "none";
+      case PollutionPolicy::PaperInvalidateApp:
+        return "paper-invalidate-app";
+      case PollutionPolicy::InvalidateAny: return "invalidate-any";
+      case PollutionPolicy::SyntheticInstall:
+        return "synthetic-install";
+      case PollutionPolicy::Footprint: return "footprint";
+    }
+    return "?";
+}
+
+Machine::Machine(const MachineConfig &config,
+                 std::unique_ptr<UserProgram> workload,
+                 std::unique_ptr<KernelIface> kernel)
+    : config_(config),
+      workload_(std::move(workload)),
+      kernel_(std::move(kernel)),
+      hier(config_.hier),
+      bp(12),
+      inorder(config_.cpu, &hier, &bp),
+      inorderNoCache(config_.cpu, nullptr, &bp),
+      ooo(config_.cpu, &hier, &bp),
+      oooNoCache(config_.cpu, nullptr, &bp),
+      pollutionRng(config_.seed, 0x9011ULL)
+{
+    if (!workload_)
+        osp_fatal("Machine requires a workload");
+    if (!kernel_ && !config_.appOnly)
+        osp_fatal("Machine requires a kernel unless appOnly is set");
+}
+
+void
+Machine::setController(ServiceController *ctrl)
+{
+    controller = ctrl;
+}
+
+CpuModel &
+Machine::engine()
+{
+    switch (config_.level) {
+      case DetailLevel::InOrderCache: return inorder;
+      case DetailLevel::InOrderNoCache: return inorderNoCache;
+      case DetailLevel::OooCache: return ooo;
+      case DetailLevel::OooNoCache: return oooNoCache;
+      case DetailLevel::Emulate: break;
+    }
+    osp_panic("engine() requested for Emulate detail level");
+}
+
+void
+Machine::execOp(const MicroOp &op, Owner owner, DetailLevel level)
+{
+    if (isDetailed(level))
+        engine().execute(op, owner);
+    if (owner == Owner::App)
+        ++totals_.appInsts;
+    else
+        ++totals_.osInsts;
+}
+
+void
+Machine::drainInto(Owner owner)
+{
+    if (!isDetailed(config_.level))
+        return;
+    Cycles cycles = engine().drain();
+    if (cycles == 0)
+        return;
+    if (owner == Owner::App)
+        totals_.appCycles += cycles;
+    else
+        totals_.osSimCycles += cycles;
+}
+
+void
+Machine::deliverInterrupts()
+{
+    while (auto irq = kernel_->pendingInterrupt(totals_.totalInsts()))
+        runService(*irq);
+}
+
+void
+Machine::runService(const ServiceRequest &req)
+{
+    auto type_idx = static_cast<int>(req.type);
+
+    // Decide the detail level for this invocation.
+    DetailLevel level;
+    if (!warmupDone) {
+        level = DetailLevel::Emulate;
+    } else if (controller && isDetailed(config_.level)) {
+        DetailLevel chosen = controller->chooseLevel(req.type);
+        // Any detailed choice maps onto the run's detail engine so
+        // one run uses a single consistent timing model.
+        level = isDetailed(chosen) ? config_.level
+                                   : DetailLevel::Emulate;
+    } else {
+        level = config_.level;
+    }
+    bool detailed = isDetailed(level);
+
+    // Close the application segment.
+    drainInto(Owner::App);
+
+    // Functional execution + plan. A fresh generator per invocation,
+    // seeded by the global invocation sequence, keeps the stream
+    // identical regardless of the chosen detail level.
+    CodeGenerator gen(config_.seed, 0x05ECA11ULL + ++serviceSeq);
+    HierarchyCounts before = hier.counts();
+    ServiceResult result = kernel_->invoke(
+        req.type, req.args, totals_.totalInsts(), &gen);
+
+    InstCount n = 0;
+    std::uint64_t mix_loads = 0;
+    std::uint64_t mix_stores = 0;
+    std::uint64_t mix_branches = 0;
+    bool need_mix = controller && controller->wantsOpMix();
+    auto tally = [&](const MicroOp &op) {
+        switch (op.cls) {
+          case OpClass::Load: ++mix_loads; break;
+          case OpClass::Store: ++mix_stores; break;
+          case OpClass::Branch: ++mix_branches; break;
+          default: break;
+        }
+    };
+    if (detailed) {
+        while (!gen.done()) {
+            MicroOp op = gen.next();
+            engine().execute(op, Owner::Os);
+            tally(op);
+            ++n;
+        }
+    } else if (config_.pollutionPolicy == PollutionPolicy::Footprint
+               && usesCaches(config_.level) && warmupDone) {
+        // Emulate, reservoir-sampling the interval's real addresses
+        // for footprint-faithful pollution injection below.
+        dataSample.clear();
+        codeSample.clear();
+        std::uint64_t data_seen = 0;
+        std::uint64_t code_seen = 0;
+        constexpr std::size_t dataCap = 2048;
+        constexpr std::size_t codeCap = 512;
+        while (!gen.done()) {
+            MicroOp op = gen.next();
+            tally(op);
+            ++n;
+            if (config_.bpWarming && op.cls == OpClass::Branch)
+                bp.predictAndUpdate(op.pc, op.taken);
+            if (op.cls == OpClass::Load ||
+                op.cls == OpClass::Store) {
+                ++data_seen;
+                if (dataSample.size() < dataCap) {
+                    dataSample.push_back(op.effAddr);
+                } else {
+                    std::uint32_t j = pollutionRng.range(
+                        static_cast<std::uint32_t>(data_seen));
+                    if (j < dataCap)
+                        dataSample[j] = op.effAddr;
+                }
+            }
+            if ((n & 15) == 0) {
+                ++code_seen;
+                if (codeSample.size() < codeCap) {
+                    codeSample.push_back(op.pc);
+                } else {
+                    std::uint32_t j = pollutionRng.range(
+                        static_cast<std::uint32_t>(code_seen));
+                    if (j < codeCap)
+                        codeSample[j] = op.pc;
+                }
+            }
+        }
+    } else {
+        bool warm_bp = config_.bpWarming && warmupDone &&
+                       isDetailed(config_.level);
+        if (!warm_bp && !need_mix) {
+            // Nothing consumes the op stream: the plan's size is
+            // known analytically, which is the fastest emulation
+            // mode (a fresh generator serves each invocation, so
+            // skipping the lowering perturbs nothing).
+            n = gen.pendingOps();
+            gen.clear();
+        } else {
+            while (!gen.done()) {
+                MicroOp op = gen.next();
+                tally(op);
+                ++n;
+                if (warm_bp && op.cls == OpClass::Branch)
+                    bp.predictAndUpdate(op.pc, op.taken);
+            }
+        }
+    }
+    totals_.osInsts += n;
+
+    Cycles sim_cycles = 0;
+    HierarchyCounts mem_delta;
+    if (detailed) {
+        sim_cycles = engine().drain();
+        totals_.osSimCycles += sim_cycles;
+        mem_delta = hier.counts() - before;
+    }
+
+    if (!warmupDone) {
+        lastServiceResult = result;
+        return;
+    }
+
+    std::uint64_t invocation = invocationIndex[type_idx]++;
+    ++totals_.osInvocations;
+    auto &svc = totals_.perService[type_idx];
+    ++svc.invocations;
+    svc.insts += n;
+
+    ServiceController::Prediction pred;
+    if (controller) {
+        ServiceController::IntervalOutcome outcome;
+        outcome.type = req.type;
+        outcome.invocation = invocation;
+        outcome.insts = n;
+        outcome.loads = mix_loads;
+        outcome.stores = mix_stores;
+        outcome.branches = mix_branches;
+        outcome.detailed = detailed;
+        outcome.cycles = sim_cycles;
+        outcome.mem = mem_delta;
+        pred = controller->onServiceEnd(outcome);
+    }
+
+    IntervalRecord rec;
+    rec.type = req.type;
+    rec.invocation = invocation;
+    rec.insts = n;
+    rec.detailed = detailed;
+
+    if (detailed) {
+        ++totals_.osSimulated;
+        ++svc.simulated;
+        svc.cycles += sim_cycles;
+        rec.cycles = sim_cycles;
+        rec.mem = mem_delta;
+    } else {
+        ++totals_.osPredicted;
+        ++svc.predicted;
+        totals_.osPredInsts += n;
+        totals_.osPredCycles += pred.cycles;
+        totals_.predictedMem += pred.mem;
+        svc.cycles += pred.cycles;
+        rec.cycles = pred.cycles;
+        rec.mem = pred.mem;
+        // Model the skipped service's displacement of cached state
+        // (Sec. 4.5 and DESIGN.md).
+        if (usesCaches(config_.level)) {
+            switch (config_.pollutionPolicy) {
+              case PollutionPolicy::None:
+                break;
+              case PollutionPolicy::PaperInvalidateApp:
+                hier.pollute(pred.mem.l1iMisses,
+                             pred.mem.l1dMisses, pred.mem.l2Misses,
+                             Cache::PollutionMode::InvalidateApp);
+                break;
+              case PollutionPolicy::InvalidateAny:
+                hier.pollute(pred.mem.l1iMisses,
+                             pred.mem.l1dMisses, pred.mem.l2Misses,
+                             Cache::PollutionMode::InvalidateAny);
+                break;
+              case PollutionPolicy::SyntheticInstall:
+                hier.pollute(pred.mem.l1iMisses,
+                             pred.mem.l1dMisses, pred.mem.l2Misses,
+                             Cache::PollutionMode::Install);
+                break;
+              case PollutionPolicy::Footprint:
+                {
+                    // First pass: install the sampled real
+                    // footprint, so the skipped service's own hot
+                    // state stays resident. Installs that find the
+                    // line already cached displace nothing, so a
+                    // second pass injects synthetic displacement for
+                    // whatever remains of the predicted miss counts.
+                    std::uint64_t l1d_fills = 0;
+                    std::uint64_t l1i_fills = 0;
+                    std::uint64_t l2_fills = 0;
+                    for (std::uint64_t k = 0;
+                         k < pred.mem.l1dMisses &&
+                         !dataSample.empty();
+                         ++k) {
+                        auto out = hier.installLine(
+                            dataSample[k % dataSample.size()],
+                            false, Owner::Os);
+                        l1d_fills += out.l1Fill;
+                        l2_fills += out.l2Fill;
+                    }
+                    for (std::uint64_t k = 0;
+                         k < pred.mem.l1iMisses &&
+                         !codeSample.empty();
+                         ++k) {
+                        auto out = hier.installLine(
+                            codeSample[k % codeSample.size()], true,
+                            Owner::Os);
+                        l1i_fills += out.l1Fill;
+                        l2_fills += out.l2Fill;
+                    }
+                    auto rest = [](std::uint64_t want,
+                                   std::uint64_t got) {
+                        return want > got ? want - got : 0;
+                    };
+                    hier.pollute(
+                        rest(pred.mem.l1iMisses, l1i_fills),
+                        rest(pred.mem.l1dMisses, l1d_fills),
+                        rest(pred.mem.l2Misses, l2_fills),
+                        Cache::PollutionMode::Install);
+                }
+                break;
+            }
+        }
+    }
+
+    if (config_.recordIntervals)
+        intervals_.push_back(rec);
+
+    lastServiceResult = result;
+}
+
+const RunTotals &
+Machine::run(InstCount max_insts)
+{
+    if (running)
+        osp_panic("Machine::run() may only be called once");
+    running = true;
+
+    warmupDone = !workload_->inWarmup();
+
+    MicroOp op;
+    ServiceRequest req;
+    for (;;) {
+        if (max_insts && totals_.totalInsts() >= max_insts)
+            break;
+
+        if (!warmupDone && !workload_->inWarmup()) {
+            // Warm-up just ended: functional state (page cache,
+            // sockets, predictor-visible history) is warm; discard
+            // the statistics gathered so far.
+            warmupDone = true;
+            totals_ = RunTotals();
+            intervals_.clear();
+        }
+
+        UserProgram::Step s = workload_->step(op, req);
+        if (s == UserProgram::Step::Done)
+            break;
+
+        if (s == UserProgram::Step::Op) {
+            DetailLevel lvl =
+                warmupDone ? config_.level : DetailLevel::Emulate;
+            if (!config_.appOnly &&
+                (op.cls == OpClass::Load ||
+                 op.cls == OpClass::Store)) {
+                if (kernel_->touchUserPage(op.effAddr)) {
+                    ServiceRequest fault;
+                    fault.type = ServiceType::IntPageFault;
+                    fault.args.arg0 = op.effAddr;
+                    runService(fault);
+                }
+            }
+            execOp(op, Owner::App, lvl);
+            if (!config_.appOnly)
+                deliverInterrupts();
+        } else {
+            if (config_.appOnly) {
+                ServiceResult res =
+                    kernel_ ? kernel_->invoke(req.type, req.args,
+                                              totals_.totalInsts(),
+                                              nullptr)
+                            : ServiceResult();
+                workload_->onServiceReturn(req.type, res);
+            } else {
+                runService(req);
+                workload_->onServiceReturn(req.type,
+                                           lastServiceResult);
+                deliverInterrupts();
+            }
+        }
+    }
+
+    drainInto(Owner::App);
+    totals_.measuredMem = hier.counts();
+    return totals_;
+}
+
+} // namespace osp

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The full-system simulator: binds a guest application, a guest
+ * kernel, the CPU timing models and the memory hierarchy, and runs
+ * them with per-interval switchable detail — the capability the
+ * paper had to assume Simics would eventually grow (Sec. 6.4).
+ *
+ * Execution alternates between user mode (instructions pulled from
+ * the UserProgram) and kernel mode (OS-service intervals planned by
+ * the KernelIface). Every mode switch drains the active timing
+ * model, so each interval has a well-defined cycle cost, and raises
+ * events that a ServiceController (the paper's learning/prediction
+ * engine) can use to decide whether the next OS-service invocation
+ * is simulated in detail or fast-forwarded in emulation.
+ */
+
+#ifndef OSP_SIM_MACHINE_HH
+#define OSP_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "branch_predictor.hh"
+#include "codegen.hh"
+#include "cpu.hh"
+#include "util/random.hh"
+#include "detail_level.hh"
+#include "inorder_cpu.hh"
+#include "interfaces.hh"
+#include "mem/hierarchy.hh"
+#include "ooo_cpu.hh"
+#include "service_types.hh"
+#include "util/types.hh"
+
+namespace osp
+{
+
+/**
+ * How a predicted (emulated) OS-service interval's cache side
+ * effects are modelled.
+ */
+enum class PollutionPolicy
+{
+    /** No pollution modeling at all (ablation baseline). */
+    None,
+    /** The paper's Sec. 4.5 model: invalidate predicted-miss-count
+     *  application-owned victims in uniformly random sets. */
+    PaperInvalidateApp,
+    /** As above but victims may be any line. */
+    InvalidateAny,
+    /** Replace victims with synthetic never-hit lines: full
+     *  capacity displacement, no footprint reuse. */
+    SyntheticInstall,
+    /**
+     * Footprint-faithful: install predicted-miss-count lines with
+     * *real* addresses reservoir-sampled from the emulated
+     * instruction stream (which the Machine iterates anyway for the
+     * signature), so the skipped service both displaces other
+     * content and keeps its own hot lines resident. Costs
+     * O(predicted misses) per skipped interval — no timing models
+     * involved.
+     */
+    Footprint,
+};
+
+/** Display name for reports. */
+const char *pollutionPolicyName(PollutionPolicy policy);
+
+/** Whole-machine configuration. */
+struct MachineConfig
+{
+    HierarchyParams hier;
+    CpuParams cpu;
+    /** Timing model used for detailed portions. */
+    DetailLevel level = DetailLevel::OooCache;
+    /** Application-only simulation: OS services complete
+     *  functionally in zero simulated time (the SimpleScalar-style
+     *  baseline of Figs. 1-2). */
+    bool appOnly = false;
+    /** Master seed; everything stochastic derives from it. */
+    std::uint64_t seed = 1;
+    /** Keep a per-interval log of OS services (Figs. 3-5). */
+    bool recordIntervals = false;
+    /**
+     * Cache-pollution model for predicted OS intervals (see
+     * DESIGN.md and the abl4 bench).
+     */
+    PollutionPolicy pollutionPolicy = PollutionPolicy::Footprint;
+    /**
+     * Keep updating the branch predictor from emulated OS-service
+     * branches. The (pc, direction) stream is identical in
+     * emulation and detailed simulation, so this reproduces the
+     * full run's predictor state exactly at table-update cost — it
+     * models the OS's pollution of app branch-prediction state,
+     * which the cache-only pollution model misses.
+     */
+    bool bpWarming = true;
+};
+
+/** One logged OS-service interval (recordIntervals mode). */
+struct IntervalRecord
+{
+    ServiceType type = ServiceType::SysRead;
+    std::uint64_t invocation = 0;  //!< per-type index, post-warmup
+    InstCount insts = 0;
+    bool detailed = false;
+    Cycles cycles = 0;            //!< simulated or predicted
+    HierarchyCounts mem;          //!< simulated or predicted
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(insts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Per-service aggregate of a run. */
+struct ServiceTotals
+{
+    std::uint64_t invocations = 0;
+    std::uint64_t simulated = 0;   //!< fully simulated (learning)
+    std::uint64_t predicted = 0;   //!< emulated + predicted
+    InstCount insts = 0;
+    Cycles cycles = 0;             //!< simulated + predicted cycles
+};
+
+/** Whole-run totals. */
+struct RunTotals
+{
+    InstCount appInsts = 0;
+    InstCount osInsts = 0;
+    /** Of osInsts, those executed in emulation (prediction
+     *  periods) — the X of the paper's Eq. 10. */
+    InstCount osPredInsts = 0;
+    Cycles appCycles = 0;
+    Cycles osSimCycles = 0;    //!< from detailed OS intervals
+    Cycles osPredCycles = 0;   //!< from predicted OS intervals
+    std::uint64_t osInvocations = 0;
+    std::uint64_t osSimulated = 0;
+    std::uint64_t osPredicted = 0;
+    /** Measured memory-system counters (detailed portions). */
+    HierarchyCounts measuredMem;
+    /** Predicted memory-system counters (emulated OS intervals). */
+    HierarchyCounts predictedMem;
+    std::array<ServiceTotals, numServiceTypes> perService{};
+
+    /** Total simulated time: app + simulated OS + predicted OS. */
+    Cycles
+    totalCycles() const
+    {
+        return appCycles + osSimCycles + osPredCycles;
+    }
+
+    /** Total retired instructions (app + OS). */
+    InstCount totalInsts() const { return appInsts + osInsts; }
+
+    /** Combined IPC. */
+    double
+    ipc() const
+    {
+        Cycles c = totalCycles();
+        return c ? static_cast<double>(totalInsts()) /
+                       static_cast<double>(c)
+                 : 0.0;
+    }
+
+    /** Fraction of instructions executed in kernel mode. */
+    double
+    osInstFraction() const
+    {
+        InstCount t = totalInsts();
+        return t ? static_cast<double>(osInsts) /
+                       static_cast<double>(t)
+                 : 0.0;
+    }
+
+    /** Prediction coverage: fraction of OS invocations skipped. */
+    double
+    coverage() const
+    {
+        return osInvocations
+                   ? static_cast<double>(osPredicted) /
+                         static_cast<double>(osInvocations)
+                   : 0.0;
+    }
+
+    /** Combined (measured + predicted) memory counters. */
+    HierarchyCounts
+    combinedMem() const
+    {
+        HierarchyCounts c = measuredMem;
+        c += predictedMem;
+        return c;
+    }
+};
+
+/**
+ * The simulator. Construct with a config, a workload and a kernel;
+ * optionally attach a ServiceController; call run().
+ */
+class Machine
+{
+  public:
+    Machine(const MachineConfig &config,
+            std::unique_ptr<UserProgram> workload,
+            std::unique_ptr<KernelIface> kernel);
+
+    /** Attach (or detach, with nullptr) the acceleration
+     *  controller. Not owned; must outlive the run. */
+    void setController(ServiceController *controller);
+
+    /**
+     * Run until the workload completes or @p max_insts total
+     * instructions retire (0 = no limit). Returns the totals, which
+     * stay accessible via totals() afterwards.
+     */
+    const RunTotals &run(InstCount max_insts = 0);
+
+    const RunTotals &totals() const { return totals_; }
+
+    /** Per-interval log (only populated with recordIntervals). */
+    const std::vector<IntervalRecord> &intervals() const
+    {
+        return intervals_;
+    }
+
+    MemoryHierarchy &hierarchy() { return hier; }
+    const MachineConfig &config() const { return config_; }
+    const GshareBp &branchPredictor() const { return bp; }
+    UserProgram &workload() { return *workload_; }
+    KernelIface &kernel() { return *kernel_; }
+
+  private:
+    /** Execute one instruction at the given level. */
+    void execOp(const MicroOp &op, Owner owner, DetailLevel level);
+
+    /** Run one complete OS-service interval. */
+    void runService(const ServiceRequest &req);
+
+    /** Deliver all interrupts due at the current instruction count. */
+    void deliverInterrupts();
+
+    /** The timing model selected by the run's detail level. */
+    CpuModel &engine();
+
+    /** Drain the engine and credit cycles to @p owner. */
+    void drainInto(Owner owner);
+
+    MachineConfig config_;
+    std::unique_ptr<UserProgram> workload_;
+    std::unique_ptr<KernelIface> kernel_;
+    ServiceController *controller = nullptr;
+
+    MemoryHierarchy hier;
+    GshareBp bp;
+    InOrderCpu inorder;
+    InOrderCpu inorderNoCache;
+    OooCpu ooo;
+    OooCpu oooNoCache;
+
+    RunTotals totals_;
+    std::vector<IntervalRecord> intervals_;
+    std::array<std::uint64_t, numServiceTypes> invocationIndex{};
+    std::uint64_t serviceSeq = 0;  //!< global invocation counter
+    ServiceResult lastServiceResult;
+    bool warmupDone = false;
+    bool running = false;
+
+    /** Footprint-pollution reservoirs (reused across intervals). */
+    Pcg32 pollutionRng;
+    std::vector<Addr> dataSample;
+    std::vector<Addr> codeSample;
+};
+
+} // namespace osp
+
+#endif // OSP_SIM_MACHINE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fixed-bin 1-D histograms and 2-D "bubble" histograms.
+ *
+ * Figure 5 of the paper plots occurrences of sys_read invocations in
+ * (instruction-count x cycle-count) bins of 1000 instructions by 4000
+ * cycles, with bubble area proportional to the bin population.
+ * BubbleHistogram reproduces that binning exactly.
+ */
+
+#ifndef OSP_STATS_HISTOGRAM_HH
+#define OSP_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace osp
+{
+
+/**
+ * A 1-D histogram with uniform bin width. Bin i covers
+ * [origin + i*width, origin + (i+1)*width).
+ */
+class Histogram
+{
+  public:
+    /** @param bin_width width of every bin (must be > 0)
+     *  @param origin    left edge of bin 0 */
+    explicit Histogram(double bin_width, double origin = 0.0);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Index of the bin a value falls into (may be negative). */
+    std::int64_t binOf(double x) const;
+
+    /** Center of the given bin. */
+    double binCenter(std::int64_t bin) const;
+
+    /** Population of the given bin (0 if never touched). */
+    std::uint64_t countAt(std::int64_t bin) const;
+
+    /** Total number of samples added. */
+    std::uint64_t totalCount() const { return total; }
+
+    /** All non-empty bins in ascending bin order. */
+    std::vector<std::pair<std::int64_t, std::uint64_t>> nonEmpty()
+        const;
+
+  private:
+    double binWidth;
+    double origin;
+    std::uint64_t total = 0;
+    std::map<std::int64_t, std::uint64_t> bins;
+};
+
+/**
+ * A sparse 2-D histogram over (x, y) bins; each non-empty cell is a
+ * "bubble" whose weight is its population (Fig. 5).
+ */
+class BubbleHistogram
+{
+  public:
+    /** A non-empty (x-bin, y-bin) cell. */
+    struct Bubble
+    {
+        std::int64_t xBin;       //!< x bin index
+        std::int64_t yBin;       //!< y bin index
+        double xCenter;          //!< center of the x bin
+        double yCenter;          //!< center of the y bin
+        std::uint64_t count;     //!< population
+    };
+
+    /** @param x_bin_width width of x bins (e.g. 1000 instructions)
+     *  @param y_bin_width width of y bins (e.g. 4000 cycles) */
+    BubbleHistogram(double x_bin_width, double y_bin_width);
+
+    /** Add one (x, y) sample. */
+    void add(double x, double y);
+
+    /** Total number of samples added. */
+    std::uint64_t totalCount() const { return total; }
+
+    /** Number of non-empty cells (distinct bubbles). */
+    std::size_t numBubbles() const { return cells.size(); }
+
+    /** All bubbles, sorted by (xBin, yBin). */
+    std::vector<Bubble> bubbles() const;
+
+  private:
+    double xWidth;
+    double yWidth;
+    std::uint64_t total = 0;
+    std::map<std::pair<std::int64_t, std::int64_t>, std::uint64_t>
+        cells;
+};
+
+} // namespace osp
+
+#endif // OSP_STATS_HISTOGRAM_HH

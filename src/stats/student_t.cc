@@ -1,0 +1,138 @@
+#include "student_t.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "running_stats.hh"
+#include "util/logging.hh"
+
+namespace osp
+{
+
+namespace
+{
+
+/** Degrees of freedom rows of the embedded critical-value table. */
+const std::uint64_t tableDf[] = {
+    1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14,
+    15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28,
+    29, 30, 40, 60, 120,
+};
+
+constexpr int numRows = sizeof(tableDf) / sizeof(tableDf[0]);
+
+/** One-sided critical values, alpha = 0.10. */
+const double t010[] = {
+    3.078, 1.886, 1.638, 1.533, 1.476, 1.440, 1.415, 1.397, 1.383,
+    1.372, 1.363, 1.356, 1.350, 1.345, 1.341, 1.337, 1.333, 1.330,
+    1.328, 1.325, 1.323, 1.321, 1.319, 1.318, 1.316, 1.315, 1.314,
+    1.313, 1.311, 1.310, 1.303, 1.296, 1.289,
+};
+const double t010inf = 1.282;
+
+/** One-sided critical values, alpha = 0.05. */
+const double t005[] = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+    1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+    1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+    1.701, 1.699, 1.697, 1.684, 1.671, 1.658,
+};
+const double t005inf = 1.645;
+
+/** One-sided critical values, alpha = 0.025. */
+const double t0025[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048,  2.045, 2.042, 2.021, 2.000, 1.980,
+};
+const double t0025inf = 1.960;
+
+/** One-sided critical values, alpha = 0.01. */
+const double t001[] = {
+    31.821, 6.965, 4.541, 3.747, 3.365, 3.143, 2.998, 2.896, 2.821,
+    2.764,  2.718, 2.681, 2.650, 2.624, 2.602, 2.583, 2.567, 2.552,
+    2.539,  2.528, 2.518, 2.508, 2.500, 2.492, 2.485, 2.479, 2.473,
+    2.467,  2.462, 2.457, 2.423, 2.390, 2.358,
+};
+const double t001inf = 2.326;
+
+struct AlphaTable
+{
+    double alpha;
+    const double *values;
+    double infValue;
+};
+
+const AlphaTable alphaTables[] = {
+    {0.10, t010, t010inf},
+    {0.05, t005, t005inf},
+    {0.025, t0025, t0025inf},
+    {0.01, t001, t001inf},
+};
+
+const AlphaTable *
+findTable(double alpha)
+{
+    for (const auto &table : alphaTables) {
+        if (std::fabs(table.alpha - alpha) < 1e-9)
+            return &table;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+double
+studentTCritical(std::uint64_t df, double alpha)
+{
+    if (df < 1)
+        osp_fatal("studentTCritical: df must be >= 1");
+    const AlphaTable *table = findTable(alpha);
+    if (!table) {
+        osp_fatal("studentTCritical: unsupported alpha ", alpha,
+                  " (supported: 0.10, 0.05, 0.025, 0.01)");
+    }
+
+    // Exact row?
+    for (int i = 0; i < numRows; ++i) {
+        if (tableDf[i] == df)
+            return table->values[i];
+    }
+    if (df > tableDf[numRows - 1]) {
+        // Interpolate between the last row and infinity in 1/df.
+        double x0 = 1.0 / static_cast<double>(tableDf[numRows - 1]);
+        double x = 1.0 / static_cast<double>(df);
+        double y0 = table->values[numRows - 1];
+        double yinf = table->infValue;
+        return yinf + (y0 - yinf) * (x / x0);
+    }
+    // Between two tabulated rows (only possible for df in (30, 120)
+    // not equal to 40/60; dense rows cover df <= 30).
+    for (int i = 0; i + 1 < numRows; ++i) {
+        if (tableDf[i] < df && df < tableDf[i + 1]) {
+            double x0 = 1.0 / static_cast<double>(tableDf[i]);
+            double x1 = 1.0 / static_cast<double>(tableDf[i + 1]);
+            double x = 1.0 / static_cast<double>(df);
+            double y0 = table->values[i];
+            double y1 = table->values[i + 1];
+            return y1 + (y0 - y1) * (x - x1) / (x0 - x1);
+        }
+    }
+    osp_panic("studentTCritical: unreachable df lookup for df=", df);
+}
+
+double
+epoUpperBound(const std::vector<double> &epos, double alpha)
+{
+    if (epos.size() < 2)
+        return std::numeric_limits<double>::infinity();
+    RunningStats stats;
+    for (double epo : epos)
+        stats.add(epo);
+    double m = static_cast<double>(epos.size());
+    double t = studentTCritical(epos.size() - 1, alpha);
+    return stats.mean() + t * stats.sampleStddev() / std::sqrt(m);
+}
+
+} // namespace osp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * One-sided Student's-t critical values and the EPO upper bound of
+ * Eq. 8.
+ *
+ * The Statistical re-learning strategy (Sec. 4.4) collects estimated
+ * probabilities of occurrence (EPOs) p_y^1..p_y^m of an outlier
+ * cluster y and upper-bounds the true probability of occurrence with
+ *
+ *     B_y = mean(EPO) + t_{m-1, alpha} * stddev(EPO) / sqrt(m)
+ *
+ * at 95% one-sided confidence (alpha = 0.05). Re-learning triggers
+ * when B_y >= p_min, i.e. when we can no longer be 95% confident the
+ * cluster is too rare to matter.
+ */
+
+#ifndef OSP_STATS_STUDENT_T_HH
+#define OSP_STATS_STUDENT_T_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace osp
+{
+
+/**
+ * One-sided critical value t_{df, alpha} of Student's t
+ * distribution.
+ *
+ * Supported alpha values: 0.10, 0.05, 0.025, 0.01 (anything else is
+ * a fatal configuration error). df must be >= 1; values between
+ * table rows are linearly interpolated in 1/df, which matches the
+ * standard-table convention for large df.
+ */
+double studentTCritical(std::uint64_t df, double alpha);
+
+/**
+ * The Eq. 8 upper bound B_y on a true probability given sample
+ * estimates.
+ *
+ * @param epos  the collected estimates (m >= 2 required; with m < 2
+ *              the bound is meaningless and +infinity is returned)
+ * @param alpha one-sided significance level (paper: 0.05)
+ */
+double epoUpperBound(const std::vector<double> &epos,
+                     double alpha = 0.05);
+
+} // namespace osp
+
+#endif // OSP_STATS_STUDENT_T_HH

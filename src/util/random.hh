@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator owns a Pcg32 seeded
+ * from a (seed, stream) pair, so whole experiments replay exactly
+ * from a single seed and components do not perturb each other's
+ * sequences when one of them draws more numbers.
+ *
+ * PCG32 (O'Neill, 2014): 64-bit LCG state with an output permutation;
+ * small, fast, and statistically far better than rand().
+ */
+
+#ifndef OSP_UTIL_RANDOM_HH
+#define OSP_UTIL_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace osp
+{
+
+/**
+ * A PCG-XSH-RR 32-bit pseudo-random generator with an explicit
+ * stream id. Distinct stream ids produce independent sequences even
+ * under the same seed.
+ */
+class Pcg32
+{
+  public:
+    /** Construct from a seed and a stream selector. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        reseed(seed, stream);
+    }
+
+    /** Re-initialize with a new (seed, stream) pair. */
+    void
+    reseed(std::uint64_t seed, std::uint64_t stream = 0)
+    {
+        state = 0;
+        inc = (stream << 1u) | 1u;
+        next();
+        state += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /**
+     * Uniform integer in [0, bound). Uses rejection sampling so the
+     * distribution is exactly uniform (no modulo bias).
+     */
+    std::uint32_t
+    range(std::uint32_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    rangeInclusive(std::int64_t lo, std::int64_t hi)
+    {
+        return lo +
+               static_cast<std::int64_t>(
+                   range(static_cast<std::uint32_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Normally distributed double (Box-Muller, one value per call). */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return mean + stddev * spare;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        double mul = std::sqrt(-2.0 * std::log(s) / s);
+        spare = v * mul;
+        haveSpare = true;
+        return mean + stddev * u * mul;
+    }
+
+    /** Exponentially distributed double with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        return -mean * std::log(u);
+    }
+
+    /**
+     * Geometrically distributed trial count (>= 1) with success
+     * probability p. Used for dependency-distance sampling.
+     */
+    std::uint32_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 1;
+        if (p <= 0.0)
+            return 1;
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        return 1 + static_cast<std::uint32_t>(std::log(u) /
+                                              std::log(1.0 - p));
+    }
+
+  private:
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace osp
+
+#endif // OSP_UTIL_RANDOM_HH

@@ -1,0 +1,81 @@
+#include "netbench.hh"
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+namespace
+{
+
+CodeProfile
+iperfProfile(const Region &code)
+{
+    CodeProfile p;
+    p.loadFrac = 0.20;
+    p.storeFrac = 0.08;
+    p.branchFrac = 0.14;
+    p.depChance = 0.35;
+    p.depDistMean = 5.0;
+    p.branchRandomFrac = 0.03;
+    p.code = Region{code.base, 12 * 1024};
+    p.blockRunBytes = 512;
+    return p;
+}
+
+} // namespace
+
+IperfWorkload::IperfWorkload(SyntheticKernel &kern,
+                             const IperfParams &p, std::uint64_t seed)
+    : BaseWorkload("iperf", kern, seed, 0x1BE4ULL), params(p)
+{
+    appProf = iperfProfile(user.code);
+}
+
+bool
+IperfWorkload::inWarmup() const
+{
+    return writesDone_ < params.warmupWrites;
+}
+
+BaseWorkload::Advance
+IperfWorkload::advance(ServiceRequest &req)
+{
+    switch (phase) {
+      case Phase::Connect:
+        compute(appProf, 900, user.heap);
+        req = request(ServiceType::SysSocketcall, 0);
+        phase = Phase::Write;
+        sockFd = ~0ULL;
+        return Advance::Syscall;
+
+      case Phase::Write:
+        if (sockFd == ~0ULL)
+            sockFd = lastResult.value;
+        if (writesDone_ >=
+            params.warmupWrites + params.measureWrites) {
+            return Advance::Done;
+        }
+        // Refill the send block and loop bookkeeping (touches only
+        // the write block itself, like iperf's tight client loop).
+        compute(appProf, 80,
+                Region{user.ioBuffer.base, params.writeBytes});
+        ++writesDone_;
+        if (params.reportEvery &&
+            writesDone_ % params.reportEvery == 0) {
+            phase = Phase::Timestamp;
+        }
+        req = request(ServiceType::SysWrite, sockFd,
+                      params.writeBytes, user.ioBuffer.base);
+        return Advance::Syscall;
+
+      case Phase::Timestamp:
+        compute(appProf, 200, user.heap);
+        req = request(ServiceType::SysGettimeofday);
+        phase = Phase::Write;
+        return Advance::Syscall;
+    }
+    osp_panic("IperfWorkload: bad phase");
+}
+
+} // namespace osp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Workload registry: build any of the paper's nine benchmarks by
+ * name, with a matched kernel configuration, wired into a Machine.
+ *
+ * This is the main entry point examples, tests and benches use:
+ *
+ * @code
+ *   MachineConfig cfg;
+ *   auto machine = makeMachine("ab-rand", cfg);
+ *   machine->run();
+ * @endcode
+ */
+
+#ifndef OSP_WORKLOAD_REGISTRY_HH
+#define OSP_WORKLOAD_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+
+namespace osp
+{
+
+/** Names of all nine benchmarks (Sec. 5.2 order). */
+const std::vector<std::string> &allWorkloads();
+
+/** The five OS-intensive benchmarks (left bars of Fig. 1). */
+const std::vector<std::string> &osIntensiveWorkloads();
+
+/** The four SPEC2000-like benchmarks. */
+const std::vector<std::string> &specWorkloads();
+
+/**
+ * Workloads beyond the paper's nine (currently: "oltp", the
+ * transaction-processing class the paper's introduction motivates
+ * but never evaluates — used as a generalization test).
+ */
+const std::vector<std::string> &extraWorkloads();
+
+/** True if @p name is a known workload. */
+bool isWorkload(const std::string &name);
+
+/**
+ * Kernel parameters matched to a workload (page-cache size, VFS
+ * shape, interrupt latencies). Seed is taken from @p seed.
+ */
+KernelParams kernelParamsFor(const std::string &name,
+                             std::uint64_t seed);
+
+/**
+ * Build kernel + workload + machine for a named benchmark.
+ *
+ * @param name  workload name (see allWorkloads())
+ * @param cfg   machine configuration (seed is reused for the kernel
+ *              and the workload)
+ * @param scale scales the measured-work volume (requests / writes /
+ *              directories / instructions); 1.0 is the bench-tuned
+ *              default, tests typically pass less
+ */
+std::unique_ptr<Machine> makeMachine(const std::string &name,
+                                     const MachineConfig &cfg,
+                                     double scale = 1.0);
+
+} // namespace osp
+
+#endif // OSP_WORKLOAD_REGISTRY_HH

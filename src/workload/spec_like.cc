@@ -1,0 +1,116 @@
+#include "spec_like.hh"
+
+#include "util/logging.hh"
+
+namespace osp
+{
+
+const char *
+specVariantName(SpecVariant variant)
+{
+    switch (variant) {
+      case SpecVariant::Gzip: return "gzip";
+      case SpecVariant::Vpr: return "vpr";
+      case SpecVariant::Art: return "art";
+      case SpecVariant::Swim: return "swim";
+    }
+    return "?";
+}
+
+SpecWorkload::SpecWorkload(SyntheticKernel &kern,
+                           const SpecParams &p, std::uint64_t seed)
+    : BaseWorkload(specVariantName(p.variant), kern, seed,
+                   0x57EC0ULL + static_cast<int>(p.variant)),
+      params(p)
+{
+    prof.code = Region{user.code.base, 24 * 1024};
+    switch (params.variant) {
+      case SpecVariant::Gzip:
+        prof.loadFrac = 0.22;
+        prof.storeFrac = 0.08;
+        prof.branchFrac = 0.18;
+        prof.fpFrac = 0.0;
+        prof.depChance = 0.45;
+        prof.depDistMean = 5.0;
+        prof.branchRandomFrac = 0.06;
+        prof.blockRunBytes = 384;
+        data = Region{user.heap.base, 384 * 1024};
+        pattern = PatternKind::Hot;
+        break;
+      case SpecVariant::Vpr:
+        prof.loadFrac = 0.30;
+        prof.storeFrac = 0.06;
+        prof.branchFrac = 0.16;
+        prof.fpFrac = 0.0;
+        prof.depChance = 0.50;
+        prof.depDistMean = 3.0;
+        prof.branchRandomFrac = 0.10;
+        prof.code = Region{user.code.base, 32 * 1024};
+        prof.blockRunBytes = 224;
+        data = Region{user.heap.base, 2560 * 1024};
+        pattern = PatternKind::PointerChase;
+        break;
+      case SpecVariant::Art:
+        prof.loadFrac = 0.32;
+        prof.storeFrac = 0.10;
+        prof.branchFrac = 0.10;
+        prof.fpFrac = 0.25;
+        prof.depChance = 0.40;
+        prof.depDistMean = 6.0;
+        prof.branchRandomFrac = 0.03;
+        prof.code = Region{user.code.base, 16 * 1024};
+        prof.blockRunBytes = 512;
+        data = Region{user.heap.base, 3 * 1024 * 1024};
+        pattern = PatternKind::Sequential;
+        break;
+      case SpecVariant::Swim:
+        prof.loadFrac = 0.30;
+        prof.storeFrac = 0.14;
+        prof.branchFrac = 0.06;
+        prof.fpFrac = 0.30;
+        prof.depChance = 0.35;
+        prof.depDistMean = 8.0;
+        prof.branchRandomFrac = 0.02;
+        prof.code = Region{user.code.base, 12 * 1024};
+        prof.blockRunBytes = 768;
+        data = Region{user.heap.base, 8 * 1024 * 1024};
+        pattern = PatternKind::Sequential;
+        break;
+    }
+}
+
+bool
+SpecWorkload::inWarmup() const
+{
+    return opsQueued < params.warmupOps;
+}
+
+BaseWorkload::Advance
+SpecWorkload::advance(ServiceRequest &req)
+{
+    if (opsQueued >= params.warmupOps + params.measureOps)
+        return Advance::Done;
+
+    if (params.syscallEvery &&
+        sinceSyscall >= params.syscallEvery) {
+        sinceSyscall = 0;
+        // Alternate a heap grow (gzip window slide / vpr realloc)
+        // with a timing check.
+        if (brkNext) {
+            brkNext = false;
+            req = request(ServiceType::SysBrk, 64 * 1024);
+        } else {
+            brkNext = true;
+            req = request(ServiceType::SysGettimeofday);
+        }
+        return Advance::Syscall;
+    }
+
+    constexpr InstCount block = 20000;
+    compute(prof, block, data, pattern);
+    opsQueued += block;
+    sinceSyscall += block;
+    return Advance::Continue;
+}
+
+} // namespace osp

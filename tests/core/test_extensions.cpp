@@ -1,0 +1,285 @@
+/** @file Tests for the repository's extensions beyond the paper:
+ *  mix signatures, PLT serialization / cross-run reuse, audit
+ *  sampling, and adaptive warm-up. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accelerator.hh"
+
+namespace osp
+{
+namespace
+{
+
+ServiceMetrics
+metricsWithMix(InstCount insts, Cycles cycles, std::uint64_t loads,
+               std::uint64_t stores, std::uint64_t branches)
+{
+    ServiceMetrics m;
+    m.insts = insts;
+    m.cycles = cycles;
+    m.loads = loads;
+    m.stores = stores;
+    m.branches = branches;
+    m.mem.l2Misses = cycles / 500;
+    return m;
+}
+
+TEST(MixSignature, SplitsSameCountDifferentMix)
+{
+    // Two paths: 1000 insts of copy (load/store heavy) vs 1000
+    // insts of scan (load/branch heavy). Count-only merges them;
+    // mix keeps them apart.
+    PerfLookupTable count_only(0.05, 0.0, false);
+    PerfLookupTable with_mix(0.05, 0.0, true);
+    ServiceMetrics copy = metricsWithMix(1000, 4000, 250, 250, 60);
+    ServiceMetrics scan = metricsWithMix(1000, 9000, 330, 40, 200);
+
+    count_only.record(copy);
+    count_only.record(scan);
+    EXPECT_EQ(count_only.numClusters(), 1u);
+
+    with_mix.record(copy);
+    with_mix.record(scan);
+    EXPECT_EQ(with_mix.numClusters(), 2u);
+
+    // Mix-aware lookup resolves to the right behaviour point.
+    const ScaledCluster *hit = with_mix.match(copy.signature());
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->predict().cycles, 4000u);
+    hit = with_mix.match(scan.signature());
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->predict().cycles, 9000u);
+}
+
+TEST(MixSignature, SmallDimensionsAreExempt)
+{
+    // Branch counts below the noise floor must not fragment
+    // clusters.
+    PerfLookupTable plt(0.05, 0.0, true);
+    plt.record(metricsWithMix(1000, 4000, 250, 250, 8));
+    plt.record(metricsWithMix(1000, 4100, 250, 250, 16));
+    EXPECT_EQ(plt.numClusters(), 1u);
+}
+
+TEST(MixSignature, PredictorEndToEnd)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 4;
+    pp.useMixSignature = true;
+    ServicePredictor pred(pp);
+    ServiceMetrics copy = metricsWithMix(1000, 4000, 250, 250, 60);
+    ServiceMetrics scan = metricsWithMix(1000, 9000, 330, 40, 200);
+    pred.recordDetailed(copy);
+    pred.recordDetailed(scan);
+    pred.recordDetailed(copy);
+    pred.recordDetailed(scan);
+    bool outlier = true;
+    ServiceMetrics p =
+        pred.predict(copy.signature(), 4, &outlier);
+    EXPECT_FALSE(outlier);
+    EXPECT_EQ(p.cycles, 4000u);
+    p = pred.predict(scan.signature(), 5, &outlier);
+    EXPECT_FALSE(outlier);
+    EXPECT_EQ(p.cycles, 9000u);
+}
+
+TEST(MixSignature, AcceleratorRequestsOpMix)
+{
+    PredictorParams pp;
+    Accelerator plain(pp);
+    EXPECT_FALSE(plain.wantsOpMix());
+    pp.useMixSignature = true;
+    Accelerator mixed(pp);
+    EXPECT_TRUE(mixed.wantsOpMix());
+}
+
+TEST(ClusterSnapshot, RoundTripPreservesPrediction)
+{
+    ScaledCluster original(metricsWithMix(1000, 5000, 250, 100, 150),
+                           0.05);
+    original.add(metricsWithMix(1020, 5200, 255, 102, 153));
+    ScaledCluster restored(original.snapshot(), 0.05);
+
+    EXPECT_DOUBLE_EQ(restored.centroid(), original.centroid());
+    EXPECT_EQ(restored.count(), original.count());
+    EXPECT_EQ(restored.predict().cycles,
+              original.predict().cycles);
+    EXPECT_EQ(restored.predict().mem.l2Misses,
+              original.predict().mem.l2Misses);
+    EXPECT_TRUE(restored.matches(1010));
+    EXPECT_NEAR(restored.cyclesStats().stddev(),
+                original.cyclesStats().stddev(), 1e-6);
+}
+
+TEST(ProfileSerialization, SaveLoadRoundTrip)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 2;
+    Accelerator trained(pp);
+
+    ServiceController::IntervalOutcome o;
+    o.type = ServiceType::SysRead;
+    o.detailed = true;
+    o.insts = 1000;
+    o.cycles = 5000;
+    o.mem.l2Misses = 10;
+    trained.onServiceEnd(o);
+    o.invocation = 1;
+    o.cycles = 7000;
+    trained.onServiceEnd(o);
+
+    std::ostringstream oss;
+    trained.saveState(oss);
+
+    Accelerator loaded(pp);
+    std::istringstream iss(oss.str());
+    ASSERT_TRUE(loaded.loadState(iss));
+
+    // The loaded accelerator predicts immediately.
+    EXPECT_EQ(loaded.chooseLevel(ServiceType::SysRead),
+              DetailLevel::Emulate);
+    ServiceController::IntervalOutcome q;
+    q.type = ServiceType::SysRead;
+    q.detailed = false;
+    q.insts = 1005;
+    auto pred = loaded.onServiceEnd(q);
+    EXPECT_EQ(pred.cycles, 6000u);
+    EXPECT_EQ(pred.mem.l2Misses, 10u);
+    // Untrained services still learn normally.
+    EXPECT_EQ(loaded.chooseLevel(ServiceType::SysWrite),
+              DetailLevel::OooCache);
+}
+
+TEST(ProfileSerialization, RejectsGarbage)
+{
+    Accelerator accel;
+    std::istringstream bad("not-a-profile v9");
+    EXPECT_FALSE(accel.loadState(bad));
+    std::istringstream truncated(
+        "ospredict-profile v1\nservice 0 1\n1 2 3\n");
+    EXPECT_FALSE(accel.loadState(truncated));
+    std::istringstream noend("ospredict-profile v1\n");
+    EXPECT_FALSE(accel.loadState(noend));
+}
+
+TEST(AuditSampling, SchedulesEveryNth)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 1;
+    pp.auditEvery = 5;
+    ServicePredictor pred(pp);
+    ServiceMetrics m = metricsWithMix(1000, 5000, 250, 100, 150);
+    pred.recordDetailed(m);
+    int detailed = 0;
+    for (int i = 0; i < 25; ++i)
+        detailed += pred.decideDetail();
+    EXPECT_EQ(detailed, 5);
+}
+
+TEST(AuditSampling, DriftTriggersRelearning)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 4;
+    pp.auditEvery = 2;
+    pp.auditTriggerCount = 2;
+    pp.stabilityWindow = 0;
+    ServicePredictor pred(pp);
+    // Learn a stable behaviour point around 5000 cycles.
+    for (int i = 0; i < 4; ++i) {
+        pred.recordDetailed(
+            metricsWithMix(1000, 5000, 250, 100, 150));
+    }
+    EXPECT_FALSE(pred.wantsDetail());
+    // Now the same signature costs 3x: audits must catch it.
+    std::uint64_t inv = 4;
+    for (int i = 0; i < 20 && !pred.wantsDetail(); ++i) {
+        if (pred.decideDetail()) {
+            pred.recordDetailed(
+                metricsWithMix(1000, 15000, 250, 100, 150));
+        } else {
+            pred.predict(Signature{1000, 250, 100, 150}, inv);
+        }
+        ++inv;
+    }
+    EXPECT_GE(pred.stats().audits, 2u);
+    EXPECT_GE(pred.stats().auditFailures, 2u);
+    EXPECT_EQ(pred.stats().driftResets, 1u);
+    EXPECT_TRUE(pred.wantsDetail());  // back in a learning window
+}
+
+TEST(AuditSampling, StationaryNoiseDoesNotTrigger)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 20;
+    pp.auditEvery = 2;
+    pp.stabilityWindow = 0;
+    ServicePredictor pred(pp);
+    // Noisy but stationary: cycles alternate widely.
+    for (int i = 0; i < 20; ++i) {
+        pred.recordDetailed(metricsWithMix(
+            1000, i % 2 ? 4000 : 6000, 250, 100, 150));
+    }
+    std::uint64_t inv = 20;
+    for (int i = 0; i < 40; ++i) {
+        if (pred.decideDetail()) {
+            pred.recordDetailed(metricsWithMix(
+                1000, i % 2 ? 4000 : 6000, 250, 100, 150));
+        } else {
+            pred.predict(Signature{1000, 250, 100, 150}, inv);
+        }
+        ++inv;
+    }
+    // 3-sigma gating absorbs the noise.
+    EXPECT_EQ(pred.stats().driftResets, 0u);
+}
+
+TEST(AdaptiveWarmup, ExtendsWhileCpiDrifts)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 10;
+    pp.stabilityWindow = 5;
+    pp.stabilityTolerance = 0.02;
+    pp.maxWarmupInvocations = 200;
+    pp.learningWindow = 5;
+    ServicePredictor pred(pp);
+    // Strongly cooling CPI: warm-up must extend past the minimum.
+    std::uint64_t runs = 0;
+    while (pred.wantsDetail() && runs < 300) {
+        Cycles cycles = 20000 - 90 * std::min<std::uint64_t>(
+                                         runs, 200);
+        pred.recordDetailed(
+            metricsWithMix(1000, cycles, 250, 100, 150));
+        ++runs;
+    }
+    // warm-up extended beyond the 10-minimum (plus 5 learning).
+    EXPECT_GT(pred.stats().warmupRuns, 20u);
+    EXPECT_LE(pred.stats().warmupRuns, 200u);
+}
+
+TEST(AdaptiveWarmup, StableCpiEndsAtMinimum)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 12;
+    pp.stabilityWindow = 5;
+    pp.stabilityTolerance = 0.02;
+    pp.learningWindow = 5;
+    ServicePredictor pred(pp);
+    std::uint64_t runs = 0;
+    while (pred.wantsDetail() && runs < 100) {
+        pred.recordDetailed(
+            metricsWithMix(1000, 5000, 250, 100, 150));
+        ++runs;
+    }
+    EXPECT_EQ(pred.stats().warmupRuns, 12u);
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,117 @@
+/** @file Tests for the Performance Lookup Table (Sec. 4.3-4.4). */
+
+#include <gtest/gtest.h>
+
+#include "core/plt.hh"
+
+namespace osp
+{
+namespace
+{
+
+ServiceMetrics
+metrics(InstCount insts, Cycles cycles)
+{
+    ServiceMetrics m;
+    m.insts = insts;
+    m.cycles = cycles;
+    return m;
+}
+
+TEST(PerfLookupTable, RecordCreatesAndMergesClusters)
+{
+    PerfLookupTable plt(0.05);
+    EXPECT_TRUE(plt.record(metrics(1000, 5000)));   // new
+    EXPECT_FALSE(plt.record(metrics(1020, 5100)));  // merges
+    EXPECT_TRUE(plt.record(metrics(5000, 20000)));  // new
+    EXPECT_EQ(plt.numClusters(), 2u);
+}
+
+TEST(PerfLookupTable, MatchWithinRangeOnly)
+{
+    PerfLookupTable plt(0.05);
+    plt.record(metrics(1000, 5000));
+    EXPECT_NE(plt.match(1000), nullptr);
+    EXPECT_NE(plt.match(1049), nullptr);
+    EXPECT_EQ(plt.match(1100), nullptr);
+    EXPECT_EQ(plt.match(10), nullptr);
+}
+
+TEST(PerfLookupTable, OverlappingRangesPickClosestCentroid)
+{
+    PerfLookupTable plt(0.10);
+    plt.record(metrics(1000, 1111));
+    plt.record(metrics(1150, 2222));
+    // 1070 falls in both ranges; 1000 is closer.
+    const ScaledCluster *c = plt.match(1070);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->predict().cycles, 1111u);
+    const ScaledCluster *d = plt.match(1090);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->predict().cycles, 2222u);
+}
+
+TEST(PerfLookupTable, ClosestIgnoresRange)
+{
+    PerfLookupTable plt(0.05);
+    EXPECT_EQ(plt.closest(1234), nullptr);
+    plt.record(metrics(1000, 1111));
+    plt.record(metrics(9000, 9999));
+    EXPECT_EQ(plt.closest(200)->predict().cycles, 1111u);
+    EXPECT_EQ(plt.closest(6000)->predict().cycles, 9999u);
+}
+
+TEST(PerfLookupTable, RecordPrefersClosestOnOverlap)
+{
+    PerfLookupTable plt(0.10);
+    plt.record(metrics(1000, 1000));
+    plt.record(metrics(1180, 2000));
+    // 1080 matches both; must merge into the 1000 cluster.
+    plt.record(metrics(1080, 1500));
+    const auto &clusters = plt.allClusters();
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_EQ(clusters[0].count(), 2u);
+    EXPECT_EQ(clusters[1].count(), 1u);
+}
+
+TEST(PerfLookupTable, OutlierEntriesClusterBySignature)
+{
+    PerfLookupTable plt(0.05);
+    auto &a = plt.recordOutlier(2000, 10);
+    EXPECT_EQ(a.matchCount, 1u);
+    auto &b = plt.recordOutlier(2010, 25);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.matchCount, 2u);
+    EXPECT_EQ(b.occurredAt.size(), 2u);
+    EXPECT_EQ(b.occurredAt[1], 25u);
+    EXPECT_EQ(plt.numOutlierEntries(), 1u);
+
+    plt.recordOutlier(9000, 30);
+    EXPECT_EQ(plt.numOutlierEntries(), 2u);
+}
+
+TEST(PerfLookupTable, OutlierCentroidTracksMembers)
+{
+    PerfLookupTable plt(0.05);
+    plt.recordOutlier(2000, 1);
+    auto &e = plt.recordOutlier(2100, 2);
+    EXPECT_DOUBLE_EQ(e.centroid, 2050.0);
+}
+
+TEST(PerfLookupTable, ClearOutliersKeepsClusters)
+{
+    PerfLookupTable plt(0.05);
+    plt.record(metrics(1000, 5000));
+    plt.recordOutlier(2000, 1);
+    plt.clearOutliers();
+    EXPECT_EQ(plt.numOutlierEntries(), 0u);
+    EXPECT_EQ(plt.numClusters(), 1u);
+}
+
+TEST(PerfLookupTable, InvalidRangeDies)
+{
+    EXPECT_DEATH(PerfLookupTable(0.0), "range");
+}
+
+} // namespace
+} // namespace osp

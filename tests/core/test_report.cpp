@@ -1,0 +1,118 @@
+/** @file Tests for error metrics, Eq. 10, and interval
+ *  characterization. */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace osp
+{
+namespace
+{
+
+TEST(Report, AbsError)
+{
+    EXPECT_DOUBLE_EQ(absError(103.2, 100.0), 0.032);
+    EXPECT_DOUBLE_EQ(absError(96.8, 100.0), 0.032);
+    EXPECT_DOUBLE_EQ(absError(5.0, 0.0), 0.0);
+}
+
+TEST(Report, Eq10MatchesPaperFormula)
+{
+    // speedup = N / (X/133 + (N - X))
+    EXPECT_DOUBLE_EQ(estimatedSpeedup(100, 0, 133.0), 1.0);
+    // All instructions predicted: the full 133x.
+    EXPECT_NEAR(estimatedSpeedup(100, 100, 133.0), 133.0, 1e-9);
+    // Half predicted: ~1.985x.
+    EXPECT_NEAR(estimatedSpeedup(100, 50, 133.0),
+                100.0 / (50.0 / 133.0 + 50.0), 1e-12);
+}
+
+TEST(Report, Eq10FromRunTotals)
+{
+    RunTotals t;
+    t.appInsts = 10;
+    t.osInsts = 90;
+    t.osPredInsts = 80;
+    EXPECT_NEAR(estimatedSpeedup(t, 133.0),
+                100.0 / (80.0 / 133.0 + 20.0), 1e-12);
+}
+
+TEST(Report, Eq10ZeroInsts)
+{
+    EXPECT_DOUBLE_EQ(estimatedSpeedup(0, 0, 133.0), 1.0);
+}
+
+IntervalRecord
+rec(ServiceType type, InstCount insts, Cycles cycles)
+{
+    IntervalRecord r;
+    r.type = type;
+    r.insts = insts;
+    r.cycles = cycles;
+    r.detailed = true;
+    return r;
+}
+
+TEST(Report, CharacterizeGroupsByService)
+{
+    std::vector<IntervalRecord> log = {
+        rec(ServiceType::SysRead, 1000, 5000),
+        rec(ServiceType::SysRead, 1010, 5100),
+        rec(ServiceType::SysWrite, 2000, 9000),
+    };
+    auto chars = characterizeServices(log);
+    ASSERT_EQ(chars.size(), 2u);
+    EXPECT_EQ(chars[0].type, ServiceType::SysRead);
+    EXPECT_EQ(chars[0].invocations, 2u);
+    EXPECT_NEAR(chars[0].cycles.mean(), 5050.0, 1e-9);
+    EXPECT_EQ(chars[1].type, ServiceType::SysWrite);
+}
+
+TEST(Report, ClusteringReducesCv)
+{
+    // Two well-separated behaviour points: huge unclustered CV,
+    // tiny clustered CV — the Fig. 6 effect.
+    std::vector<IntervalRecord> log;
+    for (int i = 0; i < 50; ++i) {
+        log.push_back(
+            rec(ServiceType::SysRead, 1000 + i % 10, 5000 + i % 30));
+        log.push_back(rec(ServiceType::SysRead, 20000 + i % 10,
+                          90000 + i % 50));
+    }
+    auto chars = characterizeServices(log);
+    ASSERT_EQ(chars.size(), 1u);
+    EXPECT_EQ(chars[0].numClusters, 2u);
+    EXPECT_GT(chars[0].cvCycles, 0.5);
+    EXPECT_LT(chars[0].clusteredCvCycles, 0.05);
+}
+
+TEST(Report, CvSummaryWeightsByOccurrence)
+{
+    std::vector<IntervalRecord> log;
+    // Service A: 90 invocations, zero variance.
+    for (int i = 0; i < 90; ++i)
+        log.push_back(rec(ServiceType::SysRead, 1000, 5000));
+    // Service B: 10 invocations, large variance.
+    for (int i = 0; i < 10; ++i) {
+        log.push_back(rec(ServiceType::SysWrite, 1000,
+                          i % 2 ? 1000 : 9000));
+    }
+    auto chars = characterizeServices(log);
+    auto summary = summarizeCv(chars);
+    // Dominated by the zero-variance service.
+    EXPECT_LT(summary.cvCycles, 0.2);
+    EXPECT_GT(summary.cvCycles, 0.0);
+}
+
+TEST(Report, SingleInvocationServicesExcludedFromSummary)
+{
+    std::vector<IntervalRecord> log = {
+        rec(ServiceType::SysRead, 1000, 5000),
+    };
+    auto summary = summarizeCv(characterizeServices(log));
+    EXPECT_EQ(summary.cvCycles, 0.0);
+}
+
+} // namespace
+} // namespace osp

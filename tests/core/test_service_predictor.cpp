@@ -1,0 +1,169 @@
+/** @file Tests for the per-service predictor state machine. */
+
+#include <gtest/gtest.h>
+
+#include "core/service_predictor.hh"
+
+namespace osp
+{
+namespace
+{
+
+ServiceMetrics
+metrics(InstCount insts, Cycles cycles)
+{
+    ServiceMetrics m;
+    m.insts = insts;
+    m.cycles = cycles;
+    m.mem.l2Misses = insts / 100;
+    return m;
+}
+
+PredictorParams
+testParams(std::uint64_t warm = 2, std::uint64_t window = 5)
+{
+    PredictorParams p;
+    p.warmupInvocations = warm;
+    p.learningWindow = window;
+    return p;
+}
+
+TEST(ServicePredictor, DefaultWindowFromBinomialAnalysis)
+{
+    PredictorParams p;
+    p.learningWindow = 0;
+    p.pMin = 0.03;
+    p.doc = 0.95;
+    ServicePredictor pred(p);
+    EXPECT_EQ(pred.learningWindow(), 99u);
+}
+
+TEST(ServicePredictor, LifecyclePhases)
+{
+    ServicePredictor pred(testParams(2, 3));
+    // Warm-up: wants detail, records nothing.
+    EXPECT_TRUE(pred.wantsDetail());
+    pred.recordDetailed(metrics(1000, 5000));
+    pred.recordDetailed(metrics(1000, 5000));
+    EXPECT_EQ(pred.table().numClusters(), 0u);
+    EXPECT_EQ(pred.stats().warmupRuns, 2u);
+
+    // Learning: records into the PLT.
+    EXPECT_TRUE(pred.wantsDetail());
+    pred.recordDetailed(metrics(1000, 5000));
+    pred.recordDetailed(metrics(1010, 5100));
+    pred.recordDetailed(metrics(4000, 20000));
+    EXPECT_EQ(pred.table().numClusters(), 2u);
+    EXPECT_EQ(pred.stats().learnedRuns, 3u);
+
+    // Window exhausted: predicting.
+    EXPECT_FALSE(pred.wantsDetail());
+}
+
+TEST(ServicePredictor, ZeroWarmupStartsLearning)
+{
+    ServicePredictor pred(testParams(0, 2));
+    pred.recordDetailed(metrics(1000, 5000));
+    EXPECT_EQ(pred.table().numClusters(), 1u);
+}
+
+TEST(ServicePredictor, PredictsFromMatchingCluster)
+{
+    ServicePredictor pred(testParams(0, 2));
+    pred.recordDetailed(metrics(1000, 5000));
+    pred.recordDetailed(metrics(1000, 7000));
+    bool outlier = true;
+    ServiceMetrics p = pred.predict(1005, 2, &outlier);
+    EXPECT_FALSE(outlier);
+    EXPECT_EQ(p.cycles, 6000u);
+    EXPECT_EQ(p.insts, 1005u);  // reports the actual signature
+    EXPECT_EQ(pred.stats().predictedRuns, 1u);
+}
+
+TEST(ServicePredictor, OutlierUsesClosestCluster)
+{
+    ServicePredictor pred(testParams(0, 2));
+    pred.recordDetailed(metrics(1000, 5000));
+    pred.recordDetailed(metrics(8000, 40000));
+    bool outlier = false;
+    ServiceMetrics p = pred.predict(7000, 2, &outlier);
+    EXPECT_TRUE(outlier);
+    EXPECT_EQ(p.cycles, 40000u);
+    EXPECT_EQ(pred.stats().outliers, 1u);
+}
+
+TEST(ServicePredictor, EagerOutlierForcesRelearning)
+{
+    PredictorParams params = testParams(0, 2);
+    params.relearn.strategy = RelearnStrategy::Eager;
+    ServicePredictor pred(params);
+    pred.recordDetailed(metrics(1000, 5000));
+    pred.recordDetailed(metrics(1000, 5000));
+    EXPECT_FALSE(pred.wantsDetail());
+    pred.predict(9000, 2);
+    // Back to learning for a fresh window.
+    EXPECT_TRUE(pred.wantsDetail());
+    EXPECT_EQ(pred.stats().relearnEvents, 1u);
+    EXPECT_EQ(pred.table().numOutlierEntries(), 0u);
+    // The new cluster gets captured this time.
+    pred.recordDetailed(metrics(9000, 90000));
+    pred.recordDetailed(metrics(9000, 90000));
+    EXPECT_FALSE(pred.wantsDetail());
+    bool outlier = true;
+    ServiceMetrics p = pred.predict(9000, 5, &outlier);
+    EXPECT_FALSE(outlier);
+    EXPECT_EQ(p.cycles, 90000u);
+}
+
+TEST(ServicePredictor, BestMatchNeverRelearns)
+{
+    PredictorParams params = testParams(0, 1);
+    params.relearn.strategy = RelearnStrategy::BestMatch;
+    ServicePredictor pred(params);
+    pred.recordDetailed(metrics(1000, 5000));
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+        pred.predict(100000, i);
+        EXPECT_FALSE(pred.wantsDetail());
+    }
+    EXPECT_EQ(pred.stats().relearnEvents, 0u);
+    EXPECT_EQ(pred.stats().outliers, 500u);
+}
+
+TEST(ServicePredictor, EmptyTablePredictsZero)
+{
+    // Degenerate but must not crash: prediction before learning.
+    ServicePredictor pred(testParams(0, 5));
+    ServiceMetrics p = pred.predict(1234, 0);
+    EXPECT_EQ(p.cycles, 0u);
+    EXPECT_EQ(p.insts, 1234u);
+}
+
+TEST(ServicePredictor, DetailedWhilePredictingStillLearns)
+{
+    ServicePredictor pred(testParams(0, 1));
+    pred.recordDetailed(metrics(1000, 5000));
+    EXPECT_FALSE(pred.wantsDetail());
+    // A forced detailed run while predicting updates the PLT.
+    pred.recordDetailed(metrics(3000, 9000));
+    EXPECT_EQ(pred.table().numClusters(), 2u);
+    EXPECT_FALSE(pred.wantsDetail());
+}
+
+TEST(ServicePredictor, CoverageReflectsWindowAndTraffic)
+{
+    // 2 warmup + 5 learning out of 100 invocations -> 93%.
+    ServicePredictor pred(testParams(2, 5));
+    std::uint64_t detailed = 0;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        if (pred.wantsDetail()) {
+            ++detailed;
+            pred.recordDetailed(metrics(1000, 5000));
+        } else {
+            pred.predict(1000, i);
+        }
+    }
+    EXPECT_EQ(detailed, 7u);
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,181 @@
+/** @file Integration tests for acceleration configurations beyond
+ *  the defaults: mix signatures end-to-end, profile warm starts,
+ *  detail-level sweeps, and determinism under acceleration. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accelerator.hh"
+#include "core/report.hh"
+#include "workload/registry.hh"
+
+namespace osp
+{
+namespace
+{
+
+PredictorParams
+smallParams()
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 40;
+    pp.learningWindow = 60;
+    return pp;
+}
+
+TEST(MixSignatureIntegration, AccurateOnWebServer)
+{
+    MachineConfig cfg;
+    cfg.seed = 42;
+    auto ref = makeMachine("ab-rand", cfg, 0.4);
+    Cycles full = ref->run().totalCycles();
+
+    auto m = makeMachine("ab-rand", cfg, 0.4);
+    PredictorParams pp = smallParams();
+    pp.useMixSignature = true;
+    Accelerator accel(pp);
+    m->setController(&accel);
+    const RunTotals &t = m->run();
+
+    EXPECT_GT(t.coverage(), 0.2);
+    EXPECT_LT(absError(static_cast<double>(t.totalCycles()),
+                       static_cast<double>(full)),
+              0.15);
+}
+
+TEST(MixSignatureIntegration, InstructionCountsStayExact)
+{
+    MachineConfig cfg;
+    cfg.seed = 42;
+    auto ref = makeMachine("iperf", cfg, 0.3);
+    InstCount full_insts = ref->run().totalInsts();
+
+    auto m = makeMachine("iperf", cfg, 0.3);
+    PredictorParams pp = smallParams();
+    pp.useMixSignature = true;
+    Accelerator accel(pp);
+    m->setController(&accel);
+    EXPECT_EQ(m->run().totalInsts(), full_insts);
+}
+
+TEST(ProfileWarmStart, RaisesCoverageOnSecondRun)
+{
+    MachineConfig cfg;
+    cfg.seed = 42;
+
+    auto first = makeMachine("iperf", cfg, 0.3);
+    Accelerator trainer(smallParams());
+    first->setController(&trainer);
+    double cold_coverage = first->run().coverage();
+
+    std::ostringstream profile;
+    trainer.saveState(profile);
+
+    auto second = makeMachine("iperf", cfg, 0.3);
+    Accelerator warmed(smallParams());
+    std::istringstream in(profile.str());
+    ASSERT_TRUE(warmed.loadState(in));
+    second->setController(&warmed);
+    double warm_coverage = second->run().coverage();
+
+    EXPECT_GT(warm_coverage, cold_coverage + 0.1);
+}
+
+TEST(ProfileWarmStart, SameRunStaysAccurate)
+{
+    MachineConfig cfg;
+    cfg.seed = 42;
+    auto ref = makeMachine("iperf", cfg, 0.3);
+    Cycles full = ref->run().totalCycles();
+
+    auto trainer_machine = makeMachine("iperf", cfg, 0.3);
+    Accelerator trainer(smallParams());
+    trainer_machine->setController(&trainer);
+    trainer_machine->run();
+    std::ostringstream profile;
+    trainer.saveState(profile);
+
+    auto replay = makeMachine("iperf", cfg, 0.3);
+    Accelerator warmed(smallParams());
+    std::istringstream in(profile.str());
+    ASSERT_TRUE(warmed.loadState(in));
+    replay->setController(&warmed);
+    const RunTotals &t = replay->run();
+    // Frozen profiles inherit the training run's thermal bias, so
+    // the bound is looser than online learning's (the abl5 bench
+    // quantifies this at full scale).
+    EXPECT_LT(absError(static_cast<double>(t.totalCycles()),
+                       static_cast<double>(full)),
+              0.25);
+}
+
+TEST(DetailLevels, AccelerationWorksOnInOrderEngine)
+{
+    MachineConfig cfg;
+    cfg.seed = 42;
+    cfg.level = DetailLevel::InOrderCache;
+    auto ref = makeMachine("du", cfg, 0.4);
+    Cycles full = ref->run().totalCycles();
+
+    auto m = makeMachine("du", cfg, 0.4);
+    Accelerator accel(smallParams());
+    m->setController(&accel);
+    const RunTotals &t = m->run();
+    EXPECT_GT(t.coverage(), 0.2);
+    EXPECT_LT(absError(static_cast<double>(t.totalCycles()),
+                       static_cast<double>(full)),
+              0.15);
+}
+
+TEST(DetailLevels, ControllerIgnoredInEmulateRuns)
+{
+    MachineConfig cfg;
+    cfg.seed = 42;
+    cfg.level = DetailLevel::Emulate;
+    auto m = makeMachine("du", cfg, 0.2);
+    Accelerator accel(smallParams());
+    m->setController(&accel);
+    const RunTotals &t = m->run();
+    EXPECT_EQ(t.totalCycles(), 0u);
+    // Everything emulated counts as "predicted" zero-time services.
+    EXPECT_EQ(t.osSimulated + t.osPredicted, t.osInvocations);
+}
+
+TEST(Determinism, AcceleratedRunsAreBitIdentical)
+{
+    auto run_once = [] {
+        MachineConfig cfg;
+        cfg.seed = 77;
+        auto m = makeMachine("find-od", cfg, 0.3);
+        Accelerator accel(smallParams());
+        m->setController(&accel);
+        const RunTotals &t = m->run();
+        return std::tuple(t.totalCycles(), t.osPredicted,
+                          t.predictedMem.l2Misses,
+                          t.measuredMem.l2Misses);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, MixSignatureTogglePreservesFunction)
+{
+    // Mix signatures change which clusters match, but never the
+    // functional execution: instruction counts are identical.
+    auto insts_with = [](bool mix) {
+        MachineConfig cfg;
+        cfg.seed = 7;
+        auto m = makeMachine("ab-seq", cfg, 0.25);
+        PredictorParams pp;
+        pp.warmupInvocations = 20;
+        pp.learningWindow = 30;
+        pp.useMixSignature = mix;
+        Accelerator accel(pp);
+        m->setController(&accel);
+        return m->run().totalInsts();
+    };
+    EXPECT_EQ(insts_with(false), insts_with(true));
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,95 @@
+/** @file Tests for the interrupt controller. */
+
+#include <gtest/gtest.h>
+
+#include "os/interrupts.hh"
+
+namespace osp
+{
+namespace
+{
+
+TEST(InterruptController, TimerFiresPeriodically)
+{
+    InterruptController irq(1000);
+    EXPECT_FALSE(irq.nextDue(999).has_value());
+    auto first = irq.nextDue(1000);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->type, ServiceType::IntTimer);
+    // Re-armed: not due again until 2000.
+    EXPECT_FALSE(irq.nextDue(1999).has_value());
+    EXPECT_TRUE(irq.nextDue(2000).has_value());
+}
+
+TEST(InterruptController, TimerCatchesUpOneAtATime)
+{
+    InterruptController irq(100);
+    // Far in the future: ticks deliver one per call.
+    auto a = irq.nextDue(1000);
+    auto b = irq.nextDue(1000);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->type, ServiceType::IntTimer);
+    EXPECT_EQ(b->type, ServiceType::IntTimer);
+}
+
+TEST(InterruptController, ZeroPeriodDisablesTimer)
+{
+    InterruptController irq(0);
+    EXPECT_FALSE(irq.nextDue(1ULL << 60).has_value());
+}
+
+TEST(InterruptController, OneShotDelivery)
+{
+    InterruptController irq(0);
+    SyscallArgs args;
+    args.arg0 = 7;
+    irq.schedule(ServiceType::IntDisk, 500, args);
+    EXPECT_FALSE(irq.nextDue(499).has_value());
+    auto due = irq.nextDue(500);
+    ASSERT_TRUE(due.has_value());
+    EXPECT_EQ(due->type, ServiceType::IntDisk);
+    EXPECT_EQ(due->args.arg0, 7u);
+    // Consumed.
+    EXPECT_FALSE(irq.nextDue(10000).has_value());
+}
+
+TEST(InterruptController, DeliversInTimeOrder)
+{
+    InterruptController irq(0);
+    irq.schedule(ServiceType::IntNic, 300);
+    irq.schedule(ServiceType::IntDisk, 100);
+    irq.schedule(ServiceType::IntNic, 200);
+    auto a = irq.nextDue(1000);
+    auto b = irq.nextDue(1000);
+    auto c = irq.nextDue(1000);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(a->type, ServiceType::IntDisk);
+    EXPECT_EQ(b->type, ServiceType::IntNic);
+    EXPECT_EQ(c->type, ServiceType::IntNic);
+}
+
+TEST(InterruptController, DeviceBeforeTimerWhenEarlier)
+{
+    InterruptController irq(1000);
+    irq.schedule(ServiceType::IntDisk, 500);
+    auto first = irq.nextDue(1500);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->type, ServiceType::IntDisk);
+    auto second = irq.nextDue(1500);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->type, ServiceType::IntTimer);
+}
+
+TEST(InterruptController, PendingCountsOneShotsOnly)
+{
+    InterruptController irq(100);
+    EXPECT_EQ(irq.pending(), 0u);
+    irq.schedule(ServiceType::IntDisk, 50);
+    EXPECT_EQ(irq.pending(), 1u);
+    irq.nextDue(50);
+    EXPECT_EQ(irq.pending(), 0u);
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,115 @@
+/** @file Tests for the network stack. */
+
+#include <gtest/gtest.h>
+
+#include "os/net_stack.hh"
+
+namespace osp
+{
+namespace
+{
+
+Region area{0xE0000000ULL, 256 * 1024};
+
+TEST(NetStack, SocketLifecycle)
+{
+    NetStack net(area, 4);
+    std::uint32_t a = net.openSocket();
+    std::uint32_t b = net.openSocket();
+    EXPECT_NE(a, b);
+    net.closeSocket(a);
+    // Slots are reused.
+    EXPECT_EQ(net.openSocket(), a);
+}
+
+TEST(NetStack, SocketTableExhaustionDies)
+{
+    NetStack net(area, 2);
+    net.openSocket();
+    net.openSocket();
+    EXPECT_DEATH(net.openSocket(), "exhausted");
+}
+
+TEST(NetStack, TxSegmentation)
+{
+    NetStack net(area, 4);
+    std::uint32_t s = net.openSocket();
+    // 1448-byte MSS: 4000 bytes -> 3 packets.
+    EXPECT_EQ(net.queueTx(s, 4000), 3u);
+    EXPECT_EQ(net.pendingTxPackets(), 3u);
+    EXPECT_EQ(net.queueTx(s, 1448), 1u);
+    EXPECT_EQ(net.pendingTxPackets(), 4u);
+}
+
+TEST(NetStack, DrainTxBounded)
+{
+    NetStack net(area, 4);
+    std::uint32_t s = net.openSocket();
+    net.queueTx(s, 100 * 1448);
+    EXPECT_EQ(net.drainTx(64), 64u);
+    EXPECT_EQ(net.pendingTxPackets(), 36u);
+    EXPECT_EQ(net.drainTx(64), 36u);
+    EXPECT_EQ(net.drainTx(64), 0u);
+}
+
+TEST(NetStack, RxDeliveryAndConsumption)
+{
+    NetStack net(area, 4);
+    std::uint32_t s = net.openSocket();
+    EXPECT_EQ(net.rxAvailable(s), 0u);
+    net.deliverRx(s, 600);
+    EXPECT_EQ(net.rxAvailable(s), 600u);
+    EXPECT_EQ(net.takeRx(s, 400), 400u);
+    EXPECT_EQ(net.takeRx(s, 400), 200u);
+    EXPECT_EQ(net.takeRx(s, 400), 0u);
+}
+
+TEST(NetStack, BufferRegionsDisjointPerSocket)
+{
+    NetStack net(area, 4);
+    Region a = net.socketBuffer(0);
+    Region b = net.socketBuffer(1);
+    EXPECT_GE(b.base, a.base + a.size);
+    EXPECT_GT(a.size, 0u);
+}
+
+TEST(NetStack, SkbPoolInSecondHalf)
+{
+    NetStack net(area, 4);
+    Region skb = net.skbPool();
+    EXPECT_EQ(skb.base, area.base + area.size / 2);
+    EXPECT_EQ(skb.size, area.size / 2);
+    // Socket buffers stay in the first half.
+    Region last = net.socketBuffer(3);
+    EXPECT_LE(last.base + last.size, skb.base);
+}
+
+TEST(NetStack, ClosedSocketOperationsDie)
+{
+    NetStack net(area, 4);
+    std::uint32_t s = net.openSocket();
+    net.closeSocket(s);
+    EXPECT_DEATH(net.queueTx(s, 100), "bad socket");
+    EXPECT_DEATH(net.deliverRx(s, 100), "bad socket");
+    EXPECT_DEATH(net.takeRx(s, 100), "bad socket");
+}
+
+TEST(NetStack, CloseDropsRx)
+{
+    NetStack net(area, 4);
+    std::uint32_t s = net.openSocket();
+    net.deliverRx(s, 500);
+    net.closeSocket(s);
+    std::uint32_t again = net.openSocket();
+    EXPECT_EQ(again, s);
+    EXPECT_EQ(net.rxAvailable(again), 0u);
+}
+
+TEST(NetStack, TooSmallAreaDies)
+{
+    Region tiny{0xE0000000ULL, 8 * 1024};
+    EXPECT_DEATH(NetStack(tiny, 16), "too small");
+}
+
+} // namespace
+} // namespace osp

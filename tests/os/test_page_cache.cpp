@@ -1,0 +1,113 @@
+/** @file Tests for the kernel page cache. */
+
+#include <gtest/gtest.h>
+
+#include "os/page_cache.hh"
+
+namespace osp
+{
+namespace
+{
+
+constexpr Addr base = 0xD0000000ULL;
+
+TEST(PageCache, MissThenHit)
+{
+    PageCache pc(4, base);
+    EXPECT_FALSE(pc.lookup(1, 0).has_value());
+    auto fill = pc.fill(1, 0);
+    EXPECT_FALSE(fill.evicted);
+    auto hit = pc.lookup(1, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fill.frameAddr);
+    EXPECT_EQ(pc.hits(), 1u);
+    EXPECT_EQ(pc.misses(), 1u);
+}
+
+TEST(PageCache, FrameAddressesAreDistinctAndAligned)
+{
+    PageCache pc(4, base);
+    Addr a = pc.fill(1, 0).frameAddr;
+    Addr b = pc.fill(1, 1).frameAddr;
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GE(a, base);
+    // Frames come from the rotating pool: capacity x spread (8).
+    EXPECT_LT(a, base + 4 * 8 * 4096);
+}
+
+TEST(PageCache, LruEvictionAtCapacity)
+{
+    PageCache pc(2, base);
+    pc.fill(1, 0);
+    pc.fill(1, 1);
+    pc.lookup(1, 0);  // refresh page 0: page 1 becomes LRU
+    auto fill = pc.fill(1, 2);
+    EXPECT_TRUE(fill.evicted);
+    EXPECT_TRUE(pc.lookup(1, 0).has_value());
+    EXPECT_FALSE(pc.lookup(1, 1).has_value());
+    EXPECT_TRUE(pc.lookup(1, 2).has_value());
+}
+
+TEST(PageCache, StableAddressWhileResident)
+{
+    PageCache pc(8, base);
+    Addr first = pc.fill(3, 7).frameAddr;
+    pc.fill(3, 8);
+    auto again = pc.lookup(3, 7);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, first);
+}
+
+TEST(PageCache, RefillingResidentPageIsNotEviction)
+{
+    PageCache pc(2, base);
+    Addr a = pc.fill(1, 0).frameAddr;
+    auto refill = pc.fill(1, 0);
+    EXPECT_FALSE(refill.evicted);
+    EXPECT_EQ(refill.frameAddr, a);
+    EXPECT_EQ(pc.residentPages(), 1u);
+}
+
+TEST(PageCache, FilesDoNotCollide)
+{
+    PageCache pc(8, base);
+    pc.fill(1, 5);
+    EXPECT_FALSE(pc.lookup(2, 5).has_value());
+}
+
+TEST(PageCache, InvalidateFileFreesFrames)
+{
+    PageCache pc(4, base);
+    pc.fill(1, 0);
+    pc.fill(1, 1);
+    pc.fill(2, 0);
+    pc.invalidateFile(1);
+    EXPECT_EQ(pc.residentPages(), 1u);
+    EXPECT_FALSE(pc.lookup(1, 0).has_value());
+    EXPECT_TRUE(pc.lookup(2, 0).has_value());
+    // Freed frames are reusable without eviction.
+    EXPECT_FALSE(pc.fill(3, 0).evicted);
+    EXPECT_FALSE(pc.fill(3, 1).evicted);
+}
+
+TEST(PageCache, CapacitySaturation)
+{
+    PageCache pc(4, base);
+    for (std::uint32_t p = 0; p < 16; ++p)
+        pc.fill(1, p);
+    EXPECT_EQ(pc.residentPages(), 4u);
+    // Only the four most recent pages survive.
+    for (std::uint32_t p = 12; p < 16; ++p)
+        EXPECT_TRUE(pc.lookup(1, p).has_value());
+    EXPECT_FALSE(pc.lookup(1, 11).has_value());
+}
+
+TEST(PageCache, ZeroCapacityDies)
+{
+    EXPECT_DEATH(PageCache(0, base), "capacity");
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,99 @@
+/** @file Tests for the gshare branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hh"
+#include "util/random.hh"
+
+namespace osp
+{
+namespace
+{
+
+TEST(GshareBp, LearnsAlwaysTaken)
+{
+    GshareBp bp(12);
+    for (int i = 0; i < 1000; ++i)
+        bp.predictAndUpdate(0x400000, true);
+    // After warm-up the biased branch is predicted near-perfectly.
+    EXPECT_LT(bp.mispredictRate(), 0.02);
+}
+
+TEST(GshareBp, LearnsAlternatingViaHistory)
+{
+    GshareBp bp(12);
+    for (int i = 0; i < 4000; ++i)
+        bp.predictAndUpdate(0x400000, i % 2 == 0);
+    // Global history disambiguates a strict alternation.
+    GshareBp fresh(12);
+    std::uint64_t late_misses = 0;
+    for (int i = 0; i < 4000; ++i) {
+        bool correct = fresh.predictAndUpdate(0x400000, i % 2 == 0);
+        if (i >= 2000 && !correct)
+            ++late_misses;
+    }
+    EXPECT_LT(late_misses / 2000.0, 0.05);
+}
+
+TEST(GshareBp, RandomBranchesNearFiftyPercent)
+{
+    GshareBp bp(12);
+    Pcg32 rng(5);
+    std::uint64_t misses = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        misses += !bp.predictAndUpdate(64 * rng.range(64),
+                                       rng.chance(0.5));
+    EXPECT_NEAR(misses / double(n), 0.5, 0.05);
+}
+
+TEST(GshareBp, BiasedBranchesBeatRandom)
+{
+    GshareBp bp(12);
+    Pcg32 rng(7);
+    const int n = 20000;
+    std::uint64_t misses = 0;
+    for (int i = 0; i < n; ++i)
+        misses += !bp.predictAndUpdate(64 * rng.range(16),
+                                       rng.chance(0.95));
+    EXPECT_LT(misses / double(n), 0.15);
+}
+
+TEST(GshareBp, CountersTrackLookups)
+{
+    GshareBp bp(10);
+    for (int i = 0; i < 50; ++i)
+        bp.predictAndUpdate(0x100, true);
+    EXPECT_EQ(bp.lookups(), 50u);
+    EXPECT_LE(bp.mispredicts(), 50u);
+}
+
+TEST(GshareBp, ResetClearsState)
+{
+    GshareBp bp(10);
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(0x100, true);
+    bp.reset();
+    EXPECT_EQ(bp.lookups(), 0u);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+    // Back to the weakly-not-taken initial prediction.
+    EXPECT_FALSE(bp.predict(0x100));
+}
+
+TEST(GshareBp, InvalidHistoryBitsDie)
+{
+    EXPECT_DEATH(GshareBp(0), "history");
+    EXPECT_DEATH(GshareBp(30), "history");
+}
+
+TEST(GshareBp, PredictIsSideEffectFree)
+{
+    GshareBp bp(10);
+    bool p1 = bp.predict(0x200);
+    bool p2 = bp.predict(0x200);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(bp.lookups(), 0u);
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,236 @@
+/** @file Tests for the work-item code generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/codegen.hh"
+
+namespace osp
+{
+namespace
+{
+
+CodeProfile
+basicProfile()
+{
+    CodeProfile p;
+    p.loadFrac = 0.3;
+    p.storeFrac = 0.1;
+    p.branchFrac = 0.2;
+    p.fpFrac = 0.1;
+    p.code = Region{0x1000, 8192};
+    return p;
+}
+
+TEST(CodeGenerator, ExactOpCountForCompute)
+{
+    CodeGenerator gen(1, 1);
+    gen.pushCompute(basicProfile(), 1234, Region{0x8000, 4096});
+    EXPECT_EQ(gen.pendingOps(), 1234u);
+    std::uint64_t n = 0;
+    while (!gen.done()) {
+        gen.next();
+        ++n;
+    }
+    EXPECT_EQ(n, 1234u);
+}
+
+TEST(CodeGenerator, ExactOpCountForCopy)
+{
+    CodeGenerator gen(1, 2);
+    // 4 ops per 16 bytes.
+    gen.pushCopy(basicProfile(), 4096, Region{0x8000, 4096},
+                 Region{0x10000, 4096});
+    EXPECT_EQ(gen.pendingOps(), 4096u / 16 * 4);
+    gen.pushCopy(basicProfile(), 17, Region{0x8000, 4096},
+                 Region{0x10000, 4096});
+    // ceil(17/16) = 2 units -> 8 more ops.
+    EXPECT_EQ(gen.pendingOps(), 4096u / 16 * 4 + 8);
+}
+
+TEST(CodeGenerator, ZeroWorkIsNoop)
+{
+    CodeGenerator gen(1, 3);
+    gen.pushCompute(basicProfile(), 0, Region{0x8000, 4096});
+    gen.pushCopy(basicProfile(), 0, Region{0x8000, 64},
+                 Region{0x9000, 64});
+    EXPECT_TRUE(gen.done());
+}
+
+TEST(CodeGenerator, NextOnEmptyDies)
+{
+    CodeGenerator gen(1, 4);
+    EXPECT_DEATH(gen.next(), "no work");
+}
+
+TEST(CodeGenerator, MixApproximatesProfile)
+{
+    CodeGenerator gen(7, 5);
+    CodeProfile p = basicProfile();
+    const std::uint64_t n = 50000;
+    gen.pushCompute(p, n, Region{0x8000, 65536});
+    std::map<OpClass, std::uint64_t> counts;
+    while (!gen.done())
+        counts[gen.next().cls] += 1;
+    EXPECT_NEAR(counts[OpClass::Load] / double(n), p.loadFrac, 0.01);
+    EXPECT_NEAR(counts[OpClass::Store] / double(n), p.storeFrac,
+                0.01);
+    EXPECT_NEAR(counts[OpClass::Branch] / double(n), p.branchFrac,
+                0.01);
+    EXPECT_NEAR(counts[OpClass::FpAlu] / double(n), p.fpFrac, 0.01);
+}
+
+TEST(CodeGenerator, SameSeedSameStream)
+{
+    CodeGenerator a(42, 9);
+    CodeGenerator b(42, 9);
+    a.pushCompute(basicProfile(), 2000, Region{0x8000, 4096});
+    b.pushCompute(basicProfile(), 2000, Region{0x8000, 4096});
+    while (!a.done()) {
+        MicroOp x = a.next();
+        MicroOp y = b.next();
+        ASSERT_EQ(x.cls, y.cls);
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.effAddr, y.effAddr);
+        ASSERT_EQ(x.depDist, y.depDist);
+        ASSERT_EQ(x.taken, y.taken);
+    }
+    EXPECT_TRUE(b.done());
+}
+
+TEST(CodeGenerator, PcStaysInCodeRegion)
+{
+    CodeGenerator gen(3, 6);
+    CodeProfile p = basicProfile();
+    gen.pushCompute(p, 20000, Region{0x8000, 4096});
+    while (!gen.done()) {
+        MicroOp op = gen.next();
+        ASSERT_GE(op.pc, p.code.base);
+        ASSERT_LT(op.pc, p.code.base + p.code.size);
+    }
+}
+
+TEST(CodeGenerator, DataStaysInRegion)
+{
+    CodeGenerator gen(3, 7);
+    Region data{0x200000, 32768};
+    for (auto pat :
+         {PatternKind::Sequential, PatternKind::Random,
+          PatternKind::PointerChase, PatternKind::Hot}) {
+        gen.pushCompute(basicProfile(), 5000, data, pat);
+        while (!gen.done()) {
+            MicroOp op = gen.next();
+            if (op.cls == OpClass::Load ||
+                op.cls == OpClass::Store) {
+                ASSERT_GE(op.effAddr, data.base);
+                ASSERT_LT(op.effAddr, data.base + data.size);
+            }
+        }
+    }
+}
+
+TEST(CodeGenerator, SequentialCursorPersistsAcrossItems)
+{
+    // A streaming workload split into blocks keeps walking forward
+    // (regression: art/swim restarted each block and fit in L2).
+    CodeGenerator gen(5, 8);
+    Region data{0x300000, 1 << 20};
+    CodeProfile p = basicProfile();
+    std::set<Addr> lines;
+    for (int block = 0; block < 10; ++block) {
+        gen.pushCompute(p, 5000, data, PatternKind::Sequential);
+        while (!gen.done()) {
+            MicroOp op = gen.next();
+            if (op.cls == OpClass::Load ||
+                op.cls == OpClass::Store) {
+                lines.insert(op.effAddr >> 6);
+            }
+        }
+    }
+    // ~10 * 5000 * 0.4 accesses at 64B stride: far more than one
+    // block's worth of distinct lines.
+    EXPECT_GT(lines.size(), 10000u);
+}
+
+TEST(CodeGenerator, HotPatternConcentratesAccesses)
+{
+    CodeGenerator gen(11, 10);
+    Region data{0x400000, 100 * 64};
+    gen.pushCompute(basicProfile(), 30000, data, PatternKind::Hot);
+    std::uint64_t hot = 0;
+    std::uint64_t total = 0;
+    while (!gen.done()) {
+        MicroOp op = gen.next();
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+            ++total;
+            if (op.effAddr < data.base + data.size / 10)
+                ++hot;
+        }
+    }
+    // 90% hot + 10% uniform(includes hot): ~91%.
+    EXPECT_GT(hot / double(total), 0.85);
+}
+
+TEST(CodeGenerator, PointerChaseSerializesLoads)
+{
+    CodeGenerator gen(13, 11);
+    gen.pushCompute(basicProfile(), 10000, Region{0x500000, 65536},
+                    PatternKind::PointerChase);
+    std::uint64_t dependent_loads = 0;
+    std::uint64_t loads = 0;
+    while (!gen.done()) {
+        MicroOp op = gen.next();
+        if (op.cls == OpClass::Load) {
+            ++loads;
+            dependent_loads += (op.depDist > 0);
+        }
+    }
+    // Every chase load (except possibly the first) carries a
+    // dependence on the previous load.
+    EXPECT_GT(dependent_loads, loads * 9 / 10);
+}
+
+TEST(CodeGenerator, CopyAlternatesLoadStore)
+{
+    CodeGenerator gen(17, 12);
+    Region src{0x600000, 4096};
+    Region dst{0x700000, 4096};
+    gen.pushCopy(basicProfile(), 256, src, dst);
+    std::vector<MicroOp> ops;
+    while (!gen.done())
+        ops.push_back(gen.next());
+    ASSERT_EQ(ops.size(), 64u);  // 16 units * 4
+    for (std::size_t i = 0; i < ops.size(); i += 4) {
+        EXPECT_EQ(ops[i].cls, OpClass::Load);
+        EXPECT_TRUE(src.contains(ops[i].effAddr));
+        EXPECT_EQ(ops[i + 1].cls, OpClass::Store);
+        EXPECT_TRUE(dst.contains(ops[i + 1].effAddr));
+        EXPECT_EQ(ops[i + 1].depDist, 1);
+        EXPECT_EQ(ops[i + 2].cls, OpClass::IntAlu);
+        EXPECT_EQ(ops[i + 3].cls, OpClass::Branch);
+        EXPECT_TRUE(ops[i + 3].taken);
+    }
+}
+
+TEST(CodeGenerator, ItemsServeInFifoOrder)
+{
+    CodeGenerator gen(19, 13);
+    Region a{0x600000, 4096};
+    Region b{0x700000, 4096};
+    CodeProfile p = basicProfile();
+    p.loadFrac = 1.0;  // every op is a load: addresses identify items
+    p.storeFrac = p.branchFrac = p.fpFrac = 0.0;
+    gen.pushCompute(p, 10, a);
+    gen.pushCompute(p, 10, b);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(a.contains(gen.next().effAddr));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(b.contains(gen.next().effAddr));
+    EXPECT_TRUE(gen.done());
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,146 @@
+/** @file Property tests bounding the timing models analytically:
+ *  whatever the instruction stream, cycle counts must respect the
+ *  machine's structural limits. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/codegen.hh"
+#include "sim/inorder_cpu.hh"
+#include "sim/ooo_cpu.hh"
+#include "util/random.hh"
+
+namespace osp
+{
+namespace
+{
+
+CodeProfile
+randomProfile(Pcg32 &rng)
+{
+    CodeProfile p;
+    p.loadFrac = rng.uniform(0.05, 0.35);
+    p.storeFrac = rng.uniform(0.02, 0.2);
+    p.branchFrac = rng.uniform(0.02, 0.25);
+    p.fpFrac = rng.uniform(0.0, 0.2);
+    p.depChance = rng.uniform(0.1, 0.7);
+    p.depDistMean = rng.uniform(1.5, 10.0);
+    p.branchRandomFrac = rng.uniform(0.0, 0.3);
+    p.code = Region{0x400000, 1024ULL << rng.range(6)};
+    p.blockRunBytes = 64u << rng.range(5);
+    return p;
+}
+
+class CpuProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CpuProperty, OooRespectsStructuralBounds)
+{
+    Pcg32 rng(GetParam());
+    CodeProfile prof = randomProfile(rng);
+    CpuParams params;
+    HierarchyParams hp;
+    MemoryHierarchy hier(hp);
+    GshareBp bp(12);
+    OooCpu cpu(params, &hier, &bp);
+    CodeGenerator gen(GetParam(), 1);
+    const std::uint64_t n = 30000;
+    gen.pushCompute(prof, n, Region{0x1000000, 1u << 18},
+                    PatternKind::Random);
+    while (!gen.done())
+        cpu.execute(gen.next(), Owner::App);
+    Cycles cycles = cpu.drain();
+
+    // IPC can never exceed the retire width.
+    EXPECT_GE(cycles, n / params.retireWidth);
+    // And the machine can always limp at reciprocal throughput
+    // bounded by worst-case per-op serialization.
+    Cycles worst_per_op =
+        hp.memLatency + hp.tlbMissPenalty +
+        hp.busCyclesPerLine * 4 + params.mispredictPenalty + 16;
+    EXPECT_LE(cycles, n * worst_per_op);
+}
+
+TEST_P(CpuProperty, OooNeverSlowerThanInOrder)
+{
+    // On identical streams with identical cache state, out-of-order
+    // execution is at least as fast as blocking in-order issue.
+    Pcg32 rng(GetParam() + 100);
+    CodeProfile prof = randomProfile(rng);
+    CpuParams params;
+    HierarchyParams hp;
+    MemoryHierarchy hier_ooo(hp);
+    MemoryHierarchy hier_in(hp);
+    GshareBp bp_ooo(12);
+    GshareBp bp_in(12);
+    OooCpu ooo(params, &hier_ooo, &bp_ooo);
+    InOrderCpu inorder(params, &hier_in, &bp_in);
+    CodeGenerator gen_a(GetParam() + 100, 2);
+    CodeGenerator gen_b(GetParam() + 100, 2);
+    Region data{0x1000000, 1u << 18};
+    gen_a.pushCompute(prof, 20000, data, PatternKind::Random);
+    gen_b.pushCompute(prof, 20000, data, PatternKind::Random);
+    while (!gen_a.done()) {
+        ooo.execute(gen_a.next(), Owner::App);
+        inorder.execute(gen_b.next(), Owner::App);
+    }
+    // Allow 5% slack: the models arbitrate the bus differently.
+    EXPECT_LE(ooo.drain(), inorder.drain() * 105 / 100);
+}
+
+TEST_P(CpuProperty, LargerWindowNeverHurtsMuch)
+{
+    Pcg32 rng(GetParam() + 200);
+    CodeProfile prof = randomProfile(rng);
+    Cycles prev = 0;
+    bool first = true;
+    for (std::uint32_t window : {16u, 64u, 126u, 256u}) {
+        CpuParams params;
+        params.windowSize = window;
+        OooCpu cpu(params, nullptr, nullptr);
+        CodeGenerator gen(GetParam() + 200, 3);
+        gen.pushCompute(prof, 20000, Region{0x1000000, 1u << 18},
+                        PatternKind::Random);
+        while (!gen.done())
+            cpu.execute(gen.next(), Owner::App);
+        Cycles cycles = cpu.drain();
+        if (!first) {
+            // Monotone up to 2% modeling slack.
+            EXPECT_LE(cycles, prev * 102 / 100) << window;
+        }
+        prev = cycles;
+        first = false;
+    }
+}
+
+TEST_P(CpuProperty, CyclesScaleLinearlyWithWork)
+{
+    // Twice the ops of the same profile costs roughly twice the
+    // cycles. Flat memory and perfect branch prediction: cache and
+    // predictor warm-up transients make real scaling deliberately
+    // sublinear, which the other tests cover.
+    Pcg32 rng(GetParam() + 300);
+    CodeProfile prof = randomProfile(rng);
+    auto cycles_for = [&](std::uint64_t n) {
+        CpuParams params;
+        OooCpu cpu(params, nullptr, nullptr);
+        CodeGenerator gen(GetParam() + 300, 4);
+        gen.pushCompute(prof, n, Region{0x1000000, 1u << 18},
+                        PatternKind::Random);
+        while (!gen.done())
+            cpu.execute(gen.next(), Owner::App);
+        return cpu.drain();
+    };
+    double ratio = static_cast<double>(cycles_for(60000)) /
+                   static_cast<double>(cycles_for(30000));
+    EXPECT_GT(ratio, 1.8);
+    EXPECT_LT(ratio, 2.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, CpuProperty,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,101 @@
+/** @file Tests for 1-D and bubble histograms (Fig. 5 binning). */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace osp
+{
+namespace
+{
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(1000.0);
+    EXPECT_EQ(h.binOf(0.0), 0);
+    EXPECT_EQ(h.binOf(999.9), 0);
+    EXPECT_EQ(h.binOf(1000.0), 1);
+    EXPECT_EQ(h.binOf(-1.0), -1);
+}
+
+TEST(Histogram, OriginShiftsBins)
+{
+    Histogram h(10.0, 5.0);
+    EXPECT_EQ(h.binOf(5.0), 0);
+    EXPECT_EQ(h.binOf(14.9), 0);
+    EXPECT_EQ(h.binOf(15.0), 1);
+    EXPECT_EQ(h.binOf(4.9), -1);
+}
+
+TEST(Histogram, CountsAccumulate)
+{
+    Histogram h(10.0);
+    h.add(1.0);
+    h.add(2.0);
+    h.add(15.0);
+    EXPECT_EQ(h.countAt(0), 2u);
+    EXPECT_EQ(h.countAt(1), 1u);
+    EXPECT_EQ(h.countAt(2), 0u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, BinCenter)
+{
+    Histogram h(1000.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 500.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(3), 3500.0);
+}
+
+TEST(Histogram, NonEmptySortedAscending)
+{
+    Histogram h(1.0);
+    h.add(5.0);
+    h.add(2.0);
+    h.add(5.5);
+    auto bins = h.nonEmpty();
+    ASSERT_EQ(bins.size(), 2u);
+    EXPECT_EQ(bins[0].first, 2);
+    EXPECT_EQ(bins[0].second, 1u);
+    EXPECT_EQ(bins[1].first, 5);
+    EXPECT_EQ(bins[1].second, 2u);
+}
+
+TEST(Histogram, ZeroWidthDies)
+{
+    EXPECT_DEATH(Histogram(0.0), "positive");
+}
+
+TEST(BubbleHistogram, PaperBinning)
+{
+    // Fig. 5: 1000-instruction by 4000-cycle bins.
+    BubbleHistogram b(1000.0, 4000.0);
+    b.add(1500.0, 9000.0);   // bins (1, 2)
+    b.add(1999.0, 11999.0);  // bins (1, 2)
+    b.add(2000.0, 12000.0);  // bins (2, 3)
+    EXPECT_EQ(b.totalCount(), 3u);
+    EXPECT_EQ(b.numBubbles(), 2u);
+    auto bubbles = b.bubbles();
+    ASSERT_EQ(bubbles.size(), 2u);
+    EXPECT_EQ(bubbles[0].xBin, 1);
+    EXPECT_EQ(bubbles[0].yBin, 2);
+    EXPECT_EQ(bubbles[0].count, 2u);
+    EXPECT_DOUBLE_EQ(bubbles[0].xCenter, 1500.0);
+    EXPECT_DOUBLE_EQ(bubbles[0].yCenter, 10000.0);
+    EXPECT_EQ(bubbles[1].count, 1u);
+}
+
+TEST(BubbleHistogram, FewBubblesForClusteredInput)
+{
+    // The paper's key observation: repeated behaviour points produce
+    // few, large bubbles.
+    BubbleHistogram b(1000.0, 4000.0);
+    for (int i = 0; i < 100; ++i) {
+        b.add(2100.0 + i % 50, 8100.0 + i % 300);
+        b.add(7300.0 + i % 50, 30000.0 + i % 300);
+    }
+    EXPECT_EQ(b.totalCount(), 200u);
+    EXPECT_LE(b.numBubbles(), 2u);
+}
+
+} // namespace
+} // namespace osp

@@ -1,0 +1,139 @@
+/** @file Tests for the binomial learning-window analysis (Sec. 4.3,
+ *  Fig. 7). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/learning_window.hh"
+
+namespace osp
+{
+namespace
+{
+
+TEST(LearningWindow, PaperOperatingPoint95)
+{
+    // pmin = 3%, DoC = 95%: the paper rounds the answer to 100.
+    std::uint64_t n = learningWindowSize(0.03, 0.95);
+    EXPECT_EQ(n, 99u);
+    EXPECT_GE(probOccursAtLeastOnce(0.03, n), 0.95);
+    EXPECT_LT(probOccursAtLeastOnce(0.03, n - 1), 0.95);
+}
+
+TEST(LearningWindow, PaperOperatingPoint99)
+{
+    // "a little bit over 150" at 99% confidence.
+    std::uint64_t n = learningWindowSize(0.03, 0.99);
+    EXPECT_EQ(n, 152u);
+    EXPECT_GE(probOccursAtLeastOnce(0.03, n), 0.99);
+    EXPECT_LT(probOccursAtLeastOnce(0.03, n - 1), 0.99);
+}
+
+TEST(LearningWindow, MonotoneInPmin)
+{
+    // Rarer clusters need longer windows.
+    std::uint64_t prev = ~0ULL;
+    for (double p = 0.01; p <= 0.2; p += 0.01) {
+        std::uint64_t n = learningWindowSize(p, 0.95);
+        EXPECT_LE(n, prev);
+        prev = n;
+    }
+}
+
+TEST(LearningWindow, MonotoneInConfidence)
+{
+    EXPECT_LT(learningWindowSize(0.05, 0.90),
+              learningWindowSize(0.05, 0.95));
+    EXPECT_LT(learningWindowSize(0.05, 0.95),
+              learningWindowSize(0.05, 0.99));
+}
+
+TEST(LearningWindow, InvalidArgumentsDie)
+{
+    EXPECT_DEATH(learningWindowSize(0.0, 0.95), "p_min");
+    EXPECT_DEATH(learningWindowSize(1.0, 0.95), "p_min");
+    EXPECT_DEATH(learningWindowSize(0.03, 0.0), "doc");
+    EXPECT_DEATH(learningWindowSize(0.03, 1.0), "doc");
+}
+
+TEST(ProbOccurs, Extremes)
+{
+    EXPECT_DOUBLE_EQ(probOccursAtLeastOnce(0.0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(probOccursAtLeastOnce(1.0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(probOccursAtLeastOnce(0.5, 0), 0.0);
+}
+
+TEST(ProbOccurs, MatchesClosedForm)
+{
+    // 1 - (1-p)^n
+    EXPECT_NEAR(probOccursAtLeastOnce(0.5, 2), 0.75, 1e-12);
+    EXPECT_NEAR(probOccursAtLeastOnce(0.1, 10),
+                1.0 - std::pow(0.9, 10), 1e-12);
+}
+
+TEST(BinomialPmf, SumsToOne)
+{
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k <= 20; ++k)
+        sum += binomialPmf(20, k, 0.3);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BinomialPmf, KnownValues)
+{
+    // C(4,2) * 0.5^4 = 6/16
+    EXPECT_NEAR(binomialPmf(4, 2, 0.5), 0.375, 1e-12);
+    EXPECT_NEAR(binomialPmf(3, 0, 0.2), 0.512, 1e-12);
+    EXPECT_DOUBLE_EQ(binomialPmf(3, 4, 0.2), 0.0);
+}
+
+TEST(BinomialPmf, DegenerateProbabilities)
+{
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 3, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialTail, AgreesWithAtLeastOnce)
+{
+    // Eq. 2 is the k >= 1 tail of Eq. 1.
+    for (double p : {0.01, 0.03, 0.1, 0.5}) {
+        for (std::uint64_t n : {1u, 10u, 100u}) {
+            EXPECT_NEAR(binomialTailAtLeast(n, 1, p),
+                        probOccursAtLeastOnce(p, n), 1e-9);
+        }
+    }
+}
+
+TEST(BinomialTail, AtLeastZeroIsCertain)
+{
+    EXPECT_DOUBLE_EQ(binomialTailAtLeast(10, 0, 0.3), 1.0);
+}
+
+/** Fig. 7 property: the curve the paper plots. */
+class LearningWindowCurve
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LearningWindowCurve, WindowSatisfiesConfidence)
+{
+    double pmin = GetParam();
+    for (double doc : {0.95, 0.99}) {
+        std::uint64_t n = learningWindowSize(pmin, doc);
+        EXPECT_GE(probOccursAtLeastOnce(pmin, n), doc);
+        if (n > 1) {
+            EXPECT_LT(probOccursAtLeastOnce(pmin, n - 1), doc);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig7Sweep, LearningWindowCurve,
+                         ::testing::Values(0.005, 0.01, 0.02, 0.03,
+                                           0.05, 0.08, 0.1, 0.15,
+                                           0.2));
+
+} // namespace
+} // namespace osp

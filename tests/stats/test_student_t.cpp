@@ -1,0 +1,107 @@
+/** @file Tests for Student's-t critical values and the Eq. 8 EPO
+ *  bound. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/student_t.hh"
+
+namespace osp
+{
+namespace
+{
+
+TEST(StudentT, TabulatedValues)
+{
+    EXPECT_NEAR(studentTCritical(1, 0.05), 6.314, 1e-3);
+    EXPECT_NEAR(studentTCritical(3, 0.05), 2.353, 1e-3);
+    EXPECT_NEAR(studentTCritical(10, 0.05), 1.812, 1e-3);
+    EXPECT_NEAR(studentTCritical(30, 0.05), 1.697, 1e-3);
+    EXPECT_NEAR(studentTCritical(120, 0.05), 1.658, 1e-3);
+}
+
+TEST(StudentT, OtherAlphas)
+{
+    EXPECT_NEAR(studentTCritical(5, 0.10), 1.476, 1e-3);
+    EXPECT_NEAR(studentTCritical(5, 0.025), 2.571, 1e-3);
+    EXPECT_NEAR(studentTCritical(5, 0.01), 3.365, 1e-3);
+}
+
+TEST(StudentT, DecreasesWithDf)
+{
+    for (std::uint64_t df = 1; df < 30; ++df) {
+        EXPECT_GT(studentTCritical(df, 0.05),
+                  studentTCritical(df + 1, 0.05));
+    }
+}
+
+TEST(StudentT, LargeDfApproachesNormal)
+{
+    // z_{0.05} = 1.645
+    EXPECT_NEAR(studentTCritical(100000, 0.05), 1.645, 5e-3);
+    EXPECT_NEAR(studentTCritical(100000, 0.01), 2.326, 5e-3);
+}
+
+TEST(StudentT, InterpolatedDfBetweenRows)
+{
+    // df = 50 sits between the 40 and 60 rows.
+    double t50 = studentTCritical(50, 0.05);
+    EXPECT_LT(t50, studentTCritical(40, 0.05));
+    EXPECT_GT(t50, studentTCritical(60, 0.05));
+}
+
+TEST(StudentT, UnsupportedAlphaDies)
+{
+    EXPECT_DEATH(studentTCritical(5, 0.5), "alpha");
+}
+
+TEST(EpoUpperBound, TooFewSamplesIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(epoUpperBound({})));
+    EXPECT_TRUE(std::isinf(epoUpperBound({0.05})));
+}
+
+TEST(EpoUpperBound, ZeroVarianceEqualsMean)
+{
+    std::vector<double> epos = {0.04, 0.04, 0.04, 0.04};
+    EXPECT_NEAR(epoUpperBound(epos), 0.04, 1e-12);
+}
+
+TEST(EpoUpperBound, MatchesHandComputation)
+{
+    // epos = {0.02, 0.04}: mean 0.03, sample stddev ~0.014142,
+    // t_{1,0.05} = 6.314, bound = 0.03 + 6.314*0.014142/sqrt(2).
+    std::vector<double> epos = {0.02, 0.04};
+    double s = std::sqrt(((0.02 - 0.03) * (0.02 - 0.03) +
+                          (0.04 - 0.03) * (0.04 - 0.03)) /
+                         1.0);
+    double expect = 0.03 + 6.314 * s / std::sqrt(2.0);
+    EXPECT_NEAR(epoUpperBound(epos), expect, 1e-6);
+}
+
+TEST(EpoUpperBound, RareClusterStaysBelowPmin)
+{
+    // Consistently tiny EPOs: we stay confident it's rare.
+    std::vector<double> epos = {0.01, 0.012, 0.008, 0.011};
+    EXPECT_LT(epoUpperBound(epos), 0.03);
+}
+
+TEST(EpoUpperBound, FrequentClusterCrossesPmin)
+{
+    std::vector<double> epos = {0.05, 0.06, 0.04, 0.05};
+    EXPECT_GE(epoUpperBound(epos), 0.03);
+}
+
+TEST(EpoUpperBound, MoreSamplesTightenTheBound)
+{
+    std::vector<double> few = {0.02, 0.03, 0.025, 0.028};
+    std::vector<double> many = few;
+    for (int i = 0; i < 4; ++i)
+        many.insert(many.end(), few.begin(), few.end());
+    EXPECT_LT(epoUpperBound(many), epoUpperBound(few));
+}
+
+} // namespace
+} // namespace osp

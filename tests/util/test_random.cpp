@@ -1,0 +1,183 @@
+/** @file Unit tests for the PCG32 generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace osp
+{
+namespace
+{
+
+TEST(Pcg32, SameSeedSameSequence)
+{
+    Pcg32 a(123, 7);
+    Pcg32 b(123, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(123, 7);
+    Pcg32 b(124, 7);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(123, 7);
+    Pcg32 b(123, 8);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, ReseedReplays)
+{
+    Pcg32 a(55, 1);
+    std::vector<std::uint32_t> first;
+    for (int i = 0; i < 64; ++i)
+        first.push_back(a.next());
+    a.reseed(55, 1);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(a.next(), first[i]);
+}
+
+TEST(Pcg32, RangeRespectsBound)
+{
+    Pcg32 rng(9);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 255u, 1000u}) {
+        for (int i = 0; i < 2000; ++i) {
+            std::uint32_t v = rng.range(bound);
+            ASSERT_LT(v, bound);
+        }
+    }
+}
+
+TEST(Pcg32, RangeZeroOrOneIsZero)
+{
+    Pcg32 rng(9);
+    EXPECT_EQ(rng.range(0), 0u);
+    EXPECT_EQ(rng.range(1), 0u);
+}
+
+TEST(Pcg32, RangeCoversAllValues)
+{
+    Pcg32 rng(11);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.range(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32, RangeInclusiveBounds)
+{
+    Pcg32 rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.rangeInclusive(3, 6);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 6);
+    }
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, UniformRangeBounds)
+{
+    Pcg32 rng(19);
+    for (int i = 0; i < 5000; ++i) {
+        double u = rng.uniform(2.5, 7.5);
+        ASSERT_GE(u, 2.5);
+        ASSERT_LT(u, 7.5);
+    }
+}
+
+TEST(Pcg32, ChanceExtremes)
+{
+    Pcg32 rng(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Pcg32, ChanceFrequency)
+{
+    Pcg32 rng(29);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Pcg32, GaussianMoments)
+{
+    Pcg32 rng(31);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian(10.0, 2.0);
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Pcg32, ExponentialMean)
+{
+    Pcg32 rng(37);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double e = rng.exponential(5.0);
+        ASSERT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Pcg32, GeometricMeanMatches)
+{
+    Pcg32 rng(41);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        auto g = rng.geometric(0.25);
+        ASSERT_GE(g, 1u);
+        sum += g;
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Pcg32, GeometricEdgeProbabilities)
+{
+    Pcg32 rng(43);
+    EXPECT_EQ(rng.geometric(1.0), 1u);
+    EXPECT_EQ(rng.geometric(0.0), 1u);
+}
+
+} // namespace
+} // namespace osp
