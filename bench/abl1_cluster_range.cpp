@@ -12,10 +12,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Ablation 1",
            "scaled-cluster half-range sweep (paper: 5%)");

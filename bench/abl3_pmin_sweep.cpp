@@ -13,10 +13,11 @@
 #include "stats/learning_window.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Ablation 3",
            "p_min / DoC sweep: derived window, coverage, error "

@@ -15,10 +15,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Ablation 4",
            "pollution policies and BP warming for predicted "

@@ -30,7 +30,7 @@ trainProfile(const std::string &workload, std::uint64_t seed)
 {
     MachineConfig cfg = paperConfig();
     cfg.seed = seed;
-    auto machine = makeMachine(workload, cfg, shapeScale);
+    auto machine = makeMachine(workload, cfg, scaled(shapeScale));
     Accelerator accel(paperPredictor());
     machine->setController(&accel);
     machine->run();
@@ -46,7 +46,7 @@ runFrozen(const std::string &workload, std::uint64_t seed,
 {
     MachineConfig cfg = paperConfig();
     cfg.seed = seed;
-    auto machine = makeMachine(workload, cfg, shapeScale);
+    auto machine = makeMachine(workload, cfg, scaled(shapeScale));
     PredictorParams pp = paperPredictor(RelearnStrategy::BestMatch);
     pp.auditEvery = 0;  // offline: no correction mechanisms
     Accelerator accel(pp);
@@ -60,8 +60,9 @@ runFrozen(const std::string &workload, std::uint64_t seed,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    osp::bench::init(argc, argv);
     banner("Ablation 5",
            "online learning vs frozen offline profiles (the "
            "paper's Sec. 2 argument)");

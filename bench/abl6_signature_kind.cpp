@@ -16,10 +16,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Ablation 6",
            "signature basis: instruction count (paper) vs "
@@ -36,7 +37,7 @@ main()
             PredictorParams pp = paperPredictor();
             pp.useMixSignature = mix;
 
-            auto machine = makeMachine(name, cfg, shapeScale);
+            auto machine = makeMachine(name, cfg, scaled(shapeScale));
             Accelerator accel(pp);
             machine->setController(&accel);
             const RunTotals &t = machine->run();

@@ -12,6 +12,8 @@
 #ifndef OSP_BENCH_COMMON_HH
 #define OSP_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -33,6 +35,62 @@ inline constexpr double accuracyScale = 2.0;
 
 /** Work-volume scale for characterization/shape experiments. */
 inline constexpr double shapeScale = 1.0;
+
+/** Smoke mode shrinks every bench's work volume by this factor so
+ *  CI can execute the binaries in seconds instead of minutes. The
+ *  numbers lose paper fidelity; smoke runs exist to prove the
+ *  binaries execute and to give CI a diffable artifact. */
+inline constexpr double smokeDivisor = 20.0;
+
+/** Mutable smoke state, seeded from OSPREDICT_SMOKE=1. */
+inline bool &
+smokeFlag()
+{
+    static bool flag = [] {
+        const char *env = std::getenv("OSPREDICT_SMOKE");
+        return env && *env && std::strcmp(env, "0") != 0;
+    }();
+    return flag;
+}
+
+/** True when smoke mode is active (--smoke or OSPREDICT_SMOKE=1). */
+inline bool smokeMode() { return smokeFlag(); }
+
+/** Multiplier applied to every work-volume scale. */
+inline double
+smokeFactor()
+{
+    return smokeMode() ? 1.0 / smokeDivisor : 1.0;
+}
+
+/** A bench scale with smoke shrinking applied. */
+inline double scaled(double scale) { return scale * smokeFactor(); }
+
+/**
+ * Standard bench argument handling: `--smoke` enables smoke mode
+ * (equivalent to OSPREDICT_SMOKE=1). Unknown arguments are left for
+ * the bench's own parsing. Call first thing in main().
+ */
+inline void
+init(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smokeFlag() = true;
+    }
+}
+
+/** Value of `--threads N` (0 = let the runner pick). */
+inline unsigned
+threadArg(int argc, char **argv, unsigned fallback = 0)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0)
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    return fallback;
+}
 
 /** The paper's machine (Sec. 5.1), with an optional L2 size. */
 inline MachineConfig
@@ -60,7 +118,7 @@ inline RunTotals
 runFull(const std::string &name, const MachineConfig &cfg,
         double scale)
 {
-    auto machine = makeMachine(name, cfg, scale);
+    auto machine = makeMachine(name, cfg, scaled(scale));
     return machine->run();
 }
 
@@ -69,7 +127,7 @@ inline RunTotals
 runAppOnly(const std::string &name, MachineConfig cfg, double scale)
 {
     cfg.appOnly = true;
-    auto machine = makeMachine(name, cfg, scale);
+    auto machine = makeMachine(name, cfg, scaled(scale));
     return machine->run();
 }
 
@@ -86,7 +144,7 @@ runAccelerated(const std::string &name, const MachineConfig &cfg,
                double scale,
                const PredictorParams &params = paperPredictor())
 {
-    auto machine = makeMachine(name, cfg, scale);
+    auto machine = makeMachine(name, cfg, scaled(scale));
     Accelerator accel(params);
     machine->setController(&accel);
     AccelResult out;
@@ -103,7 +161,12 @@ banner(const std::string &experiment, const std::string &what)
               << "(seed " << defaultSeed
               << "; paper machine: 4GHz 4-wide OOO, 126-entry "
                  "window, 16KB L1I/L1D, 1MB 8-way L2 unless "
-                 "stated)\n\n";
+                 "stated)\n";
+    if (smokeMode())
+        std::cout << "(SMOKE MODE: work volume / "
+                  << smokeDivisor
+                  << " — numbers are not paper-comparable)\n";
+    std::cout << "\n";
 }
 
 /** Print the paper's reference values next to ours. */

@@ -14,10 +14,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Extension 1",
            "generalization to transaction processing (oltp)");

@@ -11,10 +11,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 2",
            "speedup of 1MB over 512KB L2: App-Only vs App+OS");

@@ -11,10 +11,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 3",
            "per-service cycles and IPC: average +- stddev (services "
@@ -23,7 +24,7 @@ main()
     for (const std::string name : {"ab-rand", "ab-seq"}) {
         MachineConfig cfg = paperConfig();
         cfg.recordIntervals = true;
-        auto machine = makeMachine(name, cfg, shapeScale);
+        auto machine = makeMachine(name, cfg, scaled(shapeScale));
         machine->run();
         auto chars = characterizeServices(machine->intervals());
 

@@ -14,10 +14,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 4",
            "sys_read execution time per invocation (downsampled "
@@ -26,7 +27,7 @@ main()
     for (const std::string name : {"ab-rand", "ab-seq"}) {
         MachineConfig cfg = paperConfig();
         cfg.recordIntervals = true;
-        auto machine = makeMachine(name, cfg, shapeScale);
+        auto machine = makeMachine(name, cfg, scaled(shapeScale));
         machine->run();
 
         std::vector<Cycles> series;

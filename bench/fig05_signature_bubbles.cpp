@@ -17,10 +17,11 @@
 #include "stats/histogram.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 5",
            "sys_read bubble histogram: 1000-instruction x "
@@ -29,7 +30,7 @@ main()
     for (const std::string name : {"ab-rand", "ab-seq"}) {
         MachineConfig cfg = paperConfig();
         cfg.recordIntervals = true;
-        auto machine = makeMachine(name, cfg, shapeScale);
+        auto machine = makeMachine(name, cfg, scaled(shapeScale));
         machine->run();
 
         BubbleHistogram hist(1000.0, 4000.0);

@@ -11,10 +11,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 6",
            "per-service CV, non-clustered vs scaled clusters "
@@ -32,7 +33,7 @@ main()
     for (const auto &name : osIntensiveWorkloads()) {
         MachineConfig cfg = paperConfig();
         cfg.recordIntervals = true;
-        auto machine = makeMachine(name, cfg, shapeScale);
+        auto machine = makeMachine(name, cfg, scaled(shapeScale));
         machine->run();
         // Skip each service's cold-start transient (the predictor's
         // delayed learning start does the same, Sec. 4.4).

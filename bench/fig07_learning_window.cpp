@@ -14,10 +14,11 @@
 #include "stats/learning_window.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 7",
            "initial learning window vs minimum probability of "

@@ -7,50 +7,64 @@
  * The paper's headline accuracy: average absolute execution-time
  * error 3.2%, worst case 4.2% (du); application-only errors average
  * 12.5% IPC with a 39.8% worst case.
+ *
+ * Executes through the parallel sweep runner (src/driver): all 15
+ * cells (5 workloads x {full, app-only, accelerated}) run
+ * concurrently, one isolated Machine each, and the table below is
+ * read out of the aggregated result set. `--threads N` pins the
+ * worker count (default: one per core), `--smoke` shrinks the work
+ * volume for CI.
  */
 
 #include "common.hh"
+#include "driver/experiments.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 8",
            "normalized execution time and IPC: App+OS Pred and "
            "App-Only vs full-system (Statistical strategy, window "
            "100)");
 
+    SweepSpec spec = fig08Sweep(smokeFactor());
+    spec.smoke = smokeMode();
+    RunnerOptions opts;
+    opts.threads = threadArg(argc, argv);
+    SweepResult sweep = runSweep(spec, opts);
+
     TablePrinter table({"bench", "norm_time_pred", "norm_time_app",
                         "norm_ipc_pred", "norm_ipc_app",
                         "pred_time_err", "coverage"});
 
     RunningStats err_stats;
-    for (const auto &name : osIntensiveWorkloads()) {
-        MachineConfig cfg = paperConfig();
-        RunTotals full = runFull(name, cfg, accuracyScale);
-        AccelResult pred =
-            runAccelerated(name, cfg, accuracyScale);
-        RunTotals app = runAppOnly(name, cfg, accuracyScale);
+    for (const auto &name : spec.workloads) {
+        const CellResult &full =
+            *sweep.find(name, RunMode::Full);
+        const CellResult &pred =
+            *sweep.find(name, RunMode::Accelerated);
+        const CellResult &app =
+            *sweep.find(name, RunMode::AppOnly);
 
         double t_pred =
             static_cast<double>(pred.totals.totalCycles()) /
-            static_cast<double>(full.totalCycles());
-        double t_app = static_cast<double>(app.totalCycles()) /
-                       static_cast<double>(full.totalCycles());
-        double ipc_pred = pred.totals.ipc() / full.ipc();
-        double ipc_app = app.ipc() / full.ipc();
-        double err = absError(
-            static_cast<double>(pred.totals.totalCycles()),
-            static_cast<double>(full.totalCycles()));
-        err_stats.add(err);
+            static_cast<double>(full.totals.totalCycles());
+        double t_app =
+            static_cast<double>(app.totals.totalCycles()) /
+            static_cast<double>(full.totals.totalCycles());
+        double ipc_pred = pred.totals.ipc() / full.totals.ipc();
+        double ipc_app = app.totals.ipc() / full.totals.ipc();
+        err_stats.add(pred.cycleError);
 
         table.addRow({name, TablePrinter::fmt(t_pred, 3),
                       TablePrinter::fmt(t_app, 3),
                       TablePrinter::fmt(ipc_pred, 3),
                       TablePrinter::fmt(ipc_app, 3),
-                      TablePrinter::pct(err),
+                      TablePrinter::pct(pred.cycleError),
                       TablePrinter::pct(pred.totals.coverage())});
     }
     table.print(std::cout);
@@ -59,6 +73,10 @@ main()
               << TablePrinter::pct(err_stats.mean())
               << ", worst case: "
               << TablePrinter::pct(err_stats.max()) << "\n";
+
+    std::cout << "\nsweep: " << sweep.cells.size() << " cells in "
+              << TablePrinter::fmt(sweep.wallSeconds, 2) << " s on "
+              << sweep.threads << " thread(s)\n";
 
     paperNote(
         "App+OS Pred tracks full-system closely (avg 3.2% error, "

@@ -6,60 +6,57 @@
  * The paper: Best-Match covers 93% but errs 9.6% on average (29%
  * worst); Eager errs only 1.5% but covers 74%; Statistical (89% /
  * 3.2%) and Delayed (88% / 2.7%) balance both.
+ *
+ * Executes through the parallel sweep runner: 30 cells (5
+ * workloads x (1 baseline + 5 predictor variants)). Columns 0-3
+ * isolate the paper's strategy axis with audit sampling (this
+ * repo's drift extension) disabled; column 4 is the repository
+ * default, Statistical + audits. Variant definitions live in
+ * driver/experiments.cc (fig11Sweep).
  */
 
 #include "common.hh"
+#include "driver/experiments.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Figure 11",
            "coverage and absolute error of the re-learning "
            "strategies (Best-Match / Statistical / Delayed / "
            "Eager)");
 
-    const RelearnStrategy strategies[] = {
-        RelearnStrategy::BestMatch,
-        RelearnStrategy::Statistical,
-        RelearnStrategy::Delayed,
-        RelearnStrategy::Eager,
-    };
+    SweepSpec spec = fig11Sweep(smokeFactor());
+    spec.smoke = smokeMode();
+    RunnerOptions opts;
+    opts.threads = threadArg(argc, argv);
+    SweepResult sweep = runSweep(spec, opts);
 
-    TablePrinter cov({"bench", "best-match", "statistical",
-                      "delayed", "eager", "stat+audit"});
-    TablePrinter err({"bench", "best-match", "statistical",
-                      "delayed", "eager", "stat+audit"});
+    std::vector<std::string> header = {"bench"};
+    for (const auto &variant : spec.predictors)
+        header.push_back(variant.label);
+    TablePrinter cov(header);
+    TablePrinter err(header);
 
-    RunningStats cov_avg[5];
-    RunningStats err_avg[5];
+    const std::size_t num_variants = spec.predictors.size();
+    std::vector<RunningStats> cov_avg(num_variants);
+    std::vector<RunningStats> err_avg(num_variants);
 
-    for (const auto &name : osIntensiveWorkloads()) {
-        MachineConfig cfg = paperConfig();
-        RunTotals full = runFull(name, cfg, accuracyScale);
-
+    for (const auto &name : spec.workloads) {
         std::vector<std::string> cov_row = {name};
         std::vector<std::string> err_row = {name};
-        for (int s = 0; s < 5; ++s) {
-            // Columns 0-3 isolate the paper's strategy axis: audit
-            // sampling (this repo's drift extension) is disabled so
-            // it cannot blur the strategies' differences. Column 4
-            // is the repository default, Statistical + audits.
-            PredictorParams pp =
-                paperPredictor(strategies[s < 4 ? s : 1]);
-            pp.auditEvery = (s == 4) ? pp.auditEvery : 0;
-            AccelResult res =
-                runAccelerated(name, cfg, accuracyScale, pp);
+        for (std::size_t v = 0; v < num_variants; ++v) {
+            const CellResult &res =
+                *sweep.find(name, RunMode::Accelerated, v);
             double coverage = res.totals.coverage();
-            double error = absError(
-                static_cast<double>(res.totals.totalCycles()),
-                static_cast<double>(full.totalCycles()));
             cov_row.push_back(TablePrinter::pct(coverage));
-            err_row.push_back(TablePrinter::pct(error));
-            cov_avg[s].add(coverage);
-            err_avg[s].add(error);
+            err_row.push_back(TablePrinter::pct(res.cycleError));
+            cov_avg[v].add(coverage);
+            err_avg[v].add(res.cycleError);
         }
         cov.addRow(cov_row);
         err.addRow(err_row);
@@ -67,9 +64,9 @@ main()
 
     std::vector<std::string> cov_last = {"average"};
     std::vector<std::string> err_last = {"average"};
-    for (int s = 0; s < 5; ++s) {
-        cov_last.push_back(TablePrinter::pct(cov_avg[s].mean()));
-        err_last.push_back(TablePrinter::pct(err_avg[s].mean()));
+    for (std::size_t v = 0; v < num_variants; ++v) {
+        cov_last.push_back(TablePrinter::pct(cov_avg[v].mean()));
+        err_last.push_back(TablePrinter::pct(err_avg[v].mean()));
     }
     cov.addRow(cov_last);
     err.addRow(err_last);
@@ -78,6 +75,10 @@ main()
     cov.print(std::cout);
     std::cout << "\n(b) absolute execution-time error\n";
     err.print(std::cout);
+
+    std::cout << "\nsweep: " << sweep.cells.size() << " cells in "
+              << TablePrinter::fmt(sweep.wallSeconds, 2) << " s on "
+              << sweep.threads << " thread(s)\n";
 
     paperNote(
         "coverage 93/89/88/74% and error 9.6/3.2/2.7/1.5% for "

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * `sweep`: run any named experiment sweep through the parallel
+ * runner and write machine-readable results.
+ *
+ *   sweep fig08 --threads 8 --out results.json
+ *   sweep table2 --smoke --no-timing --out canonical.json
+ *   sweep --list
+ *
+ * The emitted document follows the "ospredict-sweep-v1" schema
+ * (src/driver/sweep.hh). With --no-timing the bytes are identical
+ * for any --threads value at the same seed — CI runs the smoke
+ * sweep at 1 and N threads and diffs the two files.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "common.hh"
+#include "driver/experiments.hh"
+#include "driver/sweep.hh"
+
+namespace
+{
+
+int
+usage(int code)
+{
+    std::ostream &os = code ? std::cerr : std::cout;
+    os << "usage: sweep <name> [options]\n"
+          "       sweep --list\n"
+          "\n"
+          "options:\n"
+          "  --threads N    worker threads (default: one per core)\n"
+          "  --out PATH     write results JSON (default: "
+          "results.json; '-' for stdout)\n"
+          "  --seed S       base seed (default "
+       << osp::experimentSeed
+       << ")\n"
+          "  --smoke        shrink work volume ~20x (also: "
+          "OSPREDICT_SMOKE=1)\n"
+          "  --no-timing    omit wall-clock fields (canonical, "
+          "thread-count-invariant bytes)\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace osp;
+    osp::bench::init(argc, argv);
+
+    std::string name;
+    std::string out_path = "results.json";
+    std::uint64_t seed = experimentSeed;
+    unsigned threads = 0;
+    bool timing = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const auto &n : namedSweeps())
+                std::cout << n << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(0);
+        } else if (arg == "--smoke") {
+            // consumed by bench::init()
+        } else if (arg == "--no-timing") {
+            timing = false;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
+            name = arg;
+        } else {
+            std::cerr << "sweep: bad argument '" << arg << "'\n";
+            return usage(2);
+        }
+    }
+    if (name.empty())
+        return usage(2);
+    const auto &names = namedSweeps();
+    if (std::find(names.begin(), names.end(), name) ==
+        names.end()) {
+        std::cerr << "sweep: unknown sweep '" << name
+                  << "' (try --list)\n";
+        return 2;
+    }
+
+    SweepSpec spec = makeNamedSweep(name, bench::smokeFactor(),
+                                    bench::smokeMode());
+    spec.baseSeed = seed;
+
+    RunnerOptions opts;
+    opts.threads = threads;
+    SweepResult result = runSweep(spec, opts);
+
+    JsonOptions jopts;
+    jopts.includeTiming = timing;
+    if (out_path == "-") {
+        writeResultsJson(std::cout, result, jopts);
+    } else {
+        std::ofstream os(out_path);
+        if (!os) {
+            std::cerr << "sweep: cannot write " << out_path
+                      << "\n";
+            return 1;
+        }
+        writeResultsJson(os, result, jopts);
+    }
+
+    std::cerr << "sweep " << spec.name << ": "
+              << result.cells.size() << " cells in "
+              << TablePrinter::fmt(result.wallSeconds, 2)
+              << " s on " << result.threads << " thread(s)"
+              << (spec.smoke ? " [smoke]" : "") << " -> "
+              << out_path << "\n";
+    return 0;
+}

@@ -25,7 +25,7 @@ timeMode(osp::DetailLevel level)
     using namespace osp::bench;
     MachineConfig cfg = paperConfig();
     cfg.level = level;
-    auto machine = makeMachine("ab-rand", cfg, shapeScale);
+    auto machine = makeMachine("ab-rand", cfg, scaled(shapeScale));
     auto start = std::chrono::steady_clock::now();
     machine->run();
     auto end = std::chrono::steady_clock::now();
@@ -35,10 +35,11 @@ timeMode(osp::DetailLevel level)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace osp;
     using namespace osp::bench;
+    init(argc, argv);
 
     banner("Table 1",
            "slowdown of simulation modes vs in-order/no-cache "

@@ -88,6 +88,81 @@ characterizeServices(const std::vector<IntervalRecord> &intervals,
     return out;
 }
 
+JsonValue
+toJson(const HierarchyCounts &mem)
+{
+    JsonValue v = JsonValue::object();
+    v.add("l1i_accesses", mem.l1iAccesses);
+    v.add("l1i_misses", mem.l1iMisses);
+    v.add("l1d_accesses", mem.l1dAccesses);
+    v.add("l1d_misses", mem.l1dMisses);
+    v.add("l2_accesses", mem.l2Accesses);
+    v.add("l2_misses", mem.l2Misses);
+    return v;
+}
+
+JsonValue
+perServiceJson(const RunTotals &totals)
+{
+    JsonValue arr = JsonValue::array();
+    for (int t = 0; t < numServiceTypes; ++t) {
+        const ServiceTotals &s = totals.perService[t];
+        if (s.invocations == 0)
+            continue;
+        JsonValue v = JsonValue::object();
+        v.add("service", serviceName(static_cast<ServiceType>(t)));
+        v.add("invocations", s.invocations);
+        v.add("simulated", s.simulated);
+        v.add("predicted", s.predicted);
+        v.add("insts", s.insts);
+        v.add("cycles", s.cycles);
+        v.add("coverage",
+              static_cast<double>(s.predicted) /
+                  static_cast<double>(s.invocations));
+        arr.append(std::move(v));
+    }
+    return arr;
+}
+
+JsonValue
+toJson(const RunTotals &totals)
+{
+    JsonValue v = JsonValue::object();
+    v.add("app_insts", totals.appInsts);
+    v.add("os_insts", totals.osInsts);
+    v.add("os_pred_insts", totals.osPredInsts);
+    v.add("app_cycles", totals.appCycles);
+    v.add("os_sim_cycles", totals.osSimCycles);
+    v.add("os_pred_cycles", totals.osPredCycles);
+    v.add("total_insts", totals.totalInsts());
+    v.add("total_cycles", totals.totalCycles());
+    v.add("ipc", totals.ipc());
+    v.add("os_inst_frac", totals.osInstFraction());
+    v.add("os_invocations", totals.osInvocations);
+    v.add("os_simulated", totals.osSimulated);
+    v.add("os_predicted", totals.osPredicted);
+    v.add("coverage", totals.coverage());
+    v.add("measured_mem", toJson(totals.measuredMem));
+    v.add("predicted_mem", toJson(totals.predictedMem));
+    v.add("per_service", perServiceJson(totals));
+    return v;
+}
+
+JsonValue
+toJson(const ServicePredictor::Stats &stats)
+{
+    JsonValue v = JsonValue::object();
+    v.add("warmup_runs", stats.warmupRuns);
+    v.add("learned_runs", stats.learnedRuns);
+    v.add("predicted_runs", stats.predictedRuns);
+    v.add("outliers", stats.outliers);
+    v.add("relearn_events", stats.relearnEvents);
+    v.add("audits", stats.audits);
+    v.add("audit_failures", stats.auditFailures);
+    v.add("drift_resets", stats.driftResets);
+    return v;
+}
+
 CvSummary
 summarizeCv(const std::vector<ServiceCharacterization> &services)
 {

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "plt.hh"
+#include "service_predictor.hh"
 #include "sim/machine.hh"
+#include "util/json.hh"
 
 namespace osp
 {
@@ -92,6 +94,27 @@ struct CvSummary
 
 CvSummary
 summarizeCv(const std::vector<ServiceCharacterization> &services);
+
+/**
+ * Machine-readable report emission (the sweep harness's results
+ * schema, "ospredict-sweep-v1"). Object member order is fixed, so
+ * documents built from equal inputs are byte-identical — the
+ * property the parallel runner's thread-count-invariance contract
+ * (and CI artifact diffing) rests on.
+ */
+JsonValue toJson(const HierarchyCounts &mem);
+
+/** Per-service slice of a run: invocation/simulated/predicted
+ *  counts, instructions, cycles, and the coverage they imply. Only
+ *  services that occurred are emitted. */
+JsonValue perServiceJson(const RunTotals &totals);
+
+/** Whole-run totals, including derived metrics (IPC, coverage,
+ *  OS-instruction fraction) and the per-service breakdown. */
+JsonValue toJson(const RunTotals &totals);
+
+/** Aggregate predictor statistics. */
+JsonValue toJson(const ServicePredictor::Stats &stats);
 
 } // namespace osp
 

@@ -1,0 +1,121 @@
+#include "experiments.hh"
+
+#include "util/logging.hh"
+#include "workload/registry.hh"
+
+namespace osp
+{
+
+PredictorParams
+experimentPredictor(RelearnStrategy strategy)
+{
+    PredictorParams p;
+    p.learningWindow = 100;
+    p.relearn.strategy = strategy;
+    return p;
+}
+
+namespace
+{
+
+SweepSpec
+baseSpec(const std::string &name, double scale)
+{
+    SweepSpec spec;
+    spec.name = name;
+    spec.workloads = osIntensiveWorkloads();
+    spec.baseSeed = experimentSeed;
+    spec.scale = scale;
+    return spec;
+}
+
+} // namespace
+
+SweepSpec
+fig08Sweep(double scale_mult)
+{
+    SweepSpec spec =
+        baseSpec("fig08", experimentAccuracyScale * scale_mult);
+    spec.modes = {RunMode::Full, RunMode::AppOnly,
+                  RunMode::Accelerated};
+    spec.predictors = {{"statistical", experimentPredictor()}};
+    return spec;
+}
+
+SweepSpec
+fig10Sweep(double scale_mult)
+{
+    SweepSpec spec =
+        baseSpec("fig10", experimentShapeScale * scale_mult);
+    spec.modes = {RunMode::Full, RunMode::AppOnly,
+                  RunMode::Accelerated};
+    spec.predictors = {{"statistical", experimentPredictor()}};
+    spec.l2Sizes = {512 * 1024, 1024 * 1024};
+    return spec;
+}
+
+SweepSpec
+fig11Sweep(double scale_mult)
+{
+    SweepSpec spec =
+        baseSpec("fig11", experimentAccuracyScale * scale_mult);
+    spec.modes = {RunMode::Full, RunMode::Accelerated};
+    // The paper's strategy axis with audit sampling (this repo's
+    // drift extension) disabled so it cannot blur the strategies'
+    // differences, plus the repository default as a fifth variant.
+    const RelearnStrategy strategies[] = {
+        RelearnStrategy::BestMatch,
+        RelearnStrategy::Statistical,
+        RelearnStrategy::Delayed,
+        RelearnStrategy::Eager,
+    };
+    for (RelearnStrategy s : strategies) {
+        PredictorParams p = experimentPredictor(s);
+        p.auditEvery = 0;
+        spec.predictors.push_back(
+            {relearnStrategyName(s), p});
+    }
+    spec.predictors.push_back(
+        {"stat+audit", experimentPredictor()});
+    return spec;
+}
+
+SweepSpec
+table2Sweep(double scale_mult)
+{
+    SweepSpec spec =
+        baseSpec("table2", experimentAccuracyScale * scale_mult);
+    spec.modes = {RunMode::Full, RunMode::Accelerated};
+    spec.predictors = {{"statistical", experimentPredictor()}};
+    return spec;
+}
+
+const std::vector<std::string> &
+namedSweeps()
+{
+    static const std::vector<std::string> names = {
+        "fig08", "fig10", "fig11", "table2",
+    };
+    return names;
+}
+
+SweepSpec
+makeNamedSweep(const std::string &name, double scale_mult,
+               bool smoke)
+{
+    SweepSpec spec;
+    if (name == "fig08")
+        spec = fig08Sweep(scale_mult);
+    else if (name == "fig10")
+        spec = fig10Sweep(scale_mult);
+    else if (name == "fig11")
+        spec = fig11Sweep(scale_mult);
+    else if (name == "table2")
+        spec = table2Sweep(scale_mult);
+    else
+        osp_panic("unknown sweep ", name.c_str());
+    spec.smoke = smoke;
+    return spec;
+}
+
+} // namespace osp

@@ -1,0 +1,385 @@
+#include "sweep.hh"
+
+#include <chrono>
+
+#include "core/accelerator.hh"
+#include "thread_pool.hh"
+#include "util/logging.hh"
+#include "workload/registry.hh"
+
+namespace osp
+{
+
+const char *
+runModeName(RunMode mode)
+{
+    switch (mode) {
+      case RunMode::Full: return "full";
+      case RunMode::AppOnly: return "app-only";
+      case RunMode::Accelerated: return "accelerated";
+    }
+    return "?";
+}
+
+std::uint64_t
+cellSeed(std::uint64_t base_seed, std::uint64_t seed_index)
+{
+    if (seed_index == 0)
+        return base_seed;
+    // splitmix64 of (base, index): cheap, full-period, and well
+    // decorrelated — each replication gets an independent stream.
+    std::uint64_t z =
+        base_seed + seed_index * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+bool
+needsPredictor(RunMode mode)
+{
+    return mode == RunMode::Accelerated;
+}
+
+void
+validateSpec(const SweepSpec &spec)
+{
+    if (spec.workloads.empty())
+        osp_panic("SweepSpec '", spec.name.c_str(),
+                  "': no workloads");
+    for (const auto &w : spec.workloads) {
+        if (!isWorkload(w))
+            osp_panic("SweepSpec: unknown workload ", w.c_str());
+    }
+    if (spec.modes.empty())
+        osp_panic("SweepSpec: no run modes");
+    if (spec.l2Sizes.empty())
+        osp_panic("SweepSpec: no L2 sizes");
+    if (spec.numSeeds == 0)
+        osp_panic("SweepSpec: numSeeds must be >= 1");
+    for (RunMode m : spec.modes) {
+        if (needsPredictor(m) &&
+            (spec.predictors.empty() || spec.pollution.empty()))
+            osp_panic("SweepSpec: Accelerated mode requires at "
+                      "least one predictor variant and pollution "
+                      "policy");
+    }
+    if (spec.scale <= 0.0)
+        osp_panic("SweepSpec: scale must be positive");
+}
+
+} // namespace
+
+std::vector<SweepCell>
+expandSweep(const SweepSpec &spec)
+{
+    validateSpec(spec);
+    std::vector<SweepCell> cells;
+    for (const auto &workload : spec.workloads) {
+        for (std::uint64_t l2 : spec.l2Sizes) {
+            for (std::uint64_t si = 0; si < spec.numSeeds; ++si) {
+                for (RunMode mode : spec.modes) {
+                    std::size_t num_pred =
+                        needsPredictor(mode)
+                            ? spec.predictors.size()
+                            : 1;
+                    std::size_t num_poll =
+                        needsPredictor(mode) ? spec.pollution.size()
+                                             : 1;
+                    for (std::size_t pi = 0; pi < num_pred; ++pi) {
+                        for (std::size_t qi = 0; qi < num_poll;
+                             ++qi) {
+                            SweepCell c;
+                            c.index = cells.size();
+                            c.workload = workload;
+                            c.mode = mode;
+                            c.predictorIndex = pi;
+                            c.pollutionIndex = qi;
+                            c.l2Bytes = l2;
+                            c.seedIndex = si;
+                            c.seed =
+                                cellSeed(spec.baseSeed, si);
+                            cells.push_back(std::move(c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+CellResult
+runCell(const SweepSpec &spec, const SweepCell &cell)
+{
+    MachineConfig cfg = spec.baseConfig;
+    cfg.seed = cell.seed;
+    cfg.hier.l2.sizeBytes = cell.l2Bytes;
+    cfg.appOnly = (cell.mode == RunMode::AppOnly);
+
+    CellResult result;
+    result.cell = cell;
+
+    auto start = std::chrono::steady_clock::now();
+    if (cell.mode == RunMode::Accelerated) {
+        cfg.pollutionPolicy = spec.pollution[cell.pollutionIndex];
+        auto machine = makeMachine(cell.workload, cfg, spec.scale);
+        Accelerator accel(
+            spec.predictors[cell.predictorIndex].params);
+        machine->setController(&accel);
+        result.totals = machine->run();
+        result.stats = accel.aggregateStats();
+        result.hasStats = true;
+    } else {
+        auto machine = makeMachine(cell.workload, cfg, spec.scale);
+        result.totals = machine->run();
+    }
+    auto end = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+namespace
+{
+
+/**
+ * Fill the derived fields: error vs the Full baseline at the same
+ * (workload, L2, seed index), Eq. 10 estimates, and the
+ * per-predictor-variant rollup. Runs after the pool join, in
+ * cell-index order — part of the determinism contract.
+ */
+void
+aggregate(SweepResult &result)
+{
+    for (CellResult &r : result.cells) {
+        if (r.cell.mode == RunMode::Full)
+            continue;
+        for (const CellResult &base : result.cells) {
+            if (base.cell.mode != RunMode::Full ||
+                base.cell.workload != r.cell.workload ||
+                base.cell.l2Bytes != r.cell.l2Bytes ||
+                base.cell.seedIndex != r.cell.seedIndex)
+                continue;
+            r.cycleError = absError(
+                static_cast<double>(r.totals.totalCycles()),
+                static_cast<double>(base.totals.totalCycles()));
+            r.hasBaseline = true;
+            break;
+        }
+    }
+    for (CellResult &r : result.cells) {
+        if (r.cell.mode == RunMode::Accelerated)
+            r.estSpeedupR133 = estimatedSpeedup(r.totals, 133.0);
+    }
+
+    result.summary.clear();
+    for (std::size_t pi = 0; pi < result.spec.predictors.size();
+         ++pi) {
+        VariantSummary s;
+        s.label = result.spec.predictors[pi].label;
+        double err_sum = 0.0;
+        std::uint64_t err_count = 0;
+        double cov_sum = 0.0;
+        double est_sum = 0.0;
+        for (const CellResult &r : result.cells) {
+            if (r.cell.mode != RunMode::Accelerated ||
+                r.cell.predictorIndex != pi)
+                continue;
+            ++s.cells;
+            cov_sum += r.totals.coverage();
+            est_sum += r.estSpeedupR133;
+            if (r.hasBaseline) {
+                err_sum += r.cycleError;
+                ++err_count;
+                if (r.cycleError > s.worstCycleError)
+                    s.worstCycleError = r.cycleError;
+            }
+        }
+        if (s.cells == 0)
+            continue;
+        s.meanCycleError =
+            err_count ? err_sum / static_cast<double>(err_count)
+                      : 0.0;
+        s.meanCoverage = cov_sum / static_cast<double>(s.cells);
+        s.meanEstSpeedupR133 =
+            est_sum / static_cast<double>(s.cells);
+        result.summary.push_back(std::move(s));
+    }
+}
+
+} // namespace
+
+SweepResult
+runSweep(const SweepSpec &spec, const RunnerOptions &options)
+{
+    SweepResult result;
+    result.spec = spec;
+
+    std::vector<SweepCell> cells = expandSweep(spec);
+    result.cells.resize(cells.size());
+
+    unsigned threads = options.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    {
+        WorkStealingPool pool(threads);
+        result.threads = pool.numThreads();
+        for (const SweepCell &cell : cells) {
+            // Each task owns exactly one preassigned result slot,
+            // so completion order cannot affect the aggregate.
+            CellResult *slot = &result.cells[cell.index];
+            const SweepSpec *s = &spec;
+            pool.submit([slot, s, cell] {
+                *slot = runCell(*s, cell);
+            });
+        }
+        pool.wait();
+    }
+    auto end = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+
+    aggregate(result);
+    return result;
+}
+
+const CellResult *
+SweepResult::find(const std::string &workload, RunMode mode,
+                  std::size_t predictor_index,
+                  std::uint64_t l2_bytes, std::uint64_t seed_index,
+                  std::size_t pollution_index) const
+{
+    if (l2_bytes == 0 && !spec.l2Sizes.empty())
+        l2_bytes = spec.l2Sizes.front();
+    for (const CellResult &r : cells) {
+        if (r.cell.workload == workload && r.cell.mode == mode &&
+            r.cell.l2Bytes == l2_bytes &&
+            r.cell.seedIndex == seed_index &&
+            (mode != RunMode::Accelerated ||
+             (r.cell.predictorIndex == predictor_index &&
+              r.cell.pollutionIndex == pollution_index)))
+            return &r;
+    }
+    return nullptr;
+}
+
+JsonValue
+sweepToJson(const SweepResult &result, const JsonOptions &options)
+{
+    const SweepSpec &spec = result.spec;
+
+    JsonValue doc = JsonValue::object();
+    doc.add("schema", "ospredict-sweep-v1");
+
+    JsonValue sweep = JsonValue::object();
+    sweep.add("name", spec.name);
+    sweep.add("base_seed", spec.baseSeed);
+    sweep.add("scale", spec.scale);
+    sweep.add("smoke", spec.smoke);
+    sweep.add("num_seeds", spec.numSeeds);
+    JsonValue workloads = JsonValue::array();
+    for (const auto &w : spec.workloads)
+        workloads.append(w);
+    sweep.add("workloads", std::move(workloads));
+    JsonValue modes = JsonValue::array();
+    for (RunMode m : spec.modes)
+        modes.append(runModeName(m));
+    sweep.add("modes", std::move(modes));
+    JsonValue predictors = JsonValue::array();
+    for (const auto &p : spec.predictors)
+        predictors.append(p.label);
+    sweep.add("predictors", std::move(predictors));
+    JsonValue pollution = JsonValue::array();
+    for (PollutionPolicy p : spec.pollution)
+        pollution.append(pollutionPolicyName(p));
+    sweep.add("pollution", std::move(pollution));
+    JsonValue l2s = JsonValue::array();
+    for (std::uint64_t l2 : spec.l2Sizes)
+        l2s.append(l2);
+    sweep.add("l2_bytes", std::move(l2s));
+    doc.add("sweep", std::move(sweep));
+
+    JsonValue cells = JsonValue::array();
+    for (const CellResult &r : result.cells) {
+        JsonValue cell = JsonValue::object();
+
+        JsonValue config = JsonValue::object();
+        config.add("index",
+                   static_cast<std::uint64_t>(r.cell.index));
+        config.add("workload", r.cell.workload);
+        config.add("mode", runModeName(r.cell.mode));
+        if (r.cell.mode == RunMode::Accelerated) {
+            config.add(
+                "predictor",
+                spec.predictors[r.cell.predictorIndex].label);
+            config.add("pollution",
+                       pollutionPolicyName(
+                           spec.pollution[r.cell.pollutionIndex]));
+        }
+        config.add("l2_bytes", r.cell.l2Bytes);
+        config.add("seed_index", r.cell.seedIndex);
+        config.add("seed", r.cell.seed);
+        cell.add("config", std::move(config));
+
+        JsonValue metrics = JsonValue::object();
+        metrics.add("totals", toJson(r.totals));
+        if (r.hasStats)
+            metrics.add("predictor_stats", toJson(r.stats));
+        cell.add("metrics", std::move(metrics));
+
+        JsonValue derived = JsonValue::object();
+        if (r.hasBaseline)
+            derived.add("cycle_error", r.cycleError);
+        if (r.cell.mode == RunMode::Accelerated)
+            derived.add("est_speedup_r133", r.estSpeedupR133);
+        if (derived.size())
+            cell.add("derived", std::move(derived));
+
+        if (options.includeTiming)
+            cell.add("wall_s", r.wallSeconds);
+        cells.append(std::move(cell));
+    }
+    doc.add("cells", std::move(cells));
+
+    JsonValue summary = JsonValue::object();
+    JsonValue variants = JsonValue::array();
+    for (const VariantSummary &s : result.summary) {
+        JsonValue v = JsonValue::object();
+        v.add("predictor", s.label);
+        v.add("cells", s.cells);
+        v.add("mean_cycle_error", s.meanCycleError);
+        v.add("worst_cycle_error", s.worstCycleError);
+        v.add("mean_coverage", s.meanCoverage);
+        v.add("mean_est_speedup_r133", s.meanEstSpeedupR133);
+        variants.append(std::move(v));
+    }
+    summary.add("predictors", std::move(variants));
+    doc.add("summary", std::move(summary));
+
+    if (options.includeTiming) {
+        JsonValue timing = JsonValue::object();
+        timing.add("threads", result.threads);
+        timing.add("wall_s", result.wallSeconds);
+        doc.add("timing", std::move(timing));
+    }
+    return doc;
+}
+
+void
+writeResultsJson(std::ostream &os, const SweepResult &result,
+                 const JsonOptions &options)
+{
+    sweepToJson(result, options).write(os, 2);
+    os << "\n";
+}
+
+} // namespace osp

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The parallel experiment-sweep harness.
+ *
+ * The paper's evaluation (and this repo's bench/ regenerations) is a
+ * pile of cartesian sweeps: workload x run-mode x re-learning
+ * strategy x pollution policy x L2 size x seed, each point an
+ * independent Machine(+Accelerator) run. A SweepSpec names such a
+ * product, expandSweep() flattens it into indexed cells, and
+ * runSweep() executes the cells on a work-stealing pool, each cell
+ * an isolated simulator instance with a deterministic seed derived
+ * from (baseSeed, seed index).
+ *
+ * Determinism contract: the aggregated result — and its JSON form
+ * with timing excluded — is byte-identical for any thread count at
+ * the same spec. Cells write into preassigned slots, aggregation
+ * runs after the join in cell-index order, and nothing reads clocks
+ * except the (excludable) wall-time fields. This is what lets CI
+ * diff result artifacts and makes the harness trustworthy for
+ * accuracy claims.
+ */
+
+#ifndef OSP_DRIVER_SWEEP_HH
+#define OSP_DRIVER_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/service_predictor.hh"
+#include "sim/machine.hh"
+#include "util/json.hh"
+
+namespace osp
+{
+
+/** How one cell executes its workload. */
+enum class RunMode
+{
+    Full,         //!< fully detailed (reference/baseline)
+    AppOnly,      //!< application-only (SimpleScalar-style)
+    Accelerated,  //!< detailed + the paper's prediction engine
+};
+
+/** Display name ("full", "app-only", "accelerated"). */
+const char *runModeName(RunMode mode);
+
+/** One predictor configuration under test, with a report label. */
+struct PredictorVariant
+{
+    std::string label;
+    PredictorParams params;
+};
+
+/** A named cartesian product of experiment dimensions. */
+struct SweepSpec
+{
+    std::string name;
+    std::vector<std::string> workloads;
+    std::vector<RunMode> modes = {RunMode::Full,
+                                  RunMode::Accelerated};
+    /** Applied to Accelerated cells only; baseline modes run once
+     *  regardless of how many variants are listed. */
+    std::vector<PredictorVariant> predictors;
+    /** Cache-pollution policies (Accelerated cells only). */
+    std::vector<PollutionPolicy> pollution = {
+        PollutionPolicy::Footprint};
+    std::vector<std::uint64_t> l2Sizes = {1024 * 1024};
+    /** Seed replications: seed index i runs every other dimension
+     *  at cellSeed(baseSeed, i). */
+    std::uint64_t numSeeds = 1;
+    std::uint64_t baseSeed = 42;
+    /** Work-volume scale handed to makeMachine(). */
+    double scale = 1.0;
+    /** Label only: set when the scale was reduced for smoke runs. */
+    bool smoke = false;
+    /** Template for every cell's MachineConfig; seed, L2 size,
+     *  appOnly and pollution policy are overridden per cell. */
+    MachineConfig baseConfig;
+};
+
+/**
+ * Per-cell machine seed. Seed index 0 maps to the base seed itself,
+ * so single-seed sweeps replay the documented bench results
+ * (EXPERIMENTS.md, seed 42) exactly; further indices are splitmix64
+ * mixes, giving independent streams per replication.
+ *
+ * Cells that must be *comparable* — the same (workload, L2, seed
+ * index) under different modes or predictors, e.g. an accelerated
+ * run and the full-detail baseline its error is measured against —
+ * deliberately share a seed: deriving from the flat cell index
+ * instead would make every error metric measure seed variance, not
+ * prediction quality.
+ */
+std::uint64_t cellSeed(std::uint64_t base_seed,
+                       std::uint64_t seed_index);
+
+/** One point of the flattened product. */
+struct SweepCell
+{
+    std::size_t index = 0;      //!< position in expansion order
+    std::string workload;
+    RunMode mode = RunMode::Full;
+    std::size_t predictorIndex = 0;  //!< into spec.predictors
+    std::size_t pollutionIndex = 0;  //!< into spec.pollution
+    std::uint64_t l2Bytes = 1024 * 1024;
+    std::uint64_t seedIndex = 0;
+    std::uint64_t seed = 0;     //!< cellSeed(base, seedIndex)
+};
+
+/**
+ * Flatten a spec into cells, in deterministic order: workload
+ * (outer), L2 size, seed index, mode, then predictor x pollution
+ * for Accelerated cells. Baseline (Full/AppOnly) cells are emitted
+ * once per (workload, L2, seed) — the predictor and pollution axes
+ * do not affect them, so duplicating them would only burn cycles.
+ */
+std::vector<SweepCell> expandSweep(const SweepSpec &spec);
+
+/** Everything one cell produced. */
+struct CellResult
+{
+    SweepCell cell;
+    RunTotals totals;
+    /** Aggregate predictor statistics (Accelerated cells). */
+    ServicePredictor::Stats stats{};
+    bool hasStats = false;
+    /** Wall-clock seconds for this cell's run() (volatile: excluded
+     *  from canonical JSON). */
+    double wallSeconds = 0.0;
+
+    // Filled by the aggregator:
+    /** |cycles - baseline| / baseline vs the Full cell at the same
+     *  (workload, L2, seed index); valid when hasBaseline. */
+    double cycleError = 0.0;
+    bool hasBaseline = false;
+    /** Eq. 10 estimate at the paper's R = 133 (Accelerated). */
+    double estSpeedupR133 = 1.0;
+};
+
+/** Per-predictor-variant rollup over accelerated cells. */
+struct VariantSummary
+{
+    std::string label;
+    std::uint64_t cells = 0;
+    double meanCycleError = 0.0;
+    double worstCycleError = 0.0;
+    double meanCoverage = 0.0;
+    double meanEstSpeedupR133 = 0.0;
+};
+
+/** The aggregated result set of one sweep. */
+struct SweepResult
+{
+    SweepSpec spec;
+    std::vector<CellResult> cells;   //!< in cell-index order
+    std::vector<VariantSummary> summary;
+    unsigned threads = 1;            //!< volatile (timing section)
+    double wallSeconds = 0.0;        //!< volatile (timing section)
+
+    /**
+     * Cell lookup by coordinates; nullptr when the spec did not
+     * generate such a cell. Baseline modes ignore the predictor and
+     * pollution indices (they are pinned to 0 in expansion).
+     */
+    const CellResult *find(const std::string &workload, RunMode mode,
+                           std::size_t predictor_index = 0,
+                           std::uint64_t l2_bytes = 0,
+                           std::uint64_t seed_index = 0,
+                           std::size_t pollution_index = 0) const;
+};
+
+/** Runner knobs. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 picks hardware_concurrency(). */
+    unsigned threads = 1;
+};
+
+/**
+ * Execute every cell of the sweep on a work-stealing pool and
+ * aggregate (error vs baselines, Eq. 10 estimates, per-variant
+ * summaries). See the file comment for the determinism contract.
+ */
+SweepResult runSweep(const SweepSpec &spec,
+                     const RunnerOptions &options = {});
+
+/**
+ * Run a single cell in isolation: the exact Machine(+Accelerator)
+ * construction the pool workers perform. Exposed so tests can
+ * assert that sweep cells match standalone runs, and so tools can
+ * re-run one point of a sweep.
+ */
+CellResult runCell(const SweepSpec &spec, const SweepCell &cell);
+
+/** JSON emission knobs. */
+struct JsonOptions
+{
+    /**
+     * Include wall-clock fields (per-cell "wall_s" and the
+     * top-level "timing" object). These are the only
+     * non-deterministic bytes in the document; exclude them to get
+     * the canonical form CI diffs across thread counts.
+     */
+    bool includeTiming = true;
+};
+
+/** Build the "ospredict-sweep-v1" results document. */
+JsonValue sweepToJson(const SweepResult &result,
+                      const JsonOptions &options = {});
+
+/** sweepToJson() pretty-printed to a stream, trailing newline. */
+void writeResultsJson(std::ostream &os, const SweepResult &result,
+                      const JsonOptions &options = {});
+
+} // namespace osp
+
+#endif // OSP_DRIVER_SWEEP_HH

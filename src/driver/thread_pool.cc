@@ -1,0 +1,120 @@
+#include "thread_pool.hh"
+
+namespace osp
+{
+
+WorkStealingPool::WorkStealingPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    deques_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        deques_.push_back(std::make_unique<Deque>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back(
+            [this, i] { workerLoop(static_cast<std::size_t>(i)); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkStealingPool::submit(std::function<void()> task)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        target = nextDeque_;
+        nextDeque_ = (nextDeque_ + 1) % deques_.size();
+        ++outstanding_;
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(deques_[target]->mutex);
+        deques_[target]->tasks.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+void
+WorkStealingPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+bool
+WorkStealingPool::takeTask(std::size_t self,
+                           std::function<void()> &out)
+{
+    bool found = false;
+    {
+        // Own deque: newest-first, the cache-friendly end.
+        Deque &mine = *deques_[self];
+        std::lock_guard<std::mutex> lock(mine.mutex);
+        if (!mine.tasks.empty()) {
+            out = std::move(mine.tasks.back());
+            mine.tasks.pop_back();
+            found = true;
+        }
+    }
+    for (std::size_t i = 1; !found && i < deques_.size(); ++i) {
+        // Victims: oldest-first, so a steal grabs the task that has
+        // waited longest.
+        Deque &victim = *deques_[(self + i) % deques_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            found = true;
+        }
+    }
+    if (found) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --pending_;
+    }
+    return found;
+}
+
+void
+WorkStealingPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (takeTask(self, task)) {
+            task();
+            bool done;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                done = (--outstanding_ == 0);
+            }
+            if (done)
+                allDone_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        // pending_ > 0 means a queued task exists that this worker
+        // raced with; rescan instead of sleeping.
+        if (pending_ == 0) {
+            workReady_.wait(lock, [this] {
+                return stopping_ || pending_ > 0;
+            });
+            if (stopping_)
+                return;
+        }
+    }
+}
+
+} // namespace osp

@@ -1,0 +1,285 @@
+/** @file Tests for the parallel sweep runner: expansion, seed
+ *  derivation, thread-count determinism, equivalence with
+ *  standalone runs, and the JSON results document. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/accelerator.hh"
+#include "driver/experiments.hh"
+#include "driver/sweep.hh"
+#include "workload/registry.hh"
+
+namespace osp
+{
+namespace
+{
+
+/** Two workloads x two re-learning strategies, tiny work volume:
+ *  large enough to exercise prediction, small enough for CI. */
+SweepSpec
+tinySpec()
+{
+    SweepSpec spec;
+    spec.name = "tiny";
+    spec.workloads = {"ab-rand", "du"};
+    spec.modes = {RunMode::Full, RunMode::Accelerated};
+    spec.predictors = {
+        {"statistical",
+         experimentPredictor(RelearnStrategy::Statistical)},
+        {"eager", experimentPredictor(RelearnStrategy::Eager)},
+    };
+    spec.scale = 0.2;
+    return spec;
+}
+
+TEST(CellSeed, IndexZeroIsBaseSeed)
+{
+    // Single-seed sweeps must replay the documented seed-42 bench
+    // results exactly.
+    EXPECT_EQ(cellSeed(42, 0), 42u);
+    EXPECT_EQ(cellSeed(7, 0), 7u);
+}
+
+TEST(CellSeed, FurtherIndicesAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        seeds.insert(cellSeed(42, i));
+    EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(ExpandSweep, BaselinesEmittedOncePerWorkload)
+{
+    // 2 workloads x (1 full + 2 accelerated variants): baselines
+    // must not be duplicated per predictor.
+    auto cells = expandSweep(tinySpec());
+    ASSERT_EQ(cells.size(), 6u);
+    int full = 0, accel = 0;
+    for (const auto &cell : cells) {
+        if (cell.mode == RunMode::Full)
+            ++full;
+        else
+            ++accel;
+        EXPECT_EQ(cell.index, &cell - cells.data());
+        EXPECT_EQ(cell.seed, 42u);
+    }
+    EXPECT_EQ(full, 2);
+    EXPECT_EQ(accel, 4);
+}
+
+TEST(ExpandSweep, ComparableCellsShareSeeds)
+{
+    SweepSpec spec = tinySpec();
+    spec.numSeeds = 3;
+    auto cells = expandSweep(spec);
+    EXPECT_EQ(cells.size(), 18u);
+    // Each (workload, seed index) group: one baseline + two
+    // accelerated cells, all with the same machine seed.
+    for (const auto &a : cells) {
+        for (const auto &b : cells) {
+            if (a.workload == b.workload &&
+                a.seedIndex == b.seedIndex) {
+                EXPECT_EQ(a.seed, b.seed);
+            }
+        }
+    }
+}
+
+TEST(ExpandSweep, RejectsInvalidSpecs)
+{
+    SweepSpec spec = tinySpec();
+    spec.workloads = {"no-such-workload"};
+    EXPECT_DEATH(expandSweep(spec), "");
+
+    spec = tinySpec();
+    spec.predictors.clear();
+    EXPECT_DEATH(expandSweep(spec), "");
+
+    spec = tinySpec();
+    spec.numSeeds = 0;
+    EXPECT_DEATH(expandSweep(spec), "");
+}
+
+TEST(RunSweep, ThreadCountInvariance)
+{
+    // The tentpole contract: the canonical JSON document is
+    // byte-identical for 1 worker and 8 workers at the same seed.
+    SweepSpec spec = tinySpec();
+
+    RunnerOptions serial;
+    serial.threads = 1;
+    RunnerOptions parallel;
+    parallel.threads = 8;
+
+    JsonOptions canonical;
+    canonical.includeTiming = false;
+
+    std::ostringstream os1, os8;
+    writeResultsJson(os1, runSweep(spec, serial), canonical);
+    writeResultsJson(os8, runSweep(spec, parallel), canonical);
+    EXPECT_EQ(os1.str(), os8.str());
+}
+
+TEST(RunSweep, CellsMatchStandaloneRuns)
+{
+    SweepSpec spec = tinySpec();
+    RunnerOptions opts;
+    opts.threads = 4;
+    SweepResult sweep = runSweep(spec, opts);
+    ASSERT_EQ(sweep.cells.size(), 6u);
+
+    for (const auto &res : sweep.cells) {
+        // runCell() is the exact per-worker construction.
+        CellResult solo = runCell(spec, res.cell);
+        EXPECT_EQ(res.totals.totalCycles(),
+                  solo.totals.totalCycles());
+        EXPECT_EQ(res.totals.totalInsts(), solo.totals.totalInsts());
+        EXPECT_EQ(res.hasStats, solo.hasStats);
+        EXPECT_EQ(res.stats.predictedRuns, solo.stats.predictedRuns);
+        EXPECT_EQ(res.stats.relearnEvents, solo.stats.relearnEvents);
+    }
+
+    // And runCell() itself matches a hand-built Machine+Accelerator.
+    const CellResult *accel_cell =
+        sweep.find("du", RunMode::Accelerated, 1);
+    ASSERT_NE(accel_cell, nullptr);
+    MachineConfig cfg = spec.baseConfig;
+    cfg.seed = 42;
+    cfg.hier.l2.sizeBytes = accel_cell->cell.l2Bytes;
+    cfg.pollutionPolicy = PollutionPolicy::Footprint;
+    auto machine = makeMachine("du", cfg, spec.scale);
+    Accelerator accel(spec.predictors[1].params);
+    machine->setController(&accel);
+    const RunTotals &manual = machine->run();
+    EXPECT_EQ(accel_cell->totals.totalCycles(),
+              manual.totalCycles());
+    EXPECT_EQ(accel_cell->totals.coverage(), manual.coverage());
+}
+
+TEST(RunSweep, AggregatorDerivesErrorsAndSummary)
+{
+    SweepSpec spec = tinySpec();
+    SweepResult sweep = runSweep(spec);
+
+    for (const auto &res : sweep.cells) {
+        if (res.cell.mode == RunMode::Full) {
+            // Baselines are never compared against themselves.
+            EXPECT_FALSE(res.hasBaseline);
+            EXPECT_DOUBLE_EQ(res.cycleError, 0.0);
+        } else {
+            EXPECT_TRUE(res.hasBaseline);
+            const CellResult *base = sweep.find(
+                res.cell.workload, RunMode::Full);
+            ASSERT_NE(base, nullptr);
+            EXPECT_DOUBLE_EQ(
+                res.cycleError,
+                absError(static_cast<double>(
+                             res.totals.totalCycles()),
+                         static_cast<double>(
+                             base->totals.totalCycles())));
+            EXPECT_GT(res.estSpeedupR133, 1.0);
+        }
+    }
+
+    ASSERT_EQ(sweep.summary.size(), 2u);
+    EXPECT_EQ(sweep.summary[0].label, "statistical");
+    EXPECT_EQ(sweep.summary[1].label, "eager");
+    for (const auto &variant : sweep.summary) {
+        EXPECT_EQ(variant.cells, 2u);
+        EXPECT_GE(variant.worstCycleError, variant.meanCycleError);
+        EXPECT_GT(variant.meanCoverage, 0.0);
+    }
+}
+
+TEST(RunSweep, FindLooksUpByCoordinates)
+{
+    SweepSpec spec = tinySpec();
+    SweepResult sweep = runSweep(spec);
+
+    const CellResult *cell =
+        sweep.find("ab-rand", RunMode::Accelerated, 1);
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->cell.workload, "ab-rand");
+    EXPECT_EQ(cell->cell.predictorIndex, 1u);
+
+    EXPECT_EQ(sweep.find("iperf", RunMode::Full), nullptr);
+    EXPECT_EQ(sweep.find("ab-rand", RunMode::AppOnly), nullptr);
+    EXPECT_EQ(sweep.find("ab-rand", RunMode::Accelerated, 2),
+              nullptr);
+}
+
+TEST(SweepJson, DocumentShapeAndRoundTrip)
+{
+    SweepSpec spec = tinySpec();
+    SweepResult sweep = runSweep(spec);
+
+    JsonOptions canonical;
+    canonical.includeTiming = false;
+    std::ostringstream os;
+    writeResultsJson(os, sweep, canonical);
+
+    bool ok = false;
+    std::string error;
+    JsonValue doc = JsonValue::parse(os.str(), &ok, &error);
+    ASSERT_TRUE(ok) << error;
+
+    EXPECT_EQ(doc["schema"].asString(), "ospredict-sweep-v1");
+    EXPECT_EQ(doc["sweep"]["name"].asString(), "tiny");
+    EXPECT_EQ(doc["sweep"]["base_seed"].asUint(), 42u);
+    ASSERT_EQ(doc["cells"].size(), sweep.cells.size());
+    EXPECT_EQ(doc.find("timing"), nullptr);
+
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+        const JsonValue &cell = doc["cells"].at(i);
+        const CellResult &res = sweep.cells[i];
+        EXPECT_EQ(cell["config"]["index"].asUint(), i);
+        EXPECT_EQ(cell["config"]["workload"].asString(),
+                  res.cell.workload);
+        EXPECT_EQ(cell.find("wall_s"), nullptr);
+        const JsonValue &totals = cell["metrics"]["totals"];
+        EXPECT_EQ(totals["total_cycles"].asUint(),
+                  res.totals.totalCycles());
+        EXPECT_DOUBLE_EQ(totals["coverage"].asDouble(),
+                         res.totals.coverage());
+        if (res.hasStats) {
+            EXPECT_EQ(cell["metrics"]["predictor_stats"]
+                          ["predicted_runs"]
+                              .asUint(),
+                      res.stats.predictedRuns);
+        }
+    }
+
+    ASSERT_EQ(doc["summary"]["predictors"].size(), 2u);
+    EXPECT_EQ(doc["summary"]["predictors"].at(0)["predictor"]
+                  .asString(),
+              "statistical");
+
+    // With timing enabled the volatile fields appear.
+    std::ostringstream timed;
+    writeResultsJson(timed, sweep, JsonOptions{});
+    JsonValue full = JsonValue::parse(timed.str(), &ok, &error);
+    ASSERT_TRUE(ok) << error;
+    EXPECT_NE(full.find("timing"), nullptr);
+    EXPECT_NE(full["cells"].at(0).find("wall_s"), nullptr);
+}
+
+TEST(NamedSweeps, FactoriesMatchTheBenchExperiments)
+{
+    EXPECT_EQ(namedSweeps().size(), 4u);
+    EXPECT_EQ(expandSweep(fig08Sweep()).size(), 15u);
+    EXPECT_EQ(expandSweep(fig10Sweep()).size(), 30u);
+    EXPECT_EQ(expandSweep(fig11Sweep()).size(), 30u);
+    EXPECT_EQ(expandSweep(table2Sweep()).size(), 10u);
+
+    // Smoke multiplier shrinks work volume, not cell count.
+    SweepSpec smoke = makeNamedSweep("fig08", 0.05, true);
+    EXPECT_TRUE(smoke.smoke);
+    EXPECT_LT(smoke.scale, fig08Sweep().scale);
+    EXPECT_EQ(expandSweep(smoke).size(), 15u);
+}
+
+} // namespace
+} // namespace osp
