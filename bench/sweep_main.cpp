@@ -41,7 +41,9 @@ usage(int code)
           "  --smoke        shrink work volume ~20x (also: "
           "OSPREDICT_SMOKE=1)\n"
           "  --no-timing    omit wall-clock fields (canonical, "
-          "thread-count-invariant bytes)\n";
+          "thread-count-invariant bytes)\n"
+          "  --trace PATH   enable per-cell event tracing and dump "
+          "the rings as chrome://tracing JSON\n";
     return code;
 }
 
@@ -55,6 +57,7 @@ main(int argc, char **argv)
 
     std::string name;
     std::string out_path = "results.json";
+    std::string trace_path;
     std::uint64_t seed = experimentSeed;
     unsigned threads = 0;
     bool timing = true;
@@ -76,6 +79,8 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
@@ -101,6 +106,8 @@ main(int argc, char **argv)
 
     RunnerOptions opts;
     opts.threads = threads;
+    if (!trace_path.empty())
+        opts.traceCapacity = 4096;
     SweepResult result = runSweep(spec, opts);
 
     JsonOptions jopts;
@@ -115,6 +122,17 @@ main(int argc, char **argv)
             return 1;
         }
         writeResultsJson(os, result, jopts);
+    }
+
+    if (!trace_path.empty()) {
+        std::ofstream ts(trace_path);
+        if (!ts) {
+            std::cerr << "sweep: cannot write " << trace_path
+                      << "\n";
+            return 1;
+        }
+        writeChromeTrace(ts, result);
+        std::cerr << "sweep: trace -> " << trace_path << "\n";
     }
 
     std::cerr << "sweep " << spec.name << ": "

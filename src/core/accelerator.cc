@@ -22,8 +22,30 @@ Accelerator::predictorRef(ServiceType type)
     if (!predictors[idx]) {
         predictors[idx] =
             std::make_unique<ServicePredictor>(params_);
+        if (telemetry_) {
+            predictors[idx]->attachTelemetry(
+                telemetry_,
+                std::string("predictor.") +
+                    serviceName(static_cast<ServiceType>(idx)),
+                static_cast<std::uint8_t>(idx));
+        }
     }
     return *predictors[idx];
+}
+
+void
+Accelerator::setTelemetry(obs::Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    for (int t = 0; t < numServiceTypes; ++t) {
+        if (!predictors[t])
+            continue;
+        predictors[t]->attachTelemetry(
+            telemetry,
+            std::string("predictor.") +
+                serviceName(static_cast<ServiceType>(t)),
+            static_cast<std::uint8_t>(t));
+    }
 }
 
 const ServicePredictor &

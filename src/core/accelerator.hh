@@ -68,12 +68,20 @@ class Accelerator : public ServiceController
 
     const PredictorParams &params() const { return params_; }
 
+    /**
+     * Attach a telemetry sink. Every per-service predictor (existing
+     * and future) registers its instruments as
+     * "predictor.<service name>". Pass nullptr to detach.
+     */
+    void setTelemetry(obs::Telemetry *telemetry);
+
   private:
     ServicePredictor &predictorRef(ServiceType type);
 
     PredictorParams params_;
     std::array<std::unique_ptr<ServicePredictor>, numServiceTypes>
         predictors;
+    obs::Telemetry *telemetry_ = nullptr;
 };
 
 } // namespace osp

@@ -21,6 +21,57 @@ ServicePredictor::ServicePredictor(const PredictorParams &p)
         mode_ = Mode::Learning;
 }
 
+void
+ServicePredictor::attachTelemetry(obs::Telemetry *telemetry,
+                                  const std::string &component,
+                                  std::uint8_t service_index)
+{
+    telemetry_ = telemetry;
+    serviceIndex_ = service_index;
+    if (!telemetry) {
+        cDecideDetail_ = nullptr;
+        cDecideEmulate_ = nullptr;
+        cPredicted_ = nullptr;
+        cOutliers_ = nullptr;
+        cRelearn_ = nullptr;
+        cClustersCreated_ = nullptr;
+        gClusters_ = nullptr;
+        hPredictedInsts_ = nullptr;
+        return;
+    }
+    obs::Registry &reg = telemetry->registry;
+    cDecideDetail_ = &reg.counter(component, "decide_detail");
+    cDecideEmulate_ = &reg.counter(component, "decide_emulate");
+    cPredicted_ = &reg.counter(component, "predicted_runs");
+    cOutliers_ = &reg.counter(component, "outliers");
+    cRelearn_ = &reg.counter(component, "relearn_events");
+    cClustersCreated_ = &reg.counter(component, "clusters_created");
+    gClusters_ = &reg.gauge(component, "plt_clusters");
+    hPredictedInsts_ =
+        &reg.histogram(component, "predicted_insts");
+}
+
+void
+ServicePredictor::enterMode(Mode to)
+{
+    if (to == mode_)
+        return;
+    trace(obs::TraceEventKind::ModeTransition,
+          static_cast<std::uint64_t>(mode_),
+          static_cast<std::uint64_t>(to));
+    mode_ = to;
+}
+
+void
+ServicePredictor::recordSample(const ServiceMetrics &metrics)
+{
+    bool fresh = plt.record(metrics);
+    if (fresh && cClustersCreated_)
+        cClustersCreated_->inc();
+    if (gClusters_)
+        gClusters_->set(static_cast<double>(plt.numClusters()));
+}
+
 bool
 ServicePredictor::warmupStable() const
 {
@@ -47,13 +98,20 @@ ServicePredictor::warmupStable() const
 bool
 ServicePredictor::decideDetail()
 {
-    if (mode_ != Mode::Predicting)
+    if (mode_ != Mode::Predicting) {
+        if (cDecideDetail_)
+            cDecideDetail_->inc();
         return true;
+    }
     if (params.auditEvery && ++sinceAudit >= params.auditEvery) {
         sinceAudit = 0;
         auditPending = true;
+        if (cDecideDetail_)
+            cDecideDetail_->inc();
         return true;
     }
+    if (cDecideEmulate_)
+        cDecideEmulate_->inc();
     return false;
 }
 
@@ -92,6 +150,8 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
             // mean just enough to mask further failures).
             ++stats_.auditFailures;
             ++consecutiveAuditFailures;
+            trace(obs::TraceEventKind::Audit, 0,
+                  consecutiveAuditFailures);
             if (consecutiveAuditFailures >=
                 params.auditTriggerCount) {
                 // Sustained drift: re-enter a learning window
@@ -104,19 +164,23 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
                 consecutiveAuditFailures = 0;
                 ++stats_.driftResets;
                 ++stats_.relearnEvents;
-                mode_ = Mode::Learning;
+                if (cRelearn_)
+                    cRelearn_->inc();
+                trace(obs::TraceEventKind::Relearn, 1, window);
+                enterMode(Mode::Learning);
                 phaseCount = 0;
                 ++stats_.learnedRuns;
-                plt.record(metrics);
+                recordSample(metrics);
                 ++phaseCount;
                 return;
             }
             return;
         }
         // A passing audit refreshes the matched cluster.
+        trace(obs::TraceEventKind::Audit, 1, 0);
         consecutiveAuditFailures = 0;
         ++stats_.learnedRuns;
-        plt.record(metrics);
+        recordSample(metrics);
         return;
     }
     auditPending = false;
@@ -133,7 +197,7 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
         if (phaseCount >= params.warmupInvocations &&
             (warmupStable() ||
              phaseCount >= params.maxWarmupInvocations)) {
-            mode_ = Mode::Learning;
+            enterMode(Mode::Learning);
             phaseCount = 0;
             warmupCpi.clear();
             warmupCpi.shrink_to_fit();
@@ -141,10 +205,10 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
         return;
       case Mode::Learning:
         ++stats_.learnedRuns;
-        plt.record(metrics);
+        recordSample(metrics);
         ++phaseCount;
         if (phaseCount >= window) {
-            mode_ = Mode::Predicting;
+            enterMode(Mode::Predicting);
             phaseCount = 0;
         }
         return;
@@ -152,7 +216,7 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
         // A detailed run while predicting (e.g. the controller was
         // overridden): still learn from it.
         ++stats_.learnedRuns;
-        plt.record(metrics);
+        recordSample(metrics);
         return;
     }
     osp_panic("ServicePredictor: bad mode");
@@ -163,9 +227,11 @@ ServicePredictor::restoreTable(
     const std::vector<ClusterSnapshot> &snapshots)
 {
     plt.restore(snapshots);
-    mode_ = snapshots.empty() ? Mode::Warmup : Mode::Predicting;
+    enterMode(snapshots.empty() ? Mode::Warmup : Mode::Predicting);
     phaseCount = 0;
     warmupCpi.clear();
+    if (gClusters_)
+        gClusters_->set(static_cast<double>(plt.numClusters()));
 }
 
 ServiceMetrics
@@ -174,6 +240,10 @@ ServicePredictor::predict(const Signature &signature,
                           bool *was_outlier)
 {
     ++stats_.predictedRuns;
+    if (cPredicted_)
+        cPredicted_->inc();
+    if (hPredictedInsts_)
+        hPredictedInsts_->observe(signature.insts);
 
     const ScaledCluster *cluster = plt.match(signature);
     bool outlier = (cluster == nullptr);
@@ -182,16 +252,28 @@ ServicePredictor::predict(const Signature &signature,
 
     if (outlier) {
         ++stats_.outliers;
+        if (cOutliers_)
+            cOutliers_->inc();
+        trace(obs::TraceEventKind::Outlier, signature.insts,
+              plt.numOutlierEntries());
         cluster = plt.closest(signature.insts);
         if (policy->onOutlier(plt, signature.insts,
                               invocation_index)) {
             // Re-learning period: another full window of detailed
             // simulation for this service.
             ++stats_.relearnEvents;
+            if (cRelearn_)
+                cRelearn_->inc();
+            trace(obs::TraceEventKind::Relearn, 0, window);
             plt.clearOutliers();
-            mode_ = Mode::Learning;
+            enterMode(Mode::Learning);
             phaseCount = 0;
         }
+    } else {
+        trace(obs::TraceEventKind::ClusterMatch,
+              static_cast<std::uint64_t>(
+                  cluster - plt.allClusters().data()),
+              signature.insts);
     }
 
     ServiceMetrics prediction;

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "plt.hh"
 #include "relearn.hh"
 
@@ -178,6 +180,18 @@ class ServicePredictor
 
     const Stats &stats() const { return stats_; }
 
+    /**
+     * Attach a telemetry sink (obs/). Counters and a cluster-count
+     * gauge register under @p component (e.g. "predictor.sys_read");
+     * trace events carry @p service_index. Purely observational:
+     * attaching never changes a decision or an RNG draw, so
+     * instrumented and bare runs stay cycle-identical. Pass nullptr
+     * to detach.
+     */
+    void attachTelemetry(obs::Telemetry *telemetry,
+                         const std::string &component,
+                         std::uint8_t service_index);
+
   private:
     enum class Mode
     {
@@ -188,6 +202,20 @@ class ServicePredictor
 
     /** True once the warm-up CPI trace has flattened out. */
     bool warmupStable() const;
+
+    /** Record a trace event for this service (no-op unattached). */
+    void
+    trace(obs::TraceEventKind kind, std::uint64_t a, std::uint64_t b)
+    {
+        if (telemetry_)
+            telemetry_->tracer.record(kind, serviceIndex_, a, b);
+    }
+
+    /** Change phase, emitting the transition to telemetry. */
+    void enterMode(Mode to);
+
+    /** Fold one detailed sample into the PLT, tracking growth. */
+    void recordSample(const ServiceMetrics &metrics);
 
     PredictorParams params;
     std::uint64_t window;
@@ -201,6 +229,18 @@ class ServicePredictor
     bool auditPending = false;
     std::uint64_t consecutiveAuditFailures = 0;
     Stats stats_;
+
+    // Telemetry (null/cached-pointer scheme: see obs/telemetry.hh).
+    obs::Telemetry *telemetry_ = nullptr;
+    std::uint8_t serviceIndex_ = obs::traceNoService;
+    obs::Counter *cDecideDetail_ = nullptr;
+    obs::Counter *cDecideEmulate_ = nullptr;
+    obs::Counter *cPredicted_ = nullptr;
+    obs::Counter *cOutliers_ = nullptr;
+    obs::Counter *cRelearn_ = nullptr;
+    obs::Counter *cClustersCreated_ = nullptr;
+    obs::Gauge *gClusters_ = nullptr;
+    obs::Histogram *hPredictedInsts_ = nullptr;
 };
 
 } // namespace osp

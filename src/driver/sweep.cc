@@ -1,6 +1,8 @@
 #include "sweep.hh"
 
 #include <chrono>
+#include <exception>
+#include <map>
 
 #include "core/accelerator.hh"
 #include "thread_pool.hh"
@@ -113,7 +115,8 @@ expandSweep(const SweepSpec &spec)
 }
 
 CellResult
-runCell(const SweepSpec &spec, const SweepCell &cell)
+runCell(const SweepSpec &spec, const SweepCell &cell,
+        std::size_t trace_capacity)
 {
     MachineConfig cfg = spec.baseConfig;
     cfg.seed = cell.seed;
@@ -123,23 +126,34 @@ runCell(const SweepSpec &spec, const SweepCell &cell)
     CellResult result;
     result.cell = cell;
 
+    // One telemetry sink per cell: cells are the unit of
+    // parallelism, so the registry never sees two threads.
+    obs::Telemetry telemetry(trace_capacity);
+
     auto start = std::chrono::steady_clock::now();
     if (cell.mode == RunMode::Accelerated) {
         cfg.pollutionPolicy = spec.pollution[cell.pollutionIndex];
         auto machine = makeMachine(cell.workload, cfg, spec.scale);
         Accelerator accel(
             spec.predictors[cell.predictorIndex].params);
+        accel.setTelemetry(&telemetry);
         machine->setController(&accel);
+        machine->setTelemetry(&telemetry);
         result.totals = machine->run();
         result.stats = accel.aggregateStats();
         result.hasStats = true;
     } else {
         auto machine = makeMachine(cell.workload, cfg, spec.scale);
+        machine->setTelemetry(&telemetry);
         result.totals = machine->run();
     }
     auto end = std::chrono::steady_clock::now();
     result.wallSeconds =
         std::chrono::duration<double>(end - start).count();
+
+    result.telemetry = telemetry.registry.snapshot();
+    result.traceInfo = obs::summarize(telemetry.tracer);
+    result.trace = telemetry.tracer.events();
     return result;
 }
 
@@ -156,10 +170,10 @@ void
 aggregate(SweepResult &result)
 {
     for (CellResult &r : result.cells) {
-        if (r.cell.mode == RunMode::Full)
+        if (r.cell.mode == RunMode::Full || r.failed)
             continue;
         for (const CellResult &base : result.cells) {
-            if (base.cell.mode != RunMode::Full ||
+            if (base.cell.mode != RunMode::Full || base.failed ||
                 base.cell.workload != r.cell.workload ||
                 base.cell.l2Bytes != r.cell.l2Bytes ||
                 base.cell.seedIndex != r.cell.seedIndex)
@@ -172,7 +186,7 @@ aggregate(SweepResult &result)
         }
     }
     for (CellResult &r : result.cells) {
-        if (r.cell.mode == RunMode::Accelerated)
+        if (r.cell.mode == RunMode::Accelerated && !r.failed)
             r.estSpeedupR133 = estimatedSpeedup(r.totals, 133.0);
     }
 
@@ -186,7 +200,7 @@ aggregate(SweepResult &result)
         double cov_sum = 0.0;
         double est_sum = 0.0;
         for (const CellResult &r : result.cells) {
-            if (r.cell.mode != RunMode::Accelerated ||
+            if (r.cell.mode != RunMode::Accelerated || r.failed ||
                 r.cell.predictorIndex != pi)
                 continue;
             ++s.cells;
@@ -235,11 +249,29 @@ runSweep(const SweepSpec &spec, const RunnerOptions &options)
         result.threads = pool.numThreads();
         for (const SweepCell &cell : cells) {
             // Each task owns exactly one preassigned result slot,
-            // so completion order cannot affect the aggregate.
+            // so completion order cannot affect the aggregate. A
+            // throwing cell is captured into its own slot: the rest
+            // of the sweep completes, and the failure is reported in
+            // the results document instead of tearing down the pool.
             CellResult *slot = &result.cells[cell.index];
             const SweepSpec *s = &spec;
-            pool.submit([slot, s, cell] {
-                *slot = runCell(*s, cell);
+            const RunnerOptions *o = &options;
+            pool.submit([slot, s, o, cell] {
+                try {
+                    *slot = o->cellRunner
+                                ? o->cellRunner(*s, cell,
+                                                o->traceCapacity)
+                                : runCell(*s, cell,
+                                          o->traceCapacity);
+                } catch (const std::exception &e) {
+                    slot->cell = cell;
+                    slot->failed = true;
+                    slot->error = e.what();
+                } catch (...) {
+                    slot->cell = cell;
+                    slot->failed = true;
+                    slot->error = "unknown exception";
+                }
             });
         }
         pool.wait();
@@ -271,6 +303,53 @@ SweepResult::find(const std::string &workload, RunMode mode,
     }
     return nullptr;
 }
+
+namespace
+{
+
+/** Serialize one cell's metrics snapshot + trace summary. */
+JsonValue
+telemetryToJson(const obs::MetricsSnapshot &snap,
+                const obs::TraceSummary &trace_info)
+{
+    JsonValue t = JsonValue::object();
+
+    JsonValue counters = JsonValue::object();
+    for (const auto &c : snap.counters)
+        counters.add(c.component + "." + c.name, c.value);
+    t.add("counters", std::move(counters));
+
+    JsonValue gauges = JsonValue::object();
+    for (const auto &g : snap.gauges)
+        gauges.add(g.component + "." + g.name, g.value);
+    t.add("gauges", std::move(gauges));
+
+    JsonValue histograms = JsonValue::object();
+    for (const auto &h : snap.histograms) {
+        JsonValue hv = JsonValue::object();
+        hv.add("count", h.count);
+        hv.add("sum", h.sum);
+        JsonValue buckets = JsonValue::array();
+        for (const auto &[low, count] : h.buckets) {
+            JsonValue pair = JsonValue::array();
+            pair.append(low);
+            pair.append(count);
+            buckets.append(std::move(pair));
+        }
+        hv.add("buckets", std::move(buckets));
+        histograms.add(h.component + "." + h.name, std::move(hv));
+    }
+    t.add("histograms", std::move(histograms));
+
+    JsonValue trace = JsonValue::object();
+    trace.add("capacity", trace_info.capacity);
+    trace.add("recorded", trace_info.recorded);
+    trace.add("dropped", trace_info.dropped);
+    t.add("trace", std::move(trace));
+    return t;
+}
+
+} // namespace
 
 JsonValue
 sweepToJson(const SweepResult &result, const JsonOptions &options)
@@ -330,11 +409,21 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
         config.add("seed", r.cell.seed);
         cell.add("config", std::move(config));
 
+        if (r.failed) {
+            cell.add("error", r.error);
+            cells.append(std::move(cell));
+            continue;
+        }
+
         JsonValue metrics = JsonValue::object();
         metrics.add("totals", toJson(r.totals));
         if (r.hasStats)
             metrics.add("predictor_stats", toJson(r.stats));
         cell.add("metrics", std::move(metrics));
+
+        if (!r.telemetry.empty())
+            cell.add("telemetry",
+                     telemetryToJson(r.telemetry, r.traceInfo));
 
         JsonValue derived = JsonValue::object();
         if (r.hasBaseline)
@@ -350,6 +439,29 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
     }
     doc.add("cells", std::move(cells));
 
+    // Sweep-wide telemetry rollup: counters summed across cells
+    // (sorted by std::map, so the section inherits the document's
+    // thread-count byte-invariance).
+    {
+        JsonValue telemetry = JsonValue::object();
+        telemetry.add("schema", "ospredict-telemetry-v1");
+        std::map<std::string, std::uint64_t> totals;
+        std::uint64_t instrumented = 0;
+        for (const CellResult &r : result.cells) {
+            if (r.failed || r.telemetry.empty())
+                continue;
+            ++instrumented;
+            for (const auto &c : r.telemetry.counters)
+                totals[c.component + "." + c.name] += c.value;
+        }
+        telemetry.add("instrumented_cells", instrumented);
+        JsonValue counters = JsonValue::object();
+        for (const auto &[name, value] : totals)
+            counters.add(name, value);
+        telemetry.add("counters", std::move(counters));
+        doc.add("telemetry", std::move(telemetry));
+    }
+
     JsonValue summary = JsonValue::object();
     JsonValue variants = JsonValue::array();
     for (const VariantSummary &s : result.summary) {
@@ -363,6 +475,12 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
         variants.append(std::move(v));
     }
     summary.add("predictors", std::move(variants));
+    JsonValue failed = JsonValue::array();
+    for (const CellResult &r : result.cells) {
+        if (r.failed)
+            failed.append(static_cast<std::uint64_t>(r.cell.index));
+    }
+    summary.add("failed_cells", std::move(failed));
     doc.add("summary", std::move(summary));
 
     if (options.includeTiming) {
@@ -379,6 +497,77 @@ writeResultsJson(std::ostream &os, const SweepResult &result,
                  const JsonOptions &options)
 {
     sweepToJson(result, options).write(os, 2);
+    os << "\n";
+}
+
+void
+writeChromeTrace(std::ostream &os, const SweepResult &result)
+{
+    // chrome://tracing "JSON Array Format" with the standard
+    // traceEvents wrapper. Interval-shaped events (service
+    // detailed/predicted) become complete ("X") slices whose ts is
+    // the retired-instruction count and dur the interval's cycles;
+    // everything else becomes an instant ("i") event. One process
+    // per sweep cell, one thread per service type.
+    JsonValue doc = JsonValue::object();
+    JsonValue events = JsonValue::array();
+
+    for (const CellResult &r : result.cells) {
+        if (r.failed)
+            continue;
+        auto pid = static_cast<std::uint64_t>(r.cell.index);
+
+        JsonValue meta = JsonValue::object();
+        meta.add("name", "process_name");
+        meta.add("ph", "M");
+        meta.add("pid", pid);
+        JsonValue margs = JsonValue::object();
+        margs.add("name",
+                  std::string(r.cell.workload) + "/" +
+                      runModeName(r.cell.mode) + "/seed" +
+                      std::to_string(r.cell.seedIndex));
+        meta.add("args", std::move(margs));
+        events.append(std::move(meta));
+
+        for (const obs::TraceEvent &ev : r.trace) {
+            JsonValue e = JsonValue::object();
+            e.add("name", obs::traceEventKindName(ev.kind));
+            e.add("pid", pid);
+            e.add("tid",
+                  static_cast<std::uint64_t>(
+                      ev.service == obs::traceNoService
+                          ? numServiceTypes
+                          : ev.service));
+            e.add("ts", ev.tick);
+            bool slice =
+                ev.kind == obs::TraceEventKind::ServiceDetailed ||
+                ev.kind == obs::TraceEventKind::ServicePredicted;
+            if (slice) {
+                e.add("ph", "X");
+                e.add("dur", ev.b);
+            } else {
+                e.add("ph", "i");
+                e.add("s", "t");
+            }
+            JsonValue args = JsonValue::object();
+            args.add("a", ev.a);
+            args.add("b", ev.b);
+            if (ev.service != obs::traceNoService)
+                args.add("service",
+                         serviceName(static_cast<ServiceType>(
+                             ev.service)));
+            e.add("args", std::move(args));
+            events.append(std::move(e));
+        }
+    }
+
+    doc.add("traceEvents", std::move(events));
+    doc.add("displayTimeUnit", "ns");
+    JsonValue other = JsonValue::object();
+    other.add("clock", "retired-instructions");
+    other.add("sweep", result.spec.name);
+    doc.add("otherData", std::move(other));
+    doc.write(os, 2);
     os << "\n";
 }
 

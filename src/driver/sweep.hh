@@ -24,11 +24,13 @@
 #define OSP_DRIVER_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/report.hh"
 #include "core/service_predictor.hh"
+#include "obs/telemetry.hh"
 #include "sim/machine.hh"
 #include "util/json.hh"
 
@@ -126,6 +128,25 @@ struct CellResult
     /** Aggregate predictor statistics (Accelerated cells). */
     ServicePredictor::Stats stats{};
     bool hasStats = false;
+    /**
+     * The cell's metrics registry at end of run (sorted instrument
+     * order; see obs/metrics.hh). Always populated by the runner.
+     */
+    obs::MetricsSnapshot telemetry;
+    /** Ring occupancy/overflow of the cell's tracer. */
+    obs::TraceSummary traceInfo;
+    /** Retained trace events, oldest first (empty unless the runner
+     *  was given a trace capacity). */
+    std::vector<obs::TraceEvent> trace;
+    /**
+     * Worker-thread failure capture: a cell whose run threw keeps
+     * its slot with failed set and the exception text in error, so
+     * one bad cell no longer takes down the whole sweep (and CI can
+     * see *which* point failed). Failed cells are excluded from
+     * baselines and summaries.
+     */
+    bool failed = false;
+    std::string error;
     /** Wall-clock seconds for this cell's run() (volatile: excluded
      *  from canonical JSON). */
     double wallSeconds = 0.0;
@@ -176,6 +197,16 @@ struct RunnerOptions
 {
     /** Worker threads; 0 picks hardware_concurrency(). */
     unsigned threads = 1;
+    /** Per-cell event-ring size; 0 = metrics only, no tracing. */
+    std::size_t traceCapacity = 0;
+    /**
+     * Test seam: replaces the per-cell body (runCell) when set.
+     * Exceptions it throws are captured into the cell's slot like
+     * any worker failure.
+     */
+    std::function<CellResult(const SweepSpec &, const SweepCell &,
+                             std::size_t trace_capacity)>
+        cellRunner;
 };
 
 /**
@@ -191,8 +222,11 @@ SweepResult runSweep(const SweepSpec &spec,
  * construction the pool workers perform. Exposed so tests can
  * assert that sweep cells match standalone runs, and so tools can
  * re-run one point of a sweep.
+ *
+ * @param trace_capacity the cell's event-ring size (0 = no tracing)
  */
-CellResult runCell(const SweepSpec &spec, const SweepCell &cell);
+CellResult runCell(const SweepSpec &spec, const SweepCell &cell,
+                   std::size_t trace_capacity = 0);
 
 /** JSON emission knobs. */
 struct JsonOptions
@@ -213,6 +247,15 @@ JsonValue sweepToJson(const SweepResult &result,
 /** sweepToJson() pretty-printed to a stream, trailing newline. */
 void writeResultsJson(std::ostream &os, const SweepResult &result,
                       const JsonOptions &options = {});
+
+/**
+ * Emit every cell's retained trace events as a chrome://tracing
+ * JSON document (load via chrome://tracing or https://ui.perfetto.dev).
+ * pid = cell index, tid = service index, ts/dur = simulated
+ * instruction count / cycles — so the document is as deterministic
+ * as the sweep itself. Cells are emitted in index order.
+ */
+void writeChromeTrace(std::ostream &os, const SweepResult &result);
 
 } // namespace osp
 

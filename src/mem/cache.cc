@@ -124,10 +124,9 @@ Cache::access(Addr addr, bool is_write, Owner owner)
             result.crossEviction = true;
         }
     }
-    line.valid = true;
+    retag(line, true, owner);
     line.tag = tag;
     line.dirty = is_write;
-    line.owner = owner;
     line.lruStamp = lruClock;
     return result;
 }
@@ -149,10 +148,10 @@ Cache::install(Addr addr, Owner owner)
     Line &line = base[way];
     if (line.valid)
         stats_.injectedEvictions += 1;
-    line.valid = true;
+    stats_.injectedFills += 1;
+    retag(line, true, owner);
     line.tag = tag;
     line.dirty = false;
-    line.owner = owner;
     line.lruStamp = lruClock;
     return true;
 }
@@ -174,6 +173,15 @@ Cache::probe(Addr addr) const
 std::uint64_t
 Cache::pollute(std::uint64_t count, PollutionMode mode)
 {
+    // Clamp invalidation requests to the lines that can actually be
+    // evicted: beyond that every draw is a guaranteed no-op, and the
+    // old unclamped loop both wasted RNG draws and let callers
+    // believe a request larger than the cache was meaningful.
+    if (mode == PollutionMode::InvalidateApp)
+        count = std::min(count, residentLines(Owner::App));
+    else if (mode == PollutionMode::InvalidateAny)
+        count = std::min(count, residentLines());
+
     std::uint64_t affected = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint32_t set = rng.range(numSets_);
@@ -212,20 +220,24 @@ Cache::pollute(std::uint64_t count, PollutionMode mode)
         }
 
         Line &line = base[victim];
+        bool evicted = line.valid;
         if (mode == PollutionMode::Install) {
             // Synthetic fill: a tag outside the architectural
             // address space so it can never hit, owned by the OS,
             // MRU (the skipped service just touched it).
-            line.valid = true;
+            retag(line, true, Owner::Os);
             line.tag = (1ULL << 52) + syntheticTag++;
             line.dirty = false;
-            line.owner = Owner::Os;
             line.lruStamp = ++lruClock;
+            stats_.injectedFills += 1;
         } else {
-            line.valid = false;
+            retag(line, false, line.owner);
             line.dirty = false;
         }
-        stats_.injectedEvictions += 1;
+        // Only a displaced valid line is an eviction; filling an
+        // invalid slot used to be over-reported here.
+        if (evicted)
+            stats_.injectedEvictions += 1;
         ++affected;
     }
     return affected;
@@ -238,17 +250,8 @@ Cache::flush()
         line.valid = false;
         line.dirty = false;
     }
-}
-
-std::uint64_t
-Cache::residentLines(Owner owner) const
-{
-    std::uint64_t n = 0;
-    for (const Line &line : lines) {
-        if (line.valid && line.owner == owner)
-            ++n;
-    }
-    return n;
+    validLines_[0] = 0;
+    validLines_[1] = 0;
 }
 
 } // namespace osp

@@ -51,9 +51,13 @@ struct CacheStats
     std::uint64_t writebacks = 0;
     /** App-owned lines evicted by OS fills (natural pollution). */
     std::uint64_t crossEvictions = 0;
-    /** Lines evicted by the pollution injector (predicted OS
-     *  pollution, Sec. 4.5). */
+    /** Valid lines displaced or invalidated by the pollution
+     *  injector (predicted OS pollution, Sec. 4.5). Fills into
+     *  invalid slots are injectedFills, not evictions. */
     std::uint64_t injectedEvictions = 0;
+    /** Lines made resident by the pollution injector (synthetic
+     *  installs and footprint installs). */
+    std::uint64_t injectedFills = 0;
 
     std::uint64_t
     totalAccesses() const
@@ -137,7 +141,13 @@ class Cache
 
     /**
      * Inject @p count predicted-miss displacements into uniformly
-     * random sets (Sec. 4.5).
+     * random sets (Sec. 4.5). For the invalidating modes the count
+     * is clamped to the lines actually eligible (valid lines, or
+     * valid application-owned lines for InvalidateApp): asking for
+     * more evictions than the cache holds cannot evict more than it
+     * holds, and the excess draws would only burn the RNG. Stats
+     * record what really happened — evictions only when a valid
+     * line was displaced, fills when a slot was populated.
      *
      * @return number of slots actually affected.
      */
@@ -156,8 +166,20 @@ class Cache
     /** Invalidate everything (cold-start). Statistics survive. */
     void flush();
 
-    /** Number of currently valid lines owned by @p owner. */
-    std::uint64_t residentLines(Owner owner) const;
+    /** Number of currently valid lines owned by @p owner (O(1):
+     *  tracked incrementally). */
+    std::uint64_t
+    residentLines(Owner owner) const
+    {
+        return validLines_[static_cast<int>(owner)];
+    }
+
+    /** Number of currently valid lines (both owners). */
+    std::uint64_t
+    residentLines() const
+    {
+        return validLines_[0] + validLines_[1];
+    }
 
     /** Accumulated statistics. */
     const CacheStats &stats() const { return stats_; }
@@ -186,11 +208,24 @@ class Cache
     /** Pick the victim way in a (full) set per the policy. */
     std::uint32_t victimWay(std::uint32_t set);
 
+    /** Transition a line's residency, keeping validLines_ exact. */
+    void
+    retag(Line &line, bool valid, Owner owner)
+    {
+        if (line.valid)
+            --validLines_[static_cast<int>(line.owner)];
+        line.valid = valid;
+        line.owner = owner;
+        if (valid)
+            ++validLines_[static_cast<int>(owner)];
+    }
+
     CacheParams params_;
     std::uint32_t numSets_ = 0;
     std::uint32_t lineShift = 0;
     std::uint64_t lruClock = 0;
     std::uint64_t syntheticTag = 0;
+    std::uint64_t validLines_[numOwners] = {0, 0};
     std::vector<Line> lines;  //!< numSets * assoc, set-major
     CacheStats stats_;
     Pcg32 rng;

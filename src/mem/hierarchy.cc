@@ -89,15 +89,17 @@ MemoryHierarchy::probeL1(Addr addr, AccessType type) const
     return l1.probe(addr);
 }
 
-void
+std::uint64_t
 MemoryHierarchy::pollute(std::uint64_t l1i_lines,
                          std::uint64_t l1d_lines,
                          std::uint64_t l2_lines,
                          Cache::PollutionMode mode)
 {
-    l1i_.pollute(l1i_lines, mode);
-    l1d_.pollute(l1d_lines, mode);
-    l2_.pollute(l2_lines, mode);
+    std::uint64_t affected = 0;
+    affected += l1i_.pollute(l1i_lines, mode);
+    affected += l1d_.pollute(l1d_lines, mode);
+    affected += l2_.pollute(l2_lines, mode);
+    return affected;
 }
 
 MemoryHierarchy::InstallOutcome

@@ -143,11 +143,14 @@ class MemoryHierarchy
      * given number of lines in each level.
      *
      * @param mode victim treatment (see Cache::PollutionMode)
+     * @return slots actually affected, summed over the levels (see
+     *         Cache::pollute for the clamping rules)
      */
-    void pollute(std::uint64_t l1i_lines, std::uint64_t l1d_lines,
-                 std::uint64_t l2_lines,
-                 Cache::PollutionMode mode =
-                     Cache::PollutionMode::Install);
+    std::uint64_t pollute(std::uint64_t l1i_lines,
+                          std::uint64_t l1d_lines,
+                          std::uint64_t l2_lines,
+                          Cache::PollutionMode mode =
+                              Cache::PollutionMode::Install);
 
     /** Fill outcome of installLine(). */
     struct InstallOutcome

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The telemetry sink instrumented components attach to: one metrics
+ * registry plus one event tracer, owned together because they share
+ * a lifetime (one simulator instance / sweep cell) and a clock (the
+ * tracer's tick, advanced by the Machine).
+ *
+ * Producers (Machine, Accelerator, ServicePredictor) accept a
+ * `Telemetry *` that defaults to null; every instrumentation site is
+ * either a null-pointer branch or an increment through a pointer
+ * cached at attach time, so runs without a sink pay nothing
+ * measurable. The sweep runner owns one Telemetry per cell and
+ * serializes both halves into the results document after the run.
+ */
+
+#ifndef OSP_OBS_TELEMETRY_HH
+#define OSP_OBS_TELEMETRY_HH
+
+#include "metrics.hh"
+#include "trace.hh"
+
+namespace osp::obs
+{
+
+/** See file comment. */
+struct Telemetry
+{
+    /** @param trace_capacity event-ring size; 0 = metrics only. */
+    explicit Telemetry(std::size_t trace_capacity = 0)
+        : tracer(trace_capacity)
+    {
+    }
+
+    Registry registry;
+    EventTracer tracer;
+};
+
+/** Serializable summary of a tracer's state. */
+struct TraceSummary
+{
+    std::uint64_t capacity = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+};
+
+inline TraceSummary
+summarize(const EventTracer &tracer)
+{
+    return {tracer.capacity(), tracer.recorded(), tracer.dropped()};
+}
+
+} // namespace osp::obs
+
+#endif // OSP_OBS_TELEMETRY_HH

@@ -1,0 +1,35 @@
+#include "trace.hh"
+
+namespace osp::obs
+{
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::ServiceDetailed:
+        return "service-detailed";
+      case TraceEventKind::ServicePredicted:
+        return "service-predicted";
+      case TraceEventKind::ClusterMatch: return "cluster-match";
+      case TraceEventKind::Outlier: return "outlier";
+      case TraceEventKind::ModeTransition:
+        return "mode-transition";
+      case TraceEventKind::Relearn: return "relearn";
+      case TraceEventKind::Audit: return "audit";
+      case TraceEventKind::Pollution: return "pollution";
+    }
+    return "?";
+}
+
+std::vector<TraceEvent>
+EventTracer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+} // namespace osp::obs

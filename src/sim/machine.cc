@@ -46,6 +46,58 @@ Machine::setController(ServiceController *ctrl)
     controller = ctrl;
 }
 
+void
+Machine::setTelemetry(obs::Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    if (!telemetry) {
+        cServicesDetailed_ = nullptr;
+        cServicesPredicted_ = nullptr;
+        cPollutionRequested_ = nullptr;
+        cPollutionAffected_ = nullptr;
+        cFootprintFills_ = nullptr;
+        hServiceInsts_ = nullptr;
+        return;
+    }
+    obs::Registry &reg = telemetry->registry;
+    cServicesDetailed_ = &reg.counter("machine", "services_detailed");
+    cServicesPredicted_ =
+        &reg.counter("machine", "services_predicted");
+    cPollutionRequested_ =
+        &reg.counter("machine", "pollution_lines_requested");
+    cPollutionAffected_ =
+        &reg.counter("machine", "pollution_slots_affected");
+    cFootprintFills_ =
+        &reg.counter("machine", "footprint_install_fills");
+    hServiceInsts_ = &reg.histogram("machine", "service_insts");
+}
+
+void
+Machine::publishCacheStats()
+{
+    if (!telemetry_)
+        return;
+    obs::Registry &reg = telemetry_->registry;
+    auto publish = [&](const std::string &comp, const Cache &c) {
+        const CacheStats &s = c.stats();
+        auto app = static_cast<int>(Owner::App);
+        auto os = static_cast<int>(Owner::Os);
+        reg.counter(comp, "accesses_app").inc(s.accesses[app]);
+        reg.counter(comp, "accesses_os").inc(s.accesses[os]);
+        reg.counter(comp, "misses_app").inc(s.misses[app]);
+        reg.counter(comp, "misses_os").inc(s.misses[os]);
+        reg.counter(comp, "evictions").inc(s.evictions);
+        reg.counter(comp, "writebacks").inc(s.writebacks);
+        reg.counter(comp, "cross_evictions").inc(s.crossEvictions);
+        reg.counter(comp, "injected_evictions")
+            .inc(s.injectedEvictions);
+        reg.counter(comp, "injected_fills").inc(s.injectedFills);
+    };
+    publish("mem.l1i", hier.l1i());
+    publish("mem.l1d", hier.l1d());
+    publish("mem.l2", hier.l2());
+}
+
 CpuModel &
 Machine::engine()
 {
@@ -95,6 +147,12 @@ void
 Machine::runService(const ServiceRequest &req)
 {
     auto type_idx = static_cast<int>(req.type);
+
+    // Trace events from here on (including the controller's) stamp
+    // the retired-instruction count, which is thread-count-invariant
+    // unlike any wall clock.
+    if (telemetry_)
+        telemetry_->tracer.setTick(totals_.totalInsts());
 
     // Decide the detail level for this invocation.
     DetailLevel level;
@@ -244,12 +302,19 @@ Machine::runService(const ServiceRequest &req)
     rec.insts = n;
     rec.detailed = detailed;
 
+    if (hServiceInsts_)
+        hServiceInsts_->observe(n);
+
     if (detailed) {
         ++totals_.osSimulated;
         ++svc.simulated;
         svc.cycles += sim_cycles;
         rec.cycles = sim_cycles;
         rec.mem = mem_delta;
+        if (cServicesDetailed_)
+            cServicesDetailed_->inc();
+        trace(obs::TraceEventKind::ServiceDetailed,
+              static_cast<std::uint8_t>(type_idx), n, sim_cycles);
     } else {
         ++totals_.osPredicted;
         ++svc.predicted;
@@ -259,26 +324,38 @@ Machine::runService(const ServiceRequest &req)
         svc.cycles += pred.cycles;
         rec.cycles = pred.cycles;
         rec.mem = pred.mem;
+        if (cServicesPredicted_)
+            cServicesPredicted_->inc();
+        trace(obs::TraceEventKind::ServicePredicted,
+              static_cast<std::uint8_t>(type_idx), n, pred.cycles);
         // Model the skipped service's displacement of cached state
         // (Sec. 4.5 and DESIGN.md).
         if (usesCaches(config_.level)) {
+            std::uint64_t requested = pred.mem.l1iMisses +
+                                      pred.mem.l1dMisses +
+                                      pred.mem.l2Misses;
+            std::uint64_t affected = 0;
             switch (config_.pollutionPolicy) {
               case PollutionPolicy::None:
+                requested = 0;
                 break;
               case PollutionPolicy::PaperInvalidateApp:
-                hier.pollute(pred.mem.l1iMisses,
-                             pred.mem.l1dMisses, pred.mem.l2Misses,
-                             Cache::PollutionMode::InvalidateApp);
+                affected = hier.pollute(
+                    pred.mem.l1iMisses, pred.mem.l1dMisses,
+                    pred.mem.l2Misses,
+                    Cache::PollutionMode::InvalidateApp);
                 break;
               case PollutionPolicy::InvalidateAny:
-                hier.pollute(pred.mem.l1iMisses,
-                             pred.mem.l1dMisses, pred.mem.l2Misses,
-                             Cache::PollutionMode::InvalidateAny);
+                affected = hier.pollute(
+                    pred.mem.l1iMisses, pred.mem.l1dMisses,
+                    pred.mem.l2Misses,
+                    Cache::PollutionMode::InvalidateAny);
                 break;
               case PollutionPolicy::SyntheticInstall:
-                hier.pollute(pred.mem.l1iMisses,
-                             pred.mem.l1dMisses, pred.mem.l2Misses,
-                             Cache::PollutionMode::Install);
+                affected = hier.pollute(
+                    pred.mem.l1iMisses, pred.mem.l1dMisses,
+                    pred.mem.l2Misses,
+                    Cache::PollutionMode::Install);
                 break;
               case PollutionPolicy::Footprint:
                 {
@@ -315,13 +392,26 @@ Machine::runService(const ServiceRequest &req)
                                    std::uint64_t got) {
                         return want > got ? want - got : 0;
                     };
-                    hier.pollute(
+                    std::uint64_t fills =
+                        l1i_fills + l1d_fills + l2_fills;
+                    if (cFootprintFills_)
+                        cFootprintFills_->inc(fills);
+                    affected = fills + hier.pollute(
                         rest(pred.mem.l1iMisses, l1i_fills),
                         rest(pred.mem.l1dMisses, l1d_fills),
                         rest(pred.mem.l2Misses, l2_fills),
                         Cache::PollutionMode::Install);
                 }
                 break;
+            }
+            if (requested) {
+                if (cPollutionRequested_)
+                    cPollutionRequested_->inc(requested);
+                if (cPollutionAffected_)
+                    cPollutionAffected_->inc(affected);
+                trace(obs::TraceEventKind::Pollution,
+                      static_cast<std::uint8_t>(type_idx),
+                      requested, affected);
             }
         }
     }
@@ -395,6 +485,7 @@ Machine::run(InstCount max_insts)
 
     drainInto(Owner::App);
     totals_.measuredMem = hier.counts();
+    publishCacheStats();
     return totals_;
 }
 

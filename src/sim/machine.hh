@@ -30,6 +30,7 @@
 #include "inorder_cpu.hh"
 #include "interfaces.hh"
 #include "mem/hierarchy.hh"
+#include "obs/telemetry.hh"
 #include "ooo_cpu.hh"
 #include "service_types.hh"
 #include "util/types.hh"
@@ -214,6 +215,17 @@ class Machine
     void setController(ServiceController *controller);
 
     /**
+     * Attach (or detach, with nullptr) a telemetry sink. Not owned;
+     * must outlive the run. The machine registers its own
+     * instruments under "machine", publishes per-level cache
+     * statistics under "mem.<level>" when run() returns, and drives
+     * the tracer's clock with the retired-instruction count (the
+     * only clock that is identical across thread counts). Purely
+     * observational: attaching changes no simulated outcome.
+     */
+    void setTelemetry(obs::Telemetry *telemetry);
+
+    /**
      * Run until the workload completes or @p max_insts total
      * instructions retire (0 = no limit). Returns the totals, which
      * stay accessible via totals() afterwards.
@@ -250,6 +262,18 @@ class Machine
     /** Drain the engine and credit cycles to @p owner. */
     void drainInto(Owner owner);
 
+    /** Record a machine-level trace event (no-op unattached). */
+    void
+    trace(obs::TraceEventKind kind, std::uint8_t service,
+          std::uint64_t a, std::uint64_t b)
+    {
+        if (telemetry_)
+            telemetry_->tracer.record(kind, service, a, b);
+    }
+
+    /** Copy final per-level cache statistics into the registry. */
+    void publishCacheStats();
+
     MachineConfig config_;
     std::unique_ptr<UserProgram> workload_;
     std::unique_ptr<KernelIface> kernel_;
@@ -274,6 +298,15 @@ class Machine
     Pcg32 pollutionRng;
     std::vector<Addr> dataSample;
     std::vector<Addr> codeSample;
+
+    // Telemetry (null/cached-pointer scheme: see obs/telemetry.hh).
+    obs::Telemetry *telemetry_ = nullptr;
+    obs::Counter *cServicesDetailed_ = nullptr;
+    obs::Counter *cServicesPredicted_ = nullptr;
+    obs::Counter *cPollutionRequested_ = nullptr;
+    obs::Counter *cPollutionAffected_ = nullptr;
+    obs::Counter *cFootprintFills_ = nullptr;
+    obs::Histogram *hServiceInsts_ = nullptr;
 };
 
 } // namespace osp

@@ -82,13 +82,47 @@ class Pcg32
         }
     }
 
-    /** Uniform integer in [lo, hi] inclusive. */
+    /**
+     * Uniform integer in [0, bound) for 64-bit bounds, rejection
+     * sampled like range(). bound 0 means the full 2^64 span.
+     */
+    std::uint64_t
+    range64(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return next64();
+        if (bound == 1)
+            return 0;
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /**
+     * Uniform integer in [lo, hi] inclusive. Spans that fit in 32
+     * bits draw one 32-bit value (preserving the historical stream
+     * for every existing caller); wider spans — which previously
+     * truncated to 32 bits, a full-span request wrapping to a span
+     * of 0 and always returning lo — use 64-bit rejection sampling.
+     */
     std::int64_t
     rangeInclusive(std::int64_t lo, std::int64_t hi)
     {
-        return lo +
-               static_cast<std::int64_t>(
-                   range(static_cast<std::uint32_t>(hi - lo + 1)));
+        // Unsigned arithmetic: hi - lo is well defined even for
+        // (INT64_MIN, INT64_MAX), where the +1 wraps span to 0 —
+        // range64's encoding of the full 2^64 span.
+        std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                             static_cast<std::uint64_t>(lo) + 1;
+        std::uint64_t off;
+        if (span != 0 && span <= 0xFFFFFFFFULL)
+            off = range(static_cast<std::uint32_t>(span));
+        else
+            off = range64(span);
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(lo) + off);
     }
 
     /** Uniform double in [0, 1). */

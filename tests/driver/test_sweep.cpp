@@ -6,6 +6,7 @@
 
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/accelerator.hh"
 #include "driver/experiments.hh"
@@ -264,6 +265,217 @@ TEST(SweepJson, DocumentShapeAndRoundTrip)
     ASSERT_TRUE(ok) << error;
     EXPECT_NE(full.find("timing"), nullptr);
     EXPECT_NE(full["cells"].at(0).find("wall_s"), nullptr);
+}
+
+TEST(RunSweep, TelemetryPreservesThreadCountInvariance)
+{
+    // The tentpole extension of the determinism contract: with the
+    // telemetry section populated AND event tracing enabled, the
+    // canonical document must still be byte-identical across thread
+    // counts.
+    SweepSpec spec = tinySpec();
+
+    RunnerOptions serial;
+    serial.threads = 1;
+    serial.traceCapacity = 512;
+    RunnerOptions parallel;
+    parallel.threads = 8;
+    parallel.traceCapacity = 512;
+
+    JsonOptions canonical;
+    canonical.includeTiming = false;
+
+    SweepResult r1 = runSweep(spec, serial);
+    SweepResult r8 = runSweep(spec, parallel);
+
+    std::ostringstream os1, os8;
+    writeResultsJson(os1, r1, canonical);
+    writeResultsJson(os8, r8, canonical);
+    EXPECT_EQ(os1.str(), os8.str());
+
+    // The chrome trace dump is part of the same contract.
+    std::ostringstream t1, t8;
+    writeChromeTrace(t1, r1);
+    writeChromeTrace(t8, r8);
+    EXPECT_EQ(t1.str(), t8.str());
+    EXPECT_NE(t1.str().find("traceEvents"), std::string::npos);
+}
+
+TEST(RunSweep, CellsCarryPopulatedTelemetry)
+{
+    SweepSpec spec = tinySpec();
+    RunnerOptions opts;
+    opts.threads = 4;
+    opts.traceCapacity = 256;
+    SweepResult sweep = runSweep(spec, opts);
+
+    for (const CellResult &r : sweep.cells) {
+        ASSERT_FALSE(r.failed);
+        // Every cell publishes machine + cache instruments.
+        EXPECT_FALSE(r.telemetry.empty());
+        EXPECT_GT(r.telemetry.counterValue("mem.l1d",
+                                           "accesses_app"),
+                  0u);
+        EXPECT_EQ(r.traceInfo.capacity, 256u);
+        if (r.cell.mode == RunMode::Accelerated) {
+            // Predictors decide every post-warmup invocation.
+            std::uint64_t decided = 0;
+            for (const auto &c : r.telemetry.counters) {
+                if (c.name == "decide_detail" ||
+                    c.name == "decide_emulate")
+                    decided += c.value;
+            }
+            EXPECT_GT(decided, 0u);
+            EXPECT_GT(r.traceInfo.recorded, 0u);
+            EXPECT_EQ(r.trace.size(),
+                      r.traceInfo.recorded - r.traceInfo.dropped);
+            // Telemetry mirrors the existing stats plumbing.
+            EXPECT_EQ(r.telemetry.counterValue(
+                          "machine", "services_predicted"),
+                      r.totals.osPredicted);
+            EXPECT_EQ(r.telemetry.counterValue(
+                          "machine", "services_detailed"),
+                      r.totals.osSimulated);
+        }
+    }
+}
+
+TEST(RunSweep, AttachedTelemetryChangesNoOutcome)
+{
+    // Observational purity: a traced cell and a bare cell simulate
+    // the exact same cycles.
+    SweepSpec spec = tinySpec();
+    auto cells = expandSweep(spec);
+    for (const SweepCell &cell : cells) {
+        CellResult bare = runCell(spec, cell, 0);
+        CellResult traced = runCell(spec, cell, 1024);
+        EXPECT_EQ(bare.totals.totalCycles(),
+                  traced.totals.totalCycles());
+        EXPECT_EQ(bare.totals.totalInsts(),
+                  traced.totals.totalInsts());
+        EXPECT_EQ(bare.stats.predictedRuns,
+                  traced.stats.predictedRuns);
+    }
+}
+
+TEST(RunSweep, WorkerExceptionsAreCapturedPerCell)
+{
+    SweepSpec spec = tinySpec();
+    RunnerOptions opts;
+    opts.threads = 4;
+    opts.cellRunner = [](const SweepSpec &s, const SweepCell &c,
+                         std::size_t trace_capacity) {
+        if (c.workload == "du" && c.mode == RunMode::Accelerated)
+            throw std::runtime_error("synthetic cell failure");
+        return runCell(s, c, trace_capacity);
+    };
+    SweepResult sweep = runSweep(spec, opts);
+    ASSERT_EQ(sweep.cells.size(), 6u);
+
+    std::size_t failed = 0;
+    for (const CellResult &r : sweep.cells) {
+        if (r.cell.workload == "du" &&
+            r.cell.mode == RunMode::Accelerated) {
+            EXPECT_TRUE(r.failed);
+            EXPECT_EQ(r.error, "synthetic cell failure");
+            // The slot still identifies its cell.
+            EXPECT_EQ(r.cell.index, &r - sweep.cells.data());
+            ++failed;
+        } else {
+            EXPECT_FALSE(r.failed);
+            EXPECT_GT(r.totals.totalCycles(), 0u);
+        }
+    }
+    EXPECT_EQ(failed, 2u);
+
+    // Failed accelerated cells drop out of the variant rollup...
+    for (const VariantSummary &s : sweep.summary)
+        EXPECT_EQ(s.cells, 1u);
+
+    // ...and the document reports them.
+    std::ostringstream os;
+    JsonOptions canonical;
+    canonical.includeTiming = false;
+    writeResultsJson(os, sweep, canonical);
+    bool ok = false;
+    std::string error;
+    JsonValue doc = JsonValue::parse(os.str(), &ok, &error);
+    ASSERT_TRUE(ok) << error;
+    ASSERT_EQ(doc["summary"]["failed_cells"].size(), 2u);
+    bool found_error = false;
+    for (std::size_t i = 0; i < doc["cells"].size(); ++i) {
+        const JsonValue &cell = doc["cells"].at(i);
+        if (cell.find("error")) {
+            EXPECT_EQ(cell["error"].asString(),
+                      "synthetic cell failure");
+            EXPECT_EQ(cell.find("metrics"), nullptr);
+            found_error = true;
+        }
+    }
+    EXPECT_TRUE(found_error);
+}
+
+TEST(RunSweep, FailedBaselineLeavesDependentsWithoutError)
+{
+    // A failed Full baseline must not feed garbage into cycleError.
+    SweepSpec spec = tinySpec();
+    RunnerOptions opts;
+    opts.cellRunner = [](const SweepSpec &s, const SweepCell &c,
+                         std::size_t trace_capacity) {
+        if (c.mode == RunMode::Full)
+            throw std::runtime_error("baseline down");
+        return runCell(s, c, trace_capacity);
+    };
+    SweepResult sweep = runSweep(spec, opts);
+    for (const CellResult &r : sweep.cells) {
+        if (r.cell.mode == RunMode::Accelerated) {
+            EXPECT_FALSE(r.failed);
+            EXPECT_FALSE(r.hasBaseline);
+        }
+    }
+}
+
+TEST(SweepJson, TelemetrySectionShape)
+{
+    SweepSpec spec = tinySpec();
+    RunnerOptions opts;
+    opts.traceCapacity = 128;
+    SweepResult sweep = runSweep(spec, opts);
+
+    std::ostringstream os;
+    JsonOptions canonical;
+    canonical.includeTiming = false;
+    writeResultsJson(os, sweep, canonical);
+    bool ok = false;
+    std::string error;
+    JsonValue doc = JsonValue::parse(os.str(), &ok, &error);
+    ASSERT_TRUE(ok) << error;
+
+    // Top-level rollup.
+    const JsonValue *telemetry = doc.find("telemetry");
+    ASSERT_NE(telemetry, nullptr);
+    EXPECT_EQ((*telemetry)["schema"].asString(),
+              "ospredict-telemetry-v1");
+    EXPECT_EQ((*telemetry)["instrumented_cells"].asUint(),
+              sweep.cells.size());
+    std::uint64_t sum = 0;
+    for (const CellResult &r : sweep.cells)
+        sum += r.telemetry.counterValue("machine",
+                                        "services_predicted");
+    EXPECT_EQ((*telemetry)["counters"]["machine.services_predicted"]
+                  .asUint(),
+              sum);
+
+    // Per-cell section.
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+        const JsonValue &cell = doc["cells"].at(i);
+        const JsonValue *t = cell.find("telemetry");
+        ASSERT_NE(t, nullptr);
+        EXPECT_EQ((*t)["trace"]["capacity"].asUint(), 128u);
+        EXPECT_EQ((*t)["counters"]["mem.l1d.accesses_app"].asUint(),
+                  sweep.cells[i].telemetry.counterValue(
+                      "mem.l1d", "accesses_app"));
+    }
 }
 
 TEST(NamedSweeps, FactoriesMatchTheBenchExperiments)

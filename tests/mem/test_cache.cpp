@@ -200,6 +200,86 @@ TEST(Cache, PollutionInstallFillsInvalidSlots)
     Cache c(smallCache(128, 2));
     EXPECT_EQ(c.pollute(2, Cache::PollutionMode::Install), 2u);
     EXPECT_EQ(c.residentLines(Owner::Os), 2u);
+    // Regression: filling an empty slot is not an eviction — it
+    // used to be reported as one.
+    EXPECT_EQ(c.stats().injectedEvictions, 0u);
+    EXPECT_EQ(c.stats().injectedFills, 2u);
+}
+
+TEST(Cache, PollutionInvalidateClampsToLiveLines)
+{
+    // Regression: an invalidation request larger than the resident
+    // population used to keep drawing (and burning RNG state) on
+    // guaranteed no-op draws. Now the count clamps up front and the
+    // return value reports what actually happened.
+    Cache c(smallCache(1024, 2));  // 8 sets, 16 lines
+    c.access(0x000, false, Owner::App);
+    c.access(0x040, false, Owner::App);
+    c.access(0x080, false, Owner::Os);
+
+    std::uint64_t n =
+        c.pollute(1000, Cache::PollutionMode::InvalidateAny);
+    // At most the 3 resident lines can go; no over-reporting.
+    EXPECT_LE(n, 3u);
+    EXPECT_EQ(c.stats().injectedEvictions, n);
+    EXPECT_EQ(c.residentLines(Owner::App) +
+                  c.residentLines(Owner::Os),
+              3u - n);
+}
+
+TEST(Cache, PollutionInvalidateAppClampsToAppLines)
+{
+    Cache c(smallCache(1024, 2));
+    c.access(0x000, false, Owner::App);
+    for (int i = 0; i < 8; ++i)
+        c.access(0x040ULL + 0x40 * i, false, Owner::Os);
+
+    std::uint64_t n =
+        c.pollute(500, Cache::PollutionMode::InvalidateApp);
+    // Only the single app line is eligible.
+    EXPECT_LE(n, 1u);
+    EXPECT_EQ(c.residentLines(Owner::Os), 8u);
+    EXPECT_EQ(c.residentLines(Owner::App), 1u - n);
+}
+
+TEST(Cache, PollutionOnEmptyCacheIsNoOpForInvalidation)
+{
+    Cache c(smallCache(1024, 2));
+    EXPECT_EQ(c.pollute(64, Cache::PollutionMode::InvalidateAny),
+              0u);
+    EXPECT_EQ(c.pollute(64, Cache::PollutionMode::InvalidateApp),
+              0u);
+    EXPECT_EQ(c.stats().injectedEvictions, 0u);
+}
+
+TEST(Cache, ResidentLineCountsTrackStateChanges)
+{
+    Cache c(smallCache(128, 2));
+    EXPECT_EQ(c.residentLines(), 0u);
+    c.access(0x000, false, Owner::App);
+    c.access(0x040, false, Owner::Os);
+    EXPECT_EQ(c.residentLines(Owner::App), 1u);
+    EXPECT_EQ(c.residentLines(Owner::Os), 1u);
+    EXPECT_EQ(c.residentLines(), 2u);
+    // Demand eviction of the app LRU line by an OS miss.
+    c.access(0x080, false, Owner::Os);
+    EXPECT_EQ(c.residentLines(Owner::App), 0u);
+    EXPECT_EQ(c.residentLines(Owner::Os), 2u);
+    c.flush();
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(Cache, InstallCountsFillsNotEvictionsOnInvalidSlots)
+{
+    Cache c(smallCache(128, 2));
+    EXPECT_TRUE(c.install(0x000, Owner::Os));
+    EXPECT_EQ(c.stats().injectedFills, 1u);
+    EXPECT_EQ(c.stats().injectedEvictions, 0u);
+    // Displacing a valid line is an eviction.
+    c.install(0x040, Owner::Os);
+    c.install(0x080, Owner::Os);
+    EXPECT_EQ(c.stats().injectedFills, 3u);
+    EXPECT_EQ(c.stats().injectedEvictions, 1u);
 }
 
 TEST(Cache, InstallResidencyAndRefresh)
