@@ -43,7 +43,12 @@ usage(int code)
           "  --no-timing    omit wall-clock fields (canonical, "
           "thread-count-invariant bytes)\n"
           "  --trace PATH   enable per-cell event tracing and dump "
-          "the rings as chrome://tracing JSON\n";
+          "the rings as chrome://tracing JSON\n"
+          "  --accuracy-report PATH\n"
+          "                 write the human-readable prediction-"
+          "accuracy / error-budget tables ('-' for stdout)\n"
+          "  --log-level {silent,warn,inform}\n"
+          "                 global verbosity (default inform)\n";
     return code;
 }
 
@@ -58,6 +63,7 @@ main(int argc, char **argv)
     std::string name;
     std::string out_path = "results.json";
     std::string trace_path;
+    std::string accuracy_path;
     std::uint64_t seed = experimentSeed;
     unsigned threads = 0;
     bool timing = true;
@@ -81,6 +87,21 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--accuracy-report" && i + 1 < argc) {
+            accuracy_path = argv[++i];
+        } else if (arg == "--log-level" && i + 1 < argc) {
+            std::string level = argv[++i];
+            if (level == "silent") {
+                setLogLevel(LogLevel::Silent);
+            } else if (level == "warn") {
+                setLogLevel(LogLevel::Warn);
+            } else if (level == "inform") {
+                setLogLevel(LogLevel::Inform);
+            } else {
+                std::cerr << "sweep: bad log level '" << level
+                          << "'\n";
+                return usage(2);
+            }
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
@@ -133,6 +154,22 @@ main(int argc, char **argv)
         }
         writeChromeTrace(ts, result);
         std::cerr << "sweep: trace -> " << trace_path << "\n";
+    }
+
+    if (!accuracy_path.empty()) {
+        if (accuracy_path == "-") {
+            writeAccuracyReport(std::cout, result);
+        } else {
+            std::ofstream as(accuracy_path);
+            if (!as) {
+                std::cerr << "sweep: cannot write "
+                          << accuracy_path << "\n";
+                return 1;
+            }
+            writeAccuracyReport(as, result);
+            std::cerr << "sweep: accuracy report -> "
+                      << accuracy_path << "\n";
+        }
     }
 
     std::cerr << "sweep " << spec.name << ": "

@@ -37,6 +37,12 @@ void
 Accelerator::setTelemetry(obs::Telemetry *telemetry)
 {
     telemetry_ = telemetry;
+    // The accuracy ledger's drift flag is a CI-on-the-mean test, so
+    // it judges against the same band the predictors' statistical
+    // drift trigger uses — a flagged cluster is one the trigger
+    // would reset (or already has).
+    if (telemetry)
+        telemetry->accuracy.setTolerance(params_.auditMeanTolerance);
     for (int t = 0; t < numServiceTypes; ++t) {
         if (!predictors[t])
             continue;
@@ -164,6 +170,7 @@ Accelerator::aggregateStats() const
         total.relearnEvents += s.relearnEvents;
         total.audits += s.audits;
         total.auditFailures += s.auditFailures;
+        total.auditWarmupRuns += s.auditWarmupRuns;
         total.driftResets += s.driftResets;
     }
     return total;

@@ -45,7 +45,13 @@ class Accelerator : public ServiceController
     /** Per-service predictor access (reports, tests). */
     const ServicePredictor &predictor(ServiceType type) const;
 
-    /** Aggregate predictor statistics over all services. */
+    /**
+     * Aggregate predictor statistics over all services. Note this
+     * is a total: the per-service split of every field — including
+     * audits/auditFailures — is surfaced through telemetry as
+     * "predictor.<service>" counters and through the accuracy
+     * ledger's per-(service, cluster) entries.
+     */
     ServicePredictor::Stats aggregateStats() const;
 
     /**
@@ -71,7 +77,10 @@ class Accelerator : public ServiceController
     /**
      * Attach a telemetry sink. Every per-service predictor (existing
      * and future) registers its instruments as
-     * "predictor.<service name>". Pass nullptr to detach.
+     * "predictor.<service name>" — including per-service audit
+     * counters — and routes predictions and audit outcomes into the
+     * sink's accuracy ledger, whose drift tolerance is set to this
+     * accelerator's auditTolerance. Pass nullptr to detach.
      */
     void setTelemetry(obs::Telemetry *telemetry);
 

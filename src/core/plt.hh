@@ -93,6 +93,16 @@ class PerfLookupTable
     /** Discard all outlier entries (done when re-learning fires). */
     void clearOutliers() { outliers_.clear(); }
 
+    /** Clamp one cluster's history weight (see
+     *  ScaledCluster::decayHistory); out-of-range indices are
+     *  ignored. */
+    void
+    decayCluster(std::size_t index, std::uint64_t max_count)
+    {
+        if (index < clusters.size())
+            clusters[index].decayHistory(max_count);
+    }
+
     std::size_t numClusters() const { return clusters.size(); }
     std::size_t numOutlierEntries() const { return outliers_.size(); }
 

@@ -159,7 +159,106 @@ toJson(const ServicePredictor::Stats &stats)
     v.add("relearn_events", stats.relearnEvents);
     v.add("audits", stats.audits);
     v.add("audit_failures", stats.auditFailures);
+    v.add("audit_warmup_runs", stats.auditWarmupRuns);
     v.add("drift_resets", stats.driftResets);
+    return v;
+}
+
+namespace
+{
+
+/** "sys_read" for known indices, the bare number otherwise. */
+std::string
+accuracyServiceName(std::uint8_t service)
+{
+    if (service < numServiceTypes)
+        return serviceName(static_cast<ServiceType>(service));
+    return std::to_string(service);
+}
+
+/** {"n", "mean", "stddev", "min", "max"[, "ci95"]} of an error
+ *  distribution (the CI only once it is defined). */
+JsonValue
+errDistJson(const RunningStats &err, double ci95, bool has_ci)
+{
+    JsonValue v = JsonValue::object();
+    v.add("n", err.count());
+    v.add("mean", err.mean());
+    v.add("stddev", err.sampleStddev());
+    v.add("min", err.count() ? err.min() : 0.0);
+    v.add("max", err.count() ? err.max() : 0.0);
+    if (has_ci)
+        v.add("ci95", ci95);
+    return v;
+}
+
+} // namespace
+
+JsonValue
+toJson(const obs::AccuracySnapshot &snapshot)
+{
+    obs::AccuracyRollup roll = rollupAccuracy(snapshot);
+
+    JsonValue v = JsonValue::object();
+    v.add("tolerance", snapshot.tolerance);
+    v.add("total_cycles", snapshot.totalCycles);
+    v.add("predicted_cycles", snapshot.predictedCycles);
+    v.add("predictions", roll.predictions);
+    v.add("outlier_predictions", roll.outlierPredictions);
+    v.add("audits", roll.audits);
+    v.add("audit_failures", roll.auditFailures);
+    v.add("drifting_clusters", roll.driftingClusters);
+    v.add("unattributed_cycles", roll.unattributedCycles);
+    if (roll.err.count())
+        v.add("audit_err",
+              errDistJson(roll.err, roll.ci95, roll.hasCi));
+    if (roll.hasEstimate) {
+        JsonValue est = JsonValue::object();
+        est.add("rel_total_err", roll.estRelTotalErr);
+        if (roll.hasCi)
+            est.add("ci95", roll.estCi95);
+        v.add("estimate", std::move(est));
+    }
+
+    JsonValue clusters = JsonValue::array();
+    for (const obs::AccuracyEntry &e : snapshot.entries) {
+        JsonValue c = JsonValue::object();
+        c.add("service", accuracyServiceName(e.service));
+        c.add("cluster",
+              e.cluster == obs::accuracyNoCluster
+                  ? static_cast<std::int64_t>(-1)
+                  : static_cast<std::int64_t>(e.cluster));
+        c.add("predictions", e.predictions);
+        c.add("outlier_predictions", e.outlierPredictions);
+        c.add("predicted_cycles", e.predictedCycles);
+        c.add("audits", e.audits);
+        c.add("audit_failures", e.auditFailures);
+        if (e.errCount)
+            c.add("err", errDistJson(e.errStats(), e.ci95, e.hasCi));
+        if (e.missCount) {
+            JsonValue m = JsonValue::object();
+            m.add("n", e.missCount);
+            m.add("mean", e.missMean);
+            c.add("l2miss_err", std::move(m));
+        }
+        if (e.ipcCount) {
+            JsonValue m = JsonValue::object();
+            m.add("n", e.ipcCount);
+            m.add("mean", e.ipcMean);
+            c.add("ipc_err", std::move(m));
+        }
+        c.add("drift", e.drift);
+        if (e.errCount) {
+            // The cluster's slice of the error budget: its mean
+            // signed error weighted by the predicted-cycle mass it
+            // produced, in cycles.
+            c.add("contribution_cycles",
+                  e.errMean *
+                      static_cast<double>(e.predictedCycles));
+        }
+        clusters.append(std::move(c));
+    }
+    v.add("clusters", std::move(clusters));
     return v;
 }
 

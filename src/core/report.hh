@@ -116,6 +116,20 @@ JsonValue toJson(const RunTotals &totals);
 /** Aggregate predictor statistics. */
 JsonValue toJson(const ServicePredictor::Stats &stats);
 
+/**
+ * One run's accuracy-ledger snapshot (the per-cell "ledger" block
+ * of the "ospredict-accuracy-v1" section): run totals, the pooled
+ * audit-error statistics with their 95% CI and the extrapolated
+ * end-to-end error estimate, then one entry per (service, cluster)
+ * with the signed error distribution, drift flag, and error-budget
+ * contribution. Service indices are emitted as service names;
+ * fields whose value would be undefined (CI with fewer than two
+ * samples, estimate without run totals) are omitted rather than
+ * emitted as NaN, keeping the document strictly-parsable and
+ * byte-deterministic.
+ */
+JsonValue toJson(const obs::AccuracySnapshot &snapshot);
+
 } // namespace osp
 
 #endif // OSP_CORE_REPORT_HH

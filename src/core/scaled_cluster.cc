@@ -102,6 +102,23 @@ ScaledCluster::add(const ServiceMetrics &m)
     }
 }
 
+void
+ScaledCluster::decayHistory(std::uint64_t max_count)
+{
+    insts_.clampWeight(max_count);
+    cycles_.clampWeight(max_count);
+    ipc_.clampWeight(max_count);
+    loads_.clampWeight(max_count);
+    stores_.clampWeight(max_count);
+    branches_.clampWeight(max_count);
+    l1iAcc.clampWeight(max_count);
+    l1iMiss.clampWeight(max_count);
+    l1dAcc.clampWeight(max_count);
+    l1dMiss.clampWeight(max_count);
+    l2Acc.clampWeight(max_count);
+    l2Miss.clampWeight(max_count);
+}
+
 bool
 ScaledCluster::matches(InstCount insts) const
 {

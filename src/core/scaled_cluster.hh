@@ -75,6 +75,16 @@ class ScaledCluster
     /** Add a member; updates the centroid, range and statistics. */
     void add(const ServiceMetrics &m);
 
+    /**
+     * Clamp the weight of the accumulated history to @p max_count
+     * samples, preserving every mean (and so the centroid, range
+     * and current prediction) and variance. Called on a drift
+     * reset: audits proved the cluster's behaviour shifted, and a
+     * re-learning window can only pull the means toward current
+     * behaviour if the stale members don't outweigh it.
+     */
+    void decayHistory(std::uint64_t max_count);
+
     /** Does this signature fall inside the cluster's range? */
     bool matches(InstCount insts) const;
 

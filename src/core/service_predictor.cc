@@ -35,6 +35,9 @@ ServicePredictor::attachTelemetry(obs::Telemetry *telemetry,
         cOutliers_ = nullptr;
         cRelearn_ = nullptr;
         cClustersCreated_ = nullptr;
+        cAudits_ = nullptr;
+        cAuditFailures_ = nullptr;
+        cDriftResets_ = nullptr;
         gClusters_ = nullptr;
         hPredictedInsts_ = nullptr;
         return;
@@ -46,6 +49,9 @@ ServicePredictor::attachTelemetry(obs::Telemetry *telemetry,
     cOutliers_ = &reg.counter(component, "outliers");
     cRelearn_ = &reg.counter(component, "relearn_events");
     cClustersCreated_ = &reg.counter(component, "clusters_created");
+    cAudits_ = &reg.counter(component, "audits");
+    cAuditFailures_ = &reg.counter(component, "audit_failures");
+    cDriftResets_ = &reg.counter(component, "drift_resets");
     gClusters_ = &reg.gauge(component, "plt_clusters");
     hPredictedInsts_ =
         &reg.histogram(component, "predicted_insts");
@@ -60,6 +66,42 @@ ServicePredictor::enterMode(Mode to)
           static_cast<std::uint64_t>(mode_),
           static_cast<std::uint64_t>(to));
     mode_ = to;
+    // A learning window shifts the cluster means the audit errors
+    // were measured against, so the accumulated evidence no longer
+    // describes the table that will be predicting afterwards.
+    if (mode_ == Mode::Learning)
+        auditErr_.clear();
+}
+
+void
+ServicePredictor::auditDriftReset(const ServiceMetrics &metrics,
+                                  std::uint32_t cluster_idx)
+{
+    // Sustained drift: re-enter a learning window *without*
+    // clearing the table. The fresh window's samples pull each
+    // cluster's running means toward current behaviour; if drift
+    // persists, later audits trigger again and the means converge
+    // geometrically — while a noisy-but-stationary service loses
+    // nothing. The implicated cluster's history weight is clamped
+    // to one window's worth of samples first: a long-lived cluster
+    // holds thousands of members, and without the decay a 100-
+    // sample window could never move its mean off the stale value
+    // the audits just disproved.
+    if (cluster_idx != obs::accuracyNoCluster)
+        plt.decayCluster(cluster_idx, window);
+    consecutiveAuditFailures = 0;
+    ++stats_.driftResets;
+    if (cDriftResets_)
+        cDriftResets_->inc();
+    ++stats_.relearnEvents;
+    if (cRelearn_)
+        cRelearn_->inc();
+    trace(obs::TraceEventKind::Relearn, 1, window);
+    enterMode(Mode::Learning);
+    phaseCount = 0;
+    ++stats_.learnedRuns;
+    recordSample(metrics);
+    ++phaseCount;
 }
 
 void
@@ -103,9 +145,21 @@ ServicePredictor::decideDetail()
             cDecideDetail_->inc();
         return true;
     }
-    if (params.auditEvery && ++sinceAudit >= params.auditEvery) {
+    if (auditBurstLeft == 0 && params.auditEvery &&
+        ++sinceAudit >= params.auditEvery) {
+        // Audit due: schedule a burst of auditWarmup re-warm runs
+        // followed by the audited invocation itself, so the audit
+        // measures warm-cache behaviour comparable to what the
+        // clusters learned (see PredictorParams::auditWarmup).
         sinceAudit = 0;
-        auditPending = true;
+        auditBurstLeft = params.auditWarmup + 1;
+    }
+    if (auditBurstLeft > 0) {
+        --auditBurstLeft;
+        if (auditBurstLeft == 0)
+            auditPending = true;
+        else
+            auditWarming = true;
         if (cDecideDetail_)
             cDecideDetail_->inc();
         return true;
@@ -118,24 +172,41 @@ ServicePredictor::decideDetail()
 void
 ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
 {
+    if (auditWarming && mode_ == Mode::Predicting) {
+        // Sacrificial re-warm run before an audit: its whole point
+        // is to absorb the cold-cache transient, so the sample is
+        // discarded — folding it into a cluster would poison the
+        // mean, and auditing it would report the very phantom
+        // error the warm-up exists to remove.
+        auditWarming = false;
+        ++stats_.auditWarmupRuns;
+        return;
+    }
+    auditWarming = false;
     if (auditPending && mode_ == Mode::Predicting) {
         // Audit sample: compare reality with what we would have
         // predicted for this signature.
         auditPending = false;
         ++stats_.audits;
+        if (cAudits_)
+            cAudits_->inc();
         const ScaledCluster *cluster =
             plt.match(metrics.signature());
         if (!cluster)
             cluster = plt.closest(metrics.insts);
         bool failed = true;
+        bool ciDrift = false;
+        ServiceMetrics predictedMetrics;
         if (cluster) {
             // Variance-aware check: a deviation only fails the
             // audit if it exceeds both the relative tolerance and
             // three standard deviations of the cluster's own
             // historical spread — ordinary within-cluster noise
             // must not trigger drift resets.
+            predictedMetrics = cluster->predict();
+            predictedMetrics.insts = metrics.insts;
             double predicted =
-                static_cast<double>(cluster->predict().cycles);
+                static_cast<double>(predictedMetrics.cycles);
             double actual = static_cast<double>(metrics.cycles);
             double spread =
                 3.0 * cluster->cyclesStats().stddev();
@@ -143,42 +214,71 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
                 params.auditTolerance * predicted, spread);
             failed = predicted > 0.0 &&
                      std::fabs(actual - predicted) > bound;
+            if (params.auditCiMinSamples && actual > 0.0) {
+                // Statistical drift test: the per-audit bound
+                // above is 3-sigma-wide for a noisy cluster, so a
+                // biased-but-noisy cluster can pass every single
+                // audit while its *mean* error is statistically
+                // unambiguous. Accumulate the signed relative
+                // error per cluster and trigger a reset when the
+                // Student-t 95% CI on the mean lies entirely
+                // outside the tolerance band.
+                RunningStats &err =
+                    auditErr_[clusterIndex(cluster)];
+                err.add((predicted - actual) / actual);
+                if (err.count() >= params.auditCiMinSamples) {
+                    double ci = obs::accuracyCi95(err);
+                    double band = params.auditMeanTolerance;
+                    ciDrift = err.mean() - ci > band ||
+                              err.mean() + ci < -band;
+                }
+            }
+        }
+        if (telemetry_ && cluster) {
+            // Route the full predicted-vs-actual comparison into
+            // the accuracy ledger under the auditing cluster's
+            // identity (observational only).
+            obs::AuditSample sample;
+            sample.predictedCycles =
+                static_cast<double>(predictedMetrics.cycles);
+            sample.actualCycles =
+                static_cast<double>(metrics.cycles);
+            sample.predictedL2Misses = static_cast<double>(
+                predictedMetrics.mem.l2Misses);
+            sample.actualL2Misses =
+                static_cast<double>(metrics.mem.l2Misses);
+            sample.predictedIpc = predictedMetrics.ipc();
+            sample.actualIpc = metrics.ipc();
+            sample.failed = failed;
+            telemetry_->accuracy.noteAudit(
+                serviceIndex_, clusterIndex(cluster), sample);
         }
         if (failed) {
             // Drift evidence: do NOT fold the sample into the
             // cluster (it would inflate the spread and drag the
             // mean just enough to mask further failures).
             ++stats_.auditFailures;
+            if (cAuditFailures_)
+                cAuditFailures_->inc();
             ++consecutiveAuditFailures;
             trace(obs::TraceEventKind::Audit, 0,
                   consecutiveAuditFailures);
             if (consecutiveAuditFailures >=
-                params.auditTriggerCount) {
-                // Sustained drift: re-enter a learning window
-                // *without* clearing the table. The fresh window's
-                // samples pull each cluster's running means toward
-                // current behaviour; if drift persists, later
-                // audits trigger again and the means converge
-                // geometrically — while a noisy-but-stationary
-                // service loses nothing.
-                consecutiveAuditFailures = 0;
-                ++stats_.driftResets;
-                ++stats_.relearnEvents;
-                if (cRelearn_)
-                    cRelearn_->inc();
-                trace(obs::TraceEventKind::Relearn, 1, window);
-                enterMode(Mode::Learning);
-                phaseCount = 0;
-                ++stats_.learnedRuns;
-                recordSample(metrics);
-                ++phaseCount;
-                return;
-            }
+                    params.auditTriggerCount ||
+                ciDrift)
+                auditDriftReset(metrics, clusterIndex(cluster));
+            return;
+        }
+        trace(obs::TraceEventKind::Audit, 1, 0);
+        consecutiveAuditFailures = 0;
+        if (ciDrift) {
+            // Every individual audit passed, but the accumulated
+            // mean error is significant: the slow-drift case the
+            // consecutive-failure trigger cannot see.
+            auditDriftReset(metrics, clusterIndex(cluster));
             return;
         }
         // A passing audit refreshes the matched cluster.
-        trace(obs::TraceEventKind::Audit, 1, 0);
-        consecutiveAuditFailures = 0;
         ++stats_.learnedRuns;
         recordSample(metrics);
         return;
@@ -271,16 +371,32 @@ ServicePredictor::predict(const Signature &signature,
         }
     } else {
         trace(obs::TraceEventKind::ClusterMatch,
-              static_cast<std::uint64_t>(
-                  cluster - plt.allClusters().data()),
-              signature.insts);
+              clusterIndex(cluster), signature.insts);
     }
+
+    lastMatchedCluster_ = clusterIndex(cluster);
 
     ServiceMetrics prediction;
     if (cluster)
         prediction = cluster->predict();
     prediction.insts = signature.insts;
+    if (telemetry_) {
+        // Book the predicted-cycle mass under the producing cluster
+        // so end-to-end error can be attributed back to it.
+        telemetry_->accuracy.notePrediction(
+            serviceIndex_, lastMatchedCluster_, prediction.cycles,
+            outlier);
+    }
     return prediction;
+}
+
+std::uint32_t
+ServicePredictor::clusterIndex(const ScaledCluster *cluster) const
+{
+    if (!cluster)
+        return obs::accuracyNoCluster;
+    return static_cast<std::uint32_t>(
+        cluster - plt.allClusters().data());
 }
 
 } // namespace osp

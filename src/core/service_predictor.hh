@@ -24,6 +24,7 @@
 #define OSP_CORE_SERVICE_PREDICTOR_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,9 +85,44 @@ struct PredictorParams
     /** Relative cycle deviation that fails an audit (also gated by
      *  3x the cluster's own stddev; see service_predictor.cc). */
     double auditTolerance = 0.30;
+    /**
+     * Detailed invocations run — and discarded — immediately
+     * before each audit sample. During a prediction period the
+     * service's cache working set decays (emulation does not touch
+     * the real caches beyond pollution injection), so an isolated
+     * detailed invocation measures cold-cache cycles that neither
+     * the clusters (learned from consecutive detailed runs) nor
+     * the full-detail oracle ever see: audits would report a large
+     * phantom error and trigger spurious drift resets. Re-warming
+     * with one sacrificial detailed invocation restores thermal
+     * parity at a 1/auditEvery coverage cost. 0 compares cold
+     * (the pre-ledger behaviour).
+     */
+    std::uint64_t auditWarmup = 2;
     /** Consecutive failed audits that invalidate the PLT and
      *  restart learning. */
     std::uint64_t auditTriggerCount = 3;
+    /**
+     * Statistical drift trigger: once a cluster has this many
+     * audit samples, re-enter learning when the Student-t 95%
+     * confidence interval on its mean relative audit error lies
+     * entirely outside the +-auditMeanTolerance band. The
+     * consecutive-failure trigger above only catches deviations
+     * exceeding the per-audit bound (which is 3-sigma-wide for
+     * noisy clusters); a noisy cluster whose *mean* has drifted
+     * passes every individual audit yet accumulates statistically
+     * unambiguous bias — exactly what a CI test detects. 0
+     * disables the statistical trigger.
+     */
+    std::uint64_t auditCiMinSamples = 8;
+    /**
+     * Acceptable sustained per-cluster mean audit error. Much
+     * tighter than auditTolerance: a single audit deviating 30%
+     * is ordinary noise, but a cluster whose *mean* error is
+     * provably beyond 10% contributes bias to every prediction it
+     * makes, and only re-learning fixes that.
+     */
+    double auditMeanTolerance = 0.10;
     /** Scaled-cluster half-range (0.05 in the paper). */
     double clusterRange = 0.05;
     /**
@@ -153,6 +189,19 @@ class ServicePredictor
     /** Effective learning-window size in use. */
     std::uint64_t learningWindow() const { return window; }
 
+    /**
+     * Identity of the cluster that produced the most recent
+     * predict(): its index into table().allClusters(). Outlier
+     * predictions report the closest cluster actually used;
+     * obs::accuracyNoCluster when no cluster existed at all. This
+     * is what ties a prediction (and its audit outcome) back to a
+     * named PLT entry in the accuracy ledger's error budget.
+     */
+    std::uint32_t lastMatchedCluster() const
+    {
+        return lastMatchedCluster_;
+    }
+
     const PerfLookupTable &table() const { return plt; }
 
     /**
@@ -175,6 +224,9 @@ class ServicePredictor
         std::uint64_t relearnEvents = 0;
         std::uint64_t audits = 0;
         std::uint64_t auditFailures = 0;
+        /** Sacrificial cache re-warm runs before audits (discarded,
+         *  neither learned nor audited). */
+        std::uint64_t auditWarmupRuns = 0;
         std::uint64_t driftResets = 0;
     };
 
@@ -214,8 +266,17 @@ class ServicePredictor
     /** Change phase, emitting the transition to telemetry. */
     void enterMode(Mode to);
 
+    /** Sustained drift detected by an audit: re-enter a learning
+     *  window (without clearing the table) seeded with @p metrics,
+     *  decaying the implicated cluster's history weight. */
+    void auditDriftReset(const ServiceMetrics &metrics,
+                         std::uint32_t cluster_idx);
+
     /** Fold one detailed sample into the PLT, tracking growth. */
     void recordSample(const ServiceMetrics &metrics);
+
+    /** Index of @p cluster in the PLT's cluster array. */
+    std::uint32_t clusterIndex(const ScaledCluster *cluster) const;
 
     PredictorParams params;
     std::uint64_t window;
@@ -226,8 +287,17 @@ class ServicePredictor
     std::uint64_t phaseCount = 0;  //!< invocations in current phase
     std::vector<double> warmupCpi;
     std::uint64_t sinceAudit = 0;
+    /** Detailed invocations left in the current audit burst (the
+     *  auditWarmup re-warm runs plus the audited one). */
+    std::uint64_t auditBurstLeft = 0;
     bool auditPending = false;
+    /** The invocation being recorded is an audit re-warm run. */
+    bool auditWarming = false;
     std::uint64_t consecutiveAuditFailures = 0;
+    /** Per-cluster audit relative-error accumulators feeding the
+     *  statistical drift trigger; cleared on learning entry. */
+    std::map<std::uint32_t, RunningStats> auditErr_;
+    std::uint32_t lastMatchedCluster_ = obs::accuracyNoCluster;
     Stats stats_;
 
     // Telemetry (null/cached-pointer scheme: see obs/telemetry.hh).
@@ -239,6 +309,9 @@ class ServicePredictor
     obs::Counter *cOutliers_ = nullptr;
     obs::Counter *cRelearn_ = nullptr;
     obs::Counter *cClustersCreated_ = nullptr;
+    obs::Counter *cAudits_ = nullptr;
+    obs::Counter *cAuditFailures_ = nullptr;
+    obs::Counter *cDriftResets_ = nullptr;
     obs::Gauge *gClusters_ = nullptr;
     obs::Histogram *hPredictedInsts_ = nullptr;
 };

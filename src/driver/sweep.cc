@@ -1,12 +1,15 @@
 #include "sweep.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <map>
 
 #include "core/accelerator.hh"
 #include "thread_pool.hh"
 #include "util/logging.hh"
+#include "util/table.hh"
 #include "workload/registry.hh"
 
 namespace osp
@@ -154,6 +157,7 @@ runCell(const SweepSpec &spec, const SweepCell &cell,
     result.telemetry = telemetry.registry.snapshot();
     result.traceInfo = obs::summarize(telemetry.tracer);
     result.trace = telemetry.tracer.events();
+    result.accuracy = telemetry.accuracy.snapshot();
     return result;
 }
 
@@ -178,9 +182,15 @@ aggregate(SweepResult &result)
                 base.cell.l2Bytes != r.cell.l2Bytes ||
                 base.cell.seedIndex != r.cell.seedIndex)
                 continue;
-            r.cycleError = absError(
-                static_cast<double>(r.totals.totalCycles()),
-                static_cast<double>(base.totals.totalCycles()));
+            double measured =
+                static_cast<double>(r.totals.totalCycles());
+            double reference =
+                static_cast<double>(base.totals.totalCycles());
+            r.cycleError = absError(measured, reference);
+            r.signedCycleError =
+                reference != 0.0
+                    ? (measured - reference) / reference
+                    : 0.0;
             r.hasBaseline = true;
             break;
         }
@@ -462,6 +472,111 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
         doc.add("telemetry", std::move(telemetry));
     }
 
+    // Prediction-accuracy section: one entry per accelerated cell
+    // whose ledger saw predictions, each cross-checked against the
+    // oracle (the Full baseline) when one exists, plus a
+    // per-service rollup merged across cells. Built in cell-index
+    // order from per-cell snapshots, so the section inherits the
+    // document's thread-count byte-invariance.
+    {
+        JsonValue accuracy = JsonValue::object();
+        accuracy.add("schema", "ospredict-accuracy-v1");
+
+        struct ServiceRoll
+        {
+            std::uint64_t predictions = 0;
+            std::uint64_t outlierPredictions = 0;
+            std::uint64_t predictedCycles = 0;
+            std::uint64_t audits = 0;
+            std::uint64_t auditFailures = 0;
+            std::uint64_t driftingClusters = 0;
+            RunningStats err;
+        };
+        std::map<std::uint8_t, ServiceRoll> services;
+
+        JsonValue acells = JsonValue::array();
+        for (const CellResult &r : result.cells) {
+            if (r.failed || r.cell.mode != RunMode::Accelerated ||
+                r.accuracy.empty())
+                continue;
+
+            JsonValue cell = JsonValue::object();
+            cell.add("index",
+                     static_cast<std::uint64_t>(r.cell.index));
+            cell.add("workload", r.cell.workload);
+            cell.add(
+                "predictor",
+                spec.predictors[r.cell.predictorIndex].label);
+            cell.add("pollution",
+                     pollutionPolicyName(
+                         spec.pollution[r.cell.pollutionIndex]));
+            cell.add("l2_bytes", r.cell.l2Bytes);
+            cell.add("seed_index", r.cell.seedIndex);
+            cell.add("ledger", toJson(r.accuracy));
+
+            if (r.hasBaseline) {
+                obs::AccuracyRollup roll =
+                    rollupAccuracy(r.accuracy);
+                JsonValue oracle = JsonValue::object();
+                oracle.add("rel_err", r.signedCycleError);
+                oracle.add("abs_err", r.cycleError);
+                if (roll.hasEstimate && roll.hasCi) {
+                    // The acceptance test of the ledger: does the
+                    // oracle-measured end-to-end error fall within
+                    // the audit-estimated error's own 95% CI?
+                    double delta = std::fabs(r.signedCycleError -
+                                             roll.estRelTotalErr);
+                    oracle.add("est_delta", delta);
+                    oracle.add("within_ci",
+                               delta <= roll.estCi95);
+                }
+                cell.add("oracle", std::move(oracle));
+            }
+            acells.append(std::move(cell));
+
+            for (const obs::AccuracyEntry &e : r.accuracy.entries) {
+                ServiceRoll &s = services[e.service];
+                s.predictions += e.predictions;
+                s.outlierPredictions += e.outlierPredictions;
+                s.predictedCycles += e.predictedCycles;
+                s.audits += e.audits;
+                s.auditFailures += e.auditFailures;
+                if (e.drift)
+                    ++s.driftingClusters;
+                s.err.merge(e.errStats());
+            }
+        }
+        accuracy.add("cells", std::move(acells));
+
+        JsonValue svc = JsonValue::array();
+        for (const auto &[index, s] : services) {
+            JsonValue v = JsonValue::object();
+            v.add("service",
+                  index < numServiceTypes
+                      ? std::string(serviceName(
+                            static_cast<ServiceType>(index)))
+                      : std::to_string(index));
+            v.add("predictions", s.predictions);
+            v.add("outlier_predictions", s.outlierPredictions);
+            v.add("predicted_cycles", s.predictedCycles);
+            v.add("audits", s.audits);
+            v.add("audit_failures", s.auditFailures);
+            v.add("drifting_clusters", s.driftingClusters);
+            if (s.err.count()) {
+                JsonValue err = JsonValue::object();
+                err.add("n", s.err.count());
+                err.add("mean", s.err.mean());
+                err.add("stddev", s.err.sampleStddev());
+                if (s.err.count() >= 2)
+                    err.add("ci95", obs::accuracyCi95(s.err));
+                v.add("err", std::move(err));
+            }
+            svc.append(std::move(v));
+        }
+        accuracy.add("services", std::move(svc));
+        doc.add("accuracy", std::move(accuracy));
+    }
+
     JsonValue summary = JsonValue::object();
     JsonValue variants = JsonValue::array();
     for (const VariantSummary &s : result.summary) {
@@ -492,10 +607,32 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
     return doc;
 }
 
+namespace
+{
+
+/** One warn() per serialized document when any cell's event ring
+ *  overflowed — a truncated trace must not be silent. */
+void
+warnDroppedEvents(const SweepResult &result, const char *what)
+{
+    std::uint64_t rings = 0;
+    std::uint64_t dropped = 0;
+    for (const CellResult &r : result.cells) {
+        if (r.traceInfo.dropped == 0)
+            continue;
+        ++rings;
+        dropped += r.traceInfo.dropped;
+    }
+    obs::warnIfDropped(what, rings, dropped);
+}
+
+} // namespace
+
 void
 writeResultsJson(std::ostream &os, const SweepResult &result,
                  const JsonOptions &options)
 {
+    warnDroppedEvents(result, "results document");
     sweepToJson(result, options).write(os, 2);
     os << "\n";
 }
@@ -503,6 +640,7 @@ writeResultsJson(std::ostream &os, const SweepResult &result,
 void
 writeChromeTrace(std::ostream &os, const SweepResult &result)
 {
+    warnDroppedEvents(result, "chrome trace");
     // chrome://tracing "JSON Array Format" with the standard
     // traceEvents wrapper. Interval-shaped events (service
     // detailed/predicted) become complete ("X") slices whose ts is
@@ -569,6 +707,136 @@ writeChromeTrace(std::ostream &os, const SweepResult &result)
     doc.add("otherData", std::move(other));
     doc.write(os, 2);
     os << "\n";
+}
+
+void
+writeAccuracyReport(std::ostream &os, const SweepResult &result)
+{
+    const SweepSpec &spec = result.spec;
+    os << "accuracy report: sweep " << spec.name
+       << (spec.smoke ? " [smoke]" : "") << ", base seed "
+       << spec.baseSeed << "\n\n";
+
+    // Per-cell rollup: the live accuracy estimate next to the
+    // offline oracle where a Full baseline exists.
+    TablePrinter cells({"workload", "predictor", "l2KB", "seed",
+                        "preds", "audits", "fail", "audit_err",
+                        "ci95", "est_err", "oracle_err", "in_ci",
+                        "drift"});
+
+    struct BudgetRow
+    {
+        double absContribution = 0.0;
+        std::size_t cellIndex = 0;
+        obs::AccuracyEntry entry;
+        const CellResult *cell = nullptr;
+    };
+    std::vector<BudgetRow> budget;
+
+    for (const CellResult &r : result.cells) {
+        if (r.failed || r.cell.mode != RunMode::Accelerated ||
+            r.accuracy.empty())
+            continue;
+        obs::AccuracyRollup roll = rollupAccuracy(r.accuracy);
+
+        std::string in_ci = "-";
+        std::string oracle_err = "-";
+        if (r.hasBaseline) {
+            oracle_err = TablePrinter::pct(r.signedCycleError, 2);
+            if (roll.hasEstimate && roll.hasCi) {
+                double delta = std::fabs(r.signedCycleError -
+                                         roll.estRelTotalErr);
+                in_ci = delta <= roll.estCi95 ? "yes" : "NO";
+            }
+        }
+        cells.addRow(
+            {r.cell.workload,
+             spec.predictors[r.cell.predictorIndex].label,
+             std::to_string(r.cell.l2Bytes / 1024),
+             std::to_string(r.cell.seedIndex),
+             std::to_string(roll.predictions),
+             std::to_string(roll.audits),
+             std::to_string(roll.auditFailures),
+             roll.err.count()
+                 ? TablePrinter::pct(roll.err.mean(), 2)
+                 : "-",
+             roll.hasCi ? TablePrinter::pct(roll.ci95, 2) : "-",
+             roll.hasEstimate
+                 ? TablePrinter::pct(roll.estRelTotalErr, 2)
+                 : "-",
+             oracle_err, in_ci,
+             std::to_string(roll.driftingClusters)});
+
+        for (const obs::AccuracyEntry &e : r.accuracy.entries) {
+            BudgetRow row;
+            row.absContribution =
+                e.errCount
+                    ? std::fabs(
+                          e.errMean *
+                          static_cast<double>(e.predictedCycles))
+                    : 0.0;
+            row.cellIndex = r.cell.index;
+            row.entry = e;
+            row.cell = &r;
+            budget.push_back(row);
+        }
+    }
+
+    if (cells.numRows() == 0) {
+        os << "no accelerated cell recorded predictions (no audit "
+              "data to report).\n";
+        return;
+    }
+    cells.print(os);
+    os << "\n";
+
+    // The error budget: which (workload, service, cluster) slices
+    // the end-to-end error decomposes into, largest first.
+    std::sort(budget.begin(), budget.end(),
+              [](const BudgetRow &a, const BudgetRow &b) {
+                  if (a.absContribution != b.absContribution)
+                      return a.absContribution > b.absContribution;
+                  if (a.cellIndex != b.cellIndex)
+                      return a.cellIndex < b.cellIndex;
+                  if (a.entry.service != b.entry.service)
+                      return a.entry.service < b.entry.service;
+                  return a.entry.cluster < b.entry.cluster;
+              });
+
+    os << "error budget (largest contributors first; contrib = "
+          "mean_err x predicted share of the cell's cycles):\n";
+    TablePrinter table({"workload", "service", "cluster", "preds",
+                        "outl", "audits", "fail", "err_mean",
+                        "ci95", "contrib", "drift"});
+    for (const BudgetRow &row : budget) {
+        const obs::AccuracyEntry &e = row.entry;
+        std::string svc =
+            e.service < numServiceTypes
+                ? serviceName(static_cast<ServiceType>(e.service))
+                : std::to_string(e.service);
+        std::string contrib = "-";
+        if (e.errCount && row.cell->accuracy.totalCycles) {
+            contrib = TablePrinter::pct(
+                e.errMean *
+                    static_cast<double>(e.predictedCycles) /
+                    static_cast<double>(
+                        row.cell->accuracy.totalCycles),
+                3);
+        }
+        table.addRow(
+            {row.cell->cell.workload, svc,
+             e.cluster == obs::accuracyNoCluster
+                 ? "-"
+                 : std::to_string(e.cluster),
+             std::to_string(e.predictions),
+             std::to_string(e.outlierPredictions),
+             std::to_string(e.audits),
+             std::to_string(e.auditFailures),
+             e.errCount ? TablePrinter::pct(e.errMean, 2) : "-",
+             e.hasCi ? TablePrinter::pct(e.ci95, 2) : "-", contrib,
+             e.drift ? "YES" : "-"});
+    }
+    table.print(os);
 }
 
 } // namespace osp

@@ -135,6 +135,13 @@ struct CellResult
     obs::MetricsSnapshot telemetry;
     /** Ring occupancy/overflow of the cell's tracer. */
     obs::TraceSummary traceInfo;
+    /**
+     * The cell's accuracy-ledger snapshot: per-(service, cluster)
+     * audit-error distributions, drift flags and predicted-cycle
+     * mass (see obs/accuracy.hh). Empty for baseline cells — only
+     * Accelerated cells predict. Always taken by the runner.
+     */
+    obs::AccuracySnapshot accuracy;
     /** Retained trace events, oldest first (empty unless the runner
      *  was given a trace capacity). */
     std::vector<obs::TraceEvent> trace;
@@ -155,6 +162,10 @@ struct CellResult
     /** |cycles - baseline| / baseline vs the Full cell at the same
      *  (workload, L2, seed index); valid when hasBaseline. */
     double cycleError = 0.0;
+    /** Signed form of the same oracle error, (cycles - baseline) /
+     *  baseline: comparable to the accuracy ledger's signed
+     *  audit-estimated error. Valid when hasBaseline. */
+    double signedCycleError = 0.0;
     bool hasBaseline = false;
     /** Eq. 10 estimate at the paper's R = 133 (Accelerated). */
     double estSpeedupR133 = 1.0;
@@ -247,6 +258,20 @@ JsonValue sweepToJson(const SweepResult &result,
 /** sweepToJson() pretty-printed to a stream, trailing newline. */
 void writeResultsJson(std::ostream &os, const SweepResult &result,
                       const JsonOptions &options = {});
+
+/**
+ * Human-readable accuracy report (util/table): one per-cell rollup
+ * table — audits, pooled audit error with its 95% CI, the
+ * extrapolated end-to-end estimate, the oracle error where a Full
+ * baseline exists and whether the oracle fell inside the ledger's
+ * CI — followed by the error-budget table ranking (workload,
+ * service, cluster) rows by their absolute contribution to
+ * end-to-end error. Deterministic: derived from the same per-cell
+ * snapshots as the JSON section, ordered by (|contribution|, cell
+ * index, service, cluster).
+ */
+void writeAccuracyReport(std::ostream &os,
+                         const SweepResult &result);
 
 /**
  * Emit every cell's retained trace events as a chrome://tracing

@@ -1,0 +1,137 @@
+#include "accuracy.hh"
+
+#include <cmath>
+
+#include "stats/student_t.hh"
+
+namespace osp::obs
+{
+
+double
+accuracyCi95(const RunningStats &stats)
+{
+    if (stats.count() < 2)
+        return 0.0;
+    // Two-sided 95% = one-sided alpha 0.025.
+    double t = studentTCritical(stats.count() - 1, 0.025);
+    return t * stats.sampleStddev() /
+           std::sqrt(static_cast<double>(stats.count()));
+}
+
+void
+AccuracyLedger::notePrediction(std::uint8_t service,
+                               std::uint32_t cluster,
+                               std::uint64_t predicted_cycles,
+                               bool outlier)
+{
+    Accum &a = entries_[Key{service, cluster}];
+    ++a.predictions;
+    if (outlier)
+        ++a.outlierPredictions;
+    a.predictedCycles += predicted_cycles;
+}
+
+void
+AccuracyLedger::noteAudit(std::uint8_t service,
+                          std::uint32_t cluster,
+                          const AuditSample &sample)
+{
+    Accum &a = entries_[Key{service, cluster}];
+    ++a.audits;
+    if (sample.failed)
+        ++a.auditFailures;
+    if (sample.actualCycles > 0.0) {
+        a.err.add((sample.predictedCycles - sample.actualCycles) /
+                  sample.actualCycles);
+    }
+    if (sample.actualL2Misses > 0.0) {
+        a.miss.add(
+            (sample.predictedL2Misses - sample.actualL2Misses) /
+            sample.actualL2Misses);
+    }
+    if (sample.actualIpc > 0.0) {
+        a.ipc.add((sample.predictedIpc - sample.actualIpc) /
+                  sample.actualIpc);
+    }
+}
+
+AccuracySnapshot
+AccuracyLedger::snapshot() const
+{
+    AccuracySnapshot snap;
+    snap.tolerance = tolerance_;
+    snap.totalCycles = totalCycles_;
+    snap.predictedCycles = predictedCycles_;
+    snap.entries.reserve(entries_.size());
+    for (const auto &[key, a] : entries_) {
+        AccuracyEntry e;
+        e.service = key.first;
+        e.cluster = key.second;
+        e.predictions = a.predictions;
+        e.outlierPredictions = a.outlierPredictions;
+        e.predictedCycles = a.predictedCycles;
+        e.audits = a.audits;
+        e.auditFailures = a.auditFailures;
+        e.errCount = a.err.count();
+        e.errMean = a.err.mean();
+        e.errM2 = a.err.count()
+                      ? a.err.sampleVariance() *
+                            static_cast<double>(a.err.count() - 1)
+                      : 0.0;
+        e.errMin = a.err.count() ? a.err.min() : 0.0;
+        e.errMax = a.err.count() ? a.err.max() : 0.0;
+        e.missCount = a.miss.count();
+        e.missMean = a.miss.mean();
+        e.ipcCount = a.ipc.count();
+        e.ipcMean = a.ipc.mean();
+        e.hasCi = e.errCount >= 2;
+        e.ci95 = accuracyCi95(a.err);
+        // Drift: the whole CI outside the +-tolerance band — we are
+        // 95% confident the cluster's mean error exceeds what the
+        // audit check tolerates.
+        e.drift = e.hasCi && (e.errMean - e.ci95 > tolerance_ ||
+                              e.errMean + e.ci95 < -tolerance_);
+        snap.entries.push_back(e);
+    }
+    return snap;
+}
+
+AccuracyRollup
+rollupAccuracy(const AccuracySnapshot &snapshot)
+{
+    AccuracyRollup r;
+    for (const AccuracyEntry &e : snapshot.entries) {
+        r.predictions += e.predictions;
+        r.outlierPredictions += e.outlierPredictions;
+        r.predictedCycles += e.predictedCycles;
+        r.audits += e.audits;
+        r.auditFailures += e.auditFailures;
+        r.err.merge(e.errStats());
+        if (e.drift)
+            ++r.driftingClusters;
+        if (e.errCount == 0)
+            r.unattributedCycles += e.predictedCycles;
+    }
+    r.hasCi = r.err.count() >= 2;
+    r.ci95 = accuracyCi95(r.err);
+    if (snapshot.totalCycles > 0 && r.err.count() > 0) {
+        // Extrapolate the pooled per-invocation audit error to the
+        // run: audits sample every auditEvery-th prediction, so the
+        // pooled mean estimates the error of the whole predicted
+        // mass, which is predictedCycles / totalCycles of the run.
+        double share =
+            static_cast<double>(snapshot.predictedCycles) /
+            static_cast<double>(snapshot.totalCycles);
+        double unaudited = std::max(0.0, 1.0 - share);
+        r.estRelTotalErr = r.err.mean() * share;
+        // Sampling noise of the audited mass, plus a 1-sigma bound
+        // on the unobservable deviation of the unaudited mass (see
+        // AccuracyRollup::estCi95).
+        r.estCi95 =
+            r.ci95 * share + r.err.sampleStddev() * unaudited;
+        r.hasEstimate = true;
+    }
+    return r;
+}
+
+} // namespace osp::obs

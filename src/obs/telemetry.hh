@@ -1,23 +1,27 @@
 /**
  * @file
  * The telemetry sink instrumented components attach to: one metrics
- * registry plus one event tracer, owned together because they share
- * a lifetime (one simulator instance / sweep cell) and a clock (the
- * tracer's tick, advanced by the Machine).
+ * registry, one event tracer, and one prediction-accuracy ledger,
+ * owned together because they share a lifetime (one simulator
+ * instance / sweep cell) and a clock (the tracer's tick, advanced
+ * by the Machine).
  *
  * Producers (Machine, Accelerator, ServicePredictor) accept a
  * `Telemetry *` that defaults to null; every instrumentation site is
  * either a null-pointer branch or an increment through a pointer
  * cached at attach time, so runs without a sink pay nothing
  * measurable. The sweep runner owns one Telemetry per cell and
- * serializes both halves into the results document after the run.
+ * serializes all three parts into the results document after the
+ * run.
  */
 
 #ifndef OSP_OBS_TELEMETRY_HH
 #define OSP_OBS_TELEMETRY_HH
 
+#include "accuracy.hh"
 #include "metrics.hh"
 #include "trace.hh"
+#include "util/logging.hh"
 
 namespace osp::obs
 {
@@ -33,6 +37,7 @@ struct Telemetry
 
     Registry registry;
     EventTracer tracer;
+    AccuracyLedger accuracy;
 };
 
 /** Serializable summary of a tracer's state. */
@@ -47,6 +52,25 @@ inline TraceSummary
 summarize(const EventTracer &tracer)
 {
     return {tracer.capacity(), tracer.recorded(), tracer.dropped()};
+}
+
+/**
+ * Emit one warn() covering every overflowed ring of a document
+ * being serialized (a truncated trace silently missing its oldest
+ * events is exactly the kind of artifact that misleads later
+ * analysis). Serializers call this once per document with the
+ * totals they observed; it is silent when nothing was dropped.
+ */
+inline void
+warnIfDropped(const char *what, std::uint64_t rings_with_drops,
+              std::uint64_t total_dropped)
+{
+    if (total_dropped == 0)
+        return;
+    warn("telemetry: ", what, ": ", total_dropped,
+         " trace event(s) dropped across ", rings_with_drops,
+         " ring(s); oldest events are missing - raise the trace "
+         "capacity for complete traces");
 }
 
 } // namespace osp::obs

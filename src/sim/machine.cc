@@ -486,6 +486,12 @@ Machine::run(InstCount max_insts)
     drainInto(Owner::App);
     totals_.measuredMem = hier.counts();
     publishCacheStats();
+    if (telemetry_) {
+        // Hand the accuracy ledger its error-budget denominator:
+        // total simulated time and the predicted share of it.
+        telemetry_->accuracy.noteRunTotals(totals_.totalCycles(),
+                                           totals_.osPredCycles);
+    }
     return totals_;
 }
 

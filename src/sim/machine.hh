@@ -218,9 +218,11 @@ class Machine
      * Attach (or detach, with nullptr) a telemetry sink. Not owned;
      * must outlive the run. The machine registers its own
      * instruments under "machine", publishes per-level cache
-     * statistics under "mem.<level>" when run() returns, and drives
+     * statistics under "mem.<level>" when run() returns, drives
      * the tracer's clock with the retired-instruction count (the
-     * only clock that is identical across thread counts). Purely
+     * only clock that is identical across thread counts), and
+     * hands the accuracy ledger the end-of-run cycle totals it
+     * needs to turn per-cluster error into an error budget. Purely
      * observational: attaching changes no simulated outcome.
      */
     void setTelemetry(obs::Telemetry *telemetry);

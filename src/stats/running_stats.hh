@@ -73,6 +73,26 @@ class RunningStats
     }
 
     /**
+     * Reduce the effective sample weight to at most @p max_count,
+     * preserving the mean and variance. Subsequent samples then
+     * move the mean as if only max_count members had been seen —
+     * the re-weighting a drift reset needs: external evidence says
+     * the distribution shifted, so thousands of stale samples must
+     * not be allowed to pin the mean against a fresh window.
+     */
+    void
+    clampWeight(std::uint64_t max_count)
+    {
+        if (count_ <= max_count)
+            return;
+        double scale = static_cast<double>(max_count) /
+                       static_cast<double>(count_);
+        m2 *= scale;
+        count_ = max_count;
+        sum_ = mean_ * static_cast<double>(max_count);
+    }
+
+    /**
      * Reconstruct an accumulator from saved moments (PLT
      * serialization). m2 is the sum of squared deviations
      * (population variance times count).

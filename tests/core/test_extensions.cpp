@@ -173,6 +173,7 @@ TEST(AuditSampling, SchedulesEveryNth)
     pp.warmupInvocations = 0;
     pp.learningWindow = 1;
     pp.auditEvery = 5;
+    pp.auditWarmup = 0;  // cadence only; no re-warm runs
     ServicePredictor pred(pp);
     ServiceMetrics m = metricsWithMix(1000, 5000, 250, 100, 150);
     pred.recordDetailed(m);
@@ -180,6 +181,44 @@ TEST(AuditSampling, SchedulesEveryNth)
     for (int i = 0; i < 25; ++i)
         detailed += pred.decideDetail();
     EXPECT_EQ(detailed, 5);
+}
+
+TEST(AuditSampling, WarmupBurstPrecedesAudit)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 1;
+    pp.auditEvery = 3;
+    pp.auditWarmup = 2;
+    ServicePredictor pred(pp);
+    ServiceMetrics m = metricsWithMix(1000, 5000, 250, 100, 150);
+    pred.recordDetailed(m);
+    ASSERT_FALSE(pred.wantsDetail());
+    // Every 3rd prediction expands to a 3-run detailed burst: two
+    // discarded re-warm runs, then the audited one.
+    int audits_seen = 0;
+    for (int i = 0; i < 30; ++i) {
+        if (pred.decideDetail()) {
+            pred.recordDetailed(m);
+        } else {
+            pred.predict(Signature{1000, 250, 100, 150}, i);
+        }
+        if (pred.stats().audits >
+            static_cast<std::uint64_t>(audits_seen)) {
+            audits_seen = static_cast<int>(pred.stats().audits);
+            // Each audit was preceded by exactly auditWarmup
+            // discarded runs.
+            EXPECT_EQ(pred.stats().auditWarmupRuns,
+                      pred.stats().audits * pp.auditWarmup);
+        }
+    }
+    EXPECT_GE(pred.stats().audits, 2u);
+    // Warm-up runs are discarded: not learned, not audited. The
+    // only learned run is the initial window.
+    EXPECT_EQ(pred.stats().learnedRuns,
+              1u + pred.stats().audits -
+                  pred.stats().auditFailures);
+    EXPECT_EQ(pred.stats().auditFailures, 0u);
 }
 
 TEST(AuditSampling, DriftTriggersRelearning)
@@ -221,6 +260,11 @@ TEST(AuditSampling, StationaryNoiseDoesNotTrigger)
     pp.learningWindow = 20;
     pp.auditEvery = 2;
     pp.stabilityWindow = 0;
+    // This test exercises the 3-sigma audit gate alone; the
+    // statistical trigger would alias with the deliberately
+    // period-2 cycle pattern (audits phase-lock to one parity and
+    // read a stable bias that is not there).
+    pp.auditCiMinSamples = 0;
     ServicePredictor pred(pp);
     // Noisy but stationary: cycles alternate widely.
     for (int i = 0; i < 20; ++i) {
@@ -239,6 +283,71 @@ TEST(AuditSampling, StationaryNoiseDoesNotTrigger)
     }
     // 3-sigma gating absorbs the noise.
     EXPECT_EQ(pred.stats().driftResets, 0u);
+}
+
+TEST(AuditSampling, SustainedBiasTriggersStatisticalReset)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 100;
+    pp.auditEvery = 2;
+    pp.auditWarmup = 0;
+    pp.auditTriggerCount = 1000;  // keep the consecutive trigger out
+    pp.auditCiMinSamples = 8;
+    pp.stabilityWindow = 0;
+    ServicePredictor pred(pp);
+    // A heavy cluster: 100 members at 5000 cycles. Passing audits
+    // fold into it, but 100 stale members pin the mean.
+    for (int i = 0; i < 100; ++i) {
+        pred.recordDetailed(
+            metricsWithMix(1000, 5000, 250, 100, 150));
+    }
+    EXPECT_FALSE(pred.wantsDetail());
+    // Behaviour shifts to 5900 cycles (~15% off): inside the 30%
+    // per-audit tolerance, so every individual audit passes — only
+    // the CI on the accumulated mean error can prove the bias.
+    std::uint64_t inv = 100;
+    for (int i = 0; i < 100 && !pred.wantsDetail(); ++i) {
+        if (pred.decideDetail()) {
+            pred.recordDetailed(
+                metricsWithMix(1000, 5900, 250, 100, 150));
+        } else {
+            pred.predict(Signature{1000, 250, 100, 150}, inv);
+        }
+        ++inv;
+    }
+    EXPECT_EQ(pred.stats().auditFailures, 0u);
+    EXPECT_EQ(pred.stats().driftResets, 1u);
+    EXPECT_TRUE(pred.wantsDetail());  // back in a learning window
+}
+
+TEST(AuditSampling, StatisticalTriggerCanBeDisabled)
+{
+    PredictorParams pp;
+    pp.warmupInvocations = 0;
+    pp.learningWindow = 100;
+    pp.auditEvery = 2;
+    pp.auditWarmup = 0;
+    pp.auditTriggerCount = 1000;
+    pp.auditCiMinSamples = 0;  // statistical trigger off
+    pp.stabilityWindow = 0;
+    ServicePredictor pred(pp);
+    for (int i = 0; i < 100; ++i) {
+        pred.recordDetailed(
+            metricsWithMix(1000, 5000, 250, 100, 150));
+    }
+    std::uint64_t inv = 100;
+    for (int i = 0; i < 100 && !pred.wantsDetail(); ++i) {
+        if (pred.decideDetail()) {
+            pred.recordDetailed(
+                metricsWithMix(1000, 5900, 250, 100, 150));
+        } else {
+            pred.predict(Signature{1000, 250, 100, 150}, inv);
+        }
+        ++inv;
+    }
+    EXPECT_EQ(pred.stats().driftResets, 0u);
+    EXPECT_FALSE(pred.wantsDetail());
 }
 
 TEST(AdaptiveWarmup, ExtendsWhileCpiDrifts)

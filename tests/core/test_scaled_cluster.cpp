@@ -94,5 +94,35 @@ TEST(ScaledCluster, InvalidRangeDies)
     EXPECT_DEATH(ScaledCluster(metrics(10, 10), 1.0), "range");
 }
 
+TEST(ScaledCluster, DecayHistoryPreservesPrediction)
+{
+    ScaledCluster c(metrics(1000, 5000));
+    for (int i = 0; i < 999; ++i)
+        c.add(metrics(1000, 5000));
+    c.decayHistory(10);
+    EXPECT_EQ(c.count(), 10u);
+    EXPECT_EQ(c.predict().cycles, 5000u);
+    EXPECT_DOUBLE_EQ(c.centroid(), 1000.0);
+}
+
+TEST(ScaledCluster, DecayHistoryLetsRelearningMoveTheMean)
+{
+    ScaledCluster heavy(metrics(1000, 5000));
+    ScaledCluster undecayed(metrics(1000, 5000));
+    for (int i = 0; i < 999; ++i) {
+        heavy.add(metrics(1000, 5000));
+        undecayed.add(metrics(1000, 5000));
+    }
+    heavy.decayHistory(10);
+    for (int i = 0; i < 10; ++i) {
+        heavy.add(metrics(1000, 6000));
+        undecayed.add(metrics(1000, 6000));
+    }
+    // 10 stale vs 10 fresh: the decayed cluster tracks the shift;
+    // the undecayed one stays pinned by its 1000 stale members.
+    EXPECT_EQ(heavy.predict().cycles, 5500u);
+    EXPECT_LT(undecayed.predict().cycles, 5100u);
+}
+
 } // namespace
 } // namespace osp

@@ -149,6 +149,184 @@ TEST(ServicePredictor, DetailedWhilePredictingStillLearns)
     EXPECT_FALSE(pred.wantsDetail());
 }
 
+TEST(ServicePredictorAudit, AuditEveryOneAuditsEachPrediction)
+{
+    PredictorParams p = testParams(0, 1);
+    p.auditEvery = 1;
+    p.auditWarmup = 0;
+    ServicePredictor pred(p);
+    pred.recordDetailed(metrics(1000, 5000));
+    ASSERT_FALSE(pred.wantsDetail());
+    // Every decision is an audit: the service never emulates.
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(pred.decideDetail());
+        pred.recordDetailed(metrics(1000, 5000));
+    }
+    EXPECT_EQ(pred.stats().audits, 6u);
+    EXPECT_EQ(pred.stats().auditFailures, 0u);
+    EXPECT_EQ(pred.stats().predictedRuns, 0u);
+}
+
+TEST(ServicePredictorAudit, AuditEveryOneWithWarmupAlternates)
+{
+    PredictorParams p = testParams(0, 1);
+    p.auditEvery = 1;
+    p.auditWarmup = 1;
+    ServicePredictor pred(p);
+    pred.recordDetailed(metrics(1000, 5000));
+    // Bursts of warm + audit back to back.
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(pred.decideDetail());
+        pred.recordDetailed(metrics(1000, 5000));
+    }
+    EXPECT_EQ(pred.stats().audits, 3u);
+    EXPECT_EQ(pred.stats().auditWarmupRuns, 3u);
+}
+
+TEST(ServicePredictorAudit, PendingAuditDroppedOnRelearnEntry)
+{
+    // An audit decision taken while predicting must not audit a
+    // learning-window sample if a relearn fires in between.
+    PredictorParams p = testParams(0, 2);
+    p.auditEvery = 1;
+    p.auditWarmup = 0;
+    p.relearn.strategy = RelearnStrategy::Eager;
+    ServicePredictor pred(p);
+    pred.recordDetailed(metrics(1000, 5000));
+    pred.recordDetailed(metrics(1000, 5000));
+    ASSERT_FALSE(pred.wantsDetail());
+    ASSERT_TRUE(pred.decideDetail());  // audit now pending
+    // Outlier prediction forces an eager relearn before the
+    // detailed outcome comes back.
+    pred.predict(9000, 2);
+    ASSERT_TRUE(pred.wantsDetail());
+    pred.recordDetailed(metrics(9000, 90000));
+    // The sample joined the learning window instead of auditing.
+    EXPECT_EQ(pred.stats().audits, 0u);
+    EXPECT_EQ(pred.stats().learnedRuns, 3u);
+    // The schedule resumes cleanly once predicting again.
+    pred.recordDetailed(metrics(9000, 90000));
+    ASSERT_FALSE(pred.wantsDetail());
+    ASSERT_TRUE(pred.decideDetail());
+    pred.recordDetailed(metrics(9000, 90000));
+    EXPECT_EQ(pred.stats().audits, 1u);
+}
+
+TEST(ServicePredictorAudit, TriggerCountInvalidatesAndRelearns)
+{
+    PredictorParams p = testParams(0, 2);
+    p.auditEvery = 1;
+    p.auditWarmup = 0;
+    p.auditTriggerCount = 2;
+    ServicePredictor pred(p);
+    pred.recordDetailed(metrics(1000, 5000));
+    pred.recordDetailed(metrics(1000, 5000));
+    ASSERT_FALSE(pred.wantsDetail());
+
+    // Behaviour jumps 4x: two consecutive audit failures force a
+    // re-learning window without clearing the table.
+    ASSERT_TRUE(pred.decideDetail());
+    pred.recordDetailed(metrics(1000, 20000));
+    EXPECT_EQ(pred.stats().auditFailures, 1u);
+    EXPECT_FALSE(pred.wantsDetail());  // one strike is noise
+    ASSERT_TRUE(pred.decideDetail());
+    pred.recordDetailed(metrics(1000, 20000));
+    EXPECT_EQ(pred.stats().auditFailures, 2u);
+    EXPECT_EQ(pred.stats().driftResets, 1u);
+    EXPECT_TRUE(pred.wantsDetail());  // back in a learning window
+
+    // The drift sample plus one more complete the fresh window and
+    // pull the surviving cluster's mean toward current behaviour.
+    pred.recordDetailed(metrics(1000, 20000));
+    EXPECT_FALSE(pred.wantsDetail());
+    ServiceMetrics after = pred.predict(1000, 6);
+    EXPECT_EQ(after.cycles, (5000u + 5000 + 20000 + 20000) / 4);
+}
+
+TEST(ServicePredictorAudit, RoutesAuditsIntoAccuracyLedger)
+{
+    obs::Telemetry tel;
+    PredictorParams p = testParams(0, 1);
+    p.auditEvery = 1;
+    p.auditWarmup = 0;
+    ServicePredictor pred(p);
+    pred.attachTelemetry(&tel, "predictor.test", 7);
+    pred.recordDetailed(metrics(1000, 5000));
+
+    bool outlier = true;
+    ServiceMetrics pr = pred.predict(1000, 1, &outlier);
+    EXPECT_FALSE(outlier);
+    EXPECT_EQ(pred.lastMatchedCluster(), 0u);
+    ASSERT_TRUE(pred.decideDetail());
+    pred.recordDetailed(metrics(1000, 6000));  // passes (noise)
+
+    obs::AccuracySnapshot snap = tel.accuracy.snapshot();
+    ASSERT_EQ(snap.entries.size(), 1u);
+    const obs::AccuracyEntry &e = snap.entries[0];
+    EXPECT_EQ(e.service, 7);
+    EXPECT_EQ(e.cluster, 0u);
+    EXPECT_EQ(e.predictions, 1u);
+    EXPECT_EQ(e.predictedCycles, pr.cycles);
+    EXPECT_EQ(e.audits, 1u);
+    ASSERT_EQ(e.errCount, 1u);
+    // predicted 5000 vs measured 6000.
+    EXPECT_NEAR(e.errMean, (5000.0 - 6000.0) / 6000.0, 1e-12);
+
+    // Satellite: the per-service audit counters surface in
+    // metrics snapshots, not just the aggregate stats.
+    obs::MetricsSnapshot ms = tel.registry.snapshot();
+    EXPECT_EQ(ms.counterValue("predictor.test", "audits"), 1u);
+    EXPECT_EQ(ms.counterValue("predictor.test", "audit_failures"),
+              0u);
+    EXPECT_EQ(ms.counterValue("predictor.test", "drift_resets"),
+              0u);
+}
+
+TEST(ServicePredictorAudit, NoClusterAuditSkipsLedger)
+{
+    // predict() before any learning books under the no-cluster
+    // sentinel and the audit (no cluster to compare) records the
+    // failure without an error sample.
+    obs::Telemetry tel;
+    PredictorParams p = testParams(0, 1);
+    ServicePredictor pred(p);
+    pred.attachTelemetry(&tel, "predictor.test", 3);
+    pred.predict(1234, 0);
+    obs::AccuracySnapshot snap = tel.accuracy.snapshot();
+    ASSERT_EQ(snap.entries.size(), 1u);
+    EXPECT_EQ(snap.entries[0].cluster, obs::accuracyNoCluster);
+    EXPECT_EQ(snap.entries[0].predictions, 1u);
+    EXPECT_EQ(snap.entries[0].audits, 0u);
+}
+
+TEST(ServicePredictorAudit, WarmRunsDoNotPerturbClusters)
+{
+    PredictorParams p = testParams(0, 1);
+    p.auditEvery = 2;
+    p.auditWarmup = 1;
+    ServicePredictor pred(p);
+    pred.recordDetailed(metrics(1000, 5000));
+    std::uint64_t inv = 1;
+    // Drive far enough for two full audit bursts; warm runs carry
+    // wildly wrong cycles which must never reach the PLT.
+    for (int i = 0; i < 12; ++i) {
+        if (pred.decideDetail()) {
+            bool warm = pred.stats().audits ==
+                        pred.stats().auditWarmupRuns;
+            pred.recordDetailed(
+                metrics(1000, warm ? 900000 : 5000));
+        } else {
+            pred.predict(1000, inv);
+        }
+        ++inv;
+    }
+    EXPECT_GE(pred.stats().auditWarmupRuns, 2u);
+    EXPECT_EQ(pred.stats().auditFailures, 0u);
+    ASSERT_EQ(pred.table().numClusters(), 1u);
+    ServiceMetrics pr = pred.predict(1000, inv);
+    EXPECT_EQ(pr.cycles, 5000u);
+}
+
 TEST(ServicePredictor, CoverageReflectsWindowAndTraffic)
 {
     // 2 warmup + 5 learning out of 100 invocations -> 93%.

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -476,6 +477,131 @@ TEST(SweepJson, TelemetrySectionShape)
                   sweep.cells[i].telemetry.counterValue(
                       "mem.l1d", "accesses_app"));
     }
+}
+
+/** fig08's ab-seq column at smoke scale: the cheapest cell pair
+ *  that reaches the prediction phase with audit samples AND has a
+ *  full-detail oracle baseline to cross-check against. */
+SweepSpec
+accuracySpec()
+{
+    SweepSpec spec = makeNamedSweep("fig08", 0.05, true);
+    spec.workloads = {"ab-seq"};
+    spec.predictors.resize(1);  // statistical only
+    return spec;
+}
+
+TEST(SweepAccuracy, SectionShapeAndLedgerConsistency)
+{
+    SweepSpec spec = accuracySpec();
+    SweepResult sweep = runSweep(spec);
+
+    std::ostringstream os;
+    JsonOptions canonical;
+    canonical.includeTiming = false;
+    writeResultsJson(os, sweep, canonical);
+    bool ok = false;
+    std::string error;
+    JsonValue doc = JsonValue::parse(os.str(), &ok, &error);
+    ASSERT_TRUE(ok) << error;
+
+    const JsonValue *accuracy = doc.find("accuracy");
+    ASSERT_NE(accuracy, nullptr);
+    EXPECT_EQ((*accuracy)["schema"].asString(),
+              "ospredict-accuracy-v1");
+
+    // Exactly the accelerated ab-seq cell (non-vacuously: it must
+    // have reached prediction and taken audit samples).
+    ASSERT_EQ((*accuracy)["cells"].size(), 1u);
+    const JsonValue &cell = (*accuracy)["cells"].at(0);
+    EXPECT_EQ(cell["workload"].asString(), "ab-seq");
+    const JsonValue &ledger = cell["ledger"];
+    EXPECT_GT(ledger["predictions"].asUint(), 0u);
+    ASSERT_GE(ledger["audits"].asUint(), 2u);
+    EXPECT_GT(ledger["total_cycles"].asUint(),
+              ledger["predicted_cycles"].asUint());
+    ASSERT_NE(ledger.find("audit_err"), nullptr);
+    EXPECT_LE(ledger["audit_err"]["n"].asUint(),
+              ledger["audits"].asUint());
+    EXPECT_GT(ledger["clusters"].size(), 0u);
+
+    // The serialized ledger mirrors the in-memory snapshot.
+    const CellResult *accel =
+        sweep.find("ab-seq", RunMode::Accelerated);
+    ASSERT_NE(accel, nullptr);
+    obs::AccuracyRollup roll = rollupAccuracy(accel->accuracy);
+    EXPECT_EQ(ledger["predictions"].asUint(), roll.predictions);
+    EXPECT_EQ(ledger["audits"].asUint(), roll.audits);
+    ASSERT_EQ(ledger["clusters"].size(),
+              accel->accuracy.entries.size());
+
+    // Per-service rollup sums match the per-cluster entries.
+    std::uint64_t svc_audits = 0;
+    const JsonValue &services = (*accuracy)["services"];
+    ASSERT_GT(services.size(), 0u);
+    for (std::size_t i = 0; i < services.size(); ++i)
+        svc_audits += services.at(i)["audits"].asUint();
+    EXPECT_EQ(svc_audits, roll.audits);
+}
+
+TEST(SweepAccuracy, OracleErrorFallsWithinAuditEstimateCi)
+{
+    // The acceptance cross-check at CI scale: the audit-estimated
+    // end-to-end cycle error must agree with the offline oracle
+    // (full-detail baseline) within its own reported 95% CI.
+    SweepSpec spec = accuracySpec();
+    SweepResult sweep = runSweep(spec);
+
+    const CellResult *accel =
+        sweep.find("ab-seq", RunMode::Accelerated);
+    ASSERT_NE(accel, nullptr);
+    ASSERT_TRUE(accel->hasBaseline);
+    obs::AccuracyRollup roll = rollupAccuracy(accel->accuracy);
+    ASSERT_TRUE(roll.hasEstimate);
+    ASSERT_TRUE(roll.hasCi);
+    EXPECT_LE(std::fabs(accel->signedCycleError -
+                        roll.estRelTotalErr),
+              roll.estCi95);
+    // signedCycleError's magnitude is the reported cycleError.
+    EXPECT_DOUBLE_EQ(std::fabs(accel->signedCycleError),
+                     accel->cycleError);
+
+    // And the document agrees with the in-memory verdict.
+    std::ostringstream os;
+    JsonOptions canonical;
+    canonical.includeTiming = false;
+    writeResultsJson(os, sweep, canonical);
+    bool ok = false;
+    std::string error;
+    JsonValue doc = JsonValue::parse(os.str(), &ok, &error);
+    ASSERT_TRUE(ok) << error;
+    const JsonValue &oracle =
+        doc["accuracy"]["cells"].at(0)["oracle"];
+    EXPECT_TRUE(oracle["within_ci"].asBool());
+}
+
+TEST(SweepAccuracy, ReportRendersCellAndBudgetTables)
+{
+    SweepSpec spec = accuracySpec();
+    SweepResult sweep = runSweep(spec);
+
+    std::ostringstream os;
+    writeAccuracyReport(os, sweep);
+    const std::string report = os.str();
+    EXPECT_NE(report.find("accuracy report"), std::string::npos);
+    EXPECT_NE(report.find("error budget"), std::string::npos);
+    EXPECT_NE(report.find("ab-seq"), std::string::npos);
+    EXPECT_NE(report.find("oracle_err"), std::string::npos);
+
+    // A sweep with no accelerated predictions reports that fact
+    // instead of emitting empty tables.
+    SweepSpec bare = accuracySpec();
+    bare.modes = {RunMode::Full};
+    SweepResult none = runSweep(bare);
+    std::ostringstream empty;
+    writeAccuracyReport(empty, none);
+    EXPECT_NE(empty.str().find("no accelerated cell"),
+              std::string::npos);
 }
 
 TEST(NamedSweeps, FactoriesMatchTheBenchExperiments)

@@ -137,5 +137,41 @@ TEST(RunningStats, NumericallyStableForLargeOffsets)
     EXPECT_NEAR(s.variance(), 2.0, 1e-6);
 }
 
+TEST(RunningStats, ClampWeightPreservesMoments)
+{
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i)
+        s.add(i % 2 ? 4.0 : 6.0);
+    double mean = s.mean();
+    double var = s.variance();
+    s.clampWeight(10);
+    EXPECT_EQ(s.count(), 10u);
+    EXPECT_DOUBLE_EQ(s.mean(), mean);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(RunningStats, ClampWeightLetsNewSamplesMoveTheMean)
+{
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i)
+        s.add(5.0);
+    s.clampWeight(10);
+    for (int i = 0; i < 10; ++i)
+        s.add(6.0);
+    // 10 stale vs 10 fresh members: the mean meets in the middle,
+    // where without the clamp it would barely move (~5.01).
+    EXPECT_NEAR(s.mean(), 5.5, 1e-9);
+}
+
+TEST(RunningStats, ClampWeightBelowCountIsANoOp)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(3.0);
+    s.clampWeight(10);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
 } // namespace
 } // namespace osp
