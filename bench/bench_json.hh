@@ -1,0 +1,126 @@
+/**
+ * @file
+ * "ospredict-bench-v1": the hot-path performance artifact shared by
+ * microbench_components and sweep.
+ *
+ * Both binaries merge their metrics into one file (typically
+ * BENCH_hotpath.json) so CI gets a single machine-readable document
+ * per run:
+ *
+ *   {
+ *     "schema": "ospredict-bench-v1",
+ *     "smoke": true,
+ *     "metrics": {
+ *       "emulate_block_mips": {"unit": "mips", "value": ...},
+ *       ...
+ *     }
+ *   }
+ *
+ * The document is deterministic in *schema* (keys sorted, fixed
+ * shape), not in values — wall-clock numbers vary by machine, which
+ * is why tools/check_perf_baseline.py gates mode *ratios* rather
+ * than absolute throughput.
+ */
+
+#ifndef OSP_BENCH_BENCH_JSON_HH
+#define OSP_BENCH_BENCH_JSON_HH
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace osp::bench
+{
+
+inline constexpr const char *benchJsonSchema = "ospredict-bench-v1";
+
+/** One measured quantity. */
+struct BenchMetric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+};
+
+/**
+ * Merge @p metrics into the bench document at @p path, creating it
+ * when absent. An existing document contributes its metrics first
+ * (so two binaries can each write their half); same-name metrics are
+ * overwritten. Keys are emitted sorted. Returns false (with a
+ * message on stderr) when the file cannot be read back or written.
+ */
+inline bool
+mergeBenchJson(const std::string &path, bool smoke,
+               const std::vector<BenchMetric> &metrics)
+{
+    std::map<std::string, std::pair<double, std::string>> merged;
+
+    if (std::ifstream is(path); is) {
+        std::ostringstream text;
+        text << is.rdbuf();
+        bool ok = false;
+        std::string err;
+        JsonValue doc = JsonValue::parse(text.str(), &ok, &err);
+        if (!ok) {
+            std::cerr << "bench-json: existing " << path
+                      << " is not valid JSON (" << err
+                      << "); refusing to overwrite\n";
+            return false;
+        }
+        const JsonValue *schema = doc.find("schema");
+        if (!schema || !schema->isString() ||
+            schema->asString() != benchJsonSchema) {
+            std::cerr << "bench-json: existing " << path
+                      << " has a different schema; refusing to "
+                         "overwrite\n";
+            return false;
+        }
+        if (const JsonValue *old = doc.find("metrics")) {
+            for (const auto &[name, metric] : old->members()) {
+                const JsonValue *v = metric.find("value");
+                const JsonValue *u = metric.find("unit");
+                if (v && v->isNumber()) {
+                    merged[name] = {v->asDouble(),
+                                    u && u->isString()
+                                        ? u->asString()
+                                        : std::string()};
+                }
+            }
+        }
+    }
+
+    for (const BenchMetric &m : metrics)
+        merged[m.name] = {m.value, m.unit};
+
+    JsonValue doc = JsonValue::object();
+    doc.add("schema", benchJsonSchema);
+    doc.add("smoke", smoke);
+    JsonValue obj = JsonValue::object();
+    for (const auto &[name, metric] : merged) {
+        JsonValue entry = JsonValue::object();
+        entry.add("unit", metric.second);
+        entry.add("value", metric.first);
+        obj.add(name, std::move(entry));
+    }
+    doc.add("metrics", std::move(obj));
+
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "bench-json: cannot write " << path << "\n";
+        return false;
+    }
+    doc.write(os, 2);
+    os << "\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace osp::bench
+
+#endif // OSP_BENCH_BENCH_JSON_HH

@@ -2,18 +2,35 @@
  * @file
  * google-benchmark microbenchmarks of the simulator's hot
  * components: cache access, code generation (the emulation cost
- * floor), branch prediction, and the two timing models. These bound
+ * floor), branch prediction, the two timing models, and the whole
+ * Machine run loop (block-batched vs legacy per-op). These bound
  * the achievable Table 1 ratios.
+ *
+ * Besides the usual google-benchmark CLI, `--bench-json PATH`
+ * switches to a self-timed mode that measures the end-to-end hot
+ * path (simulated MIPS per detail level, cache accesses/sec) and
+ * merges the numbers into an "ospredict-bench-v1" document — the
+ * artifact tools/check_perf_baseline.py gates in CI. `--smoke`
+ * shrinks the measured instruction budgets.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hh"
+#include "common.hh"
 #include "mem/hierarchy.hh"
 #include "obs/telemetry.hh"
 #include "sim/codegen.hh"
 #include "sim/inorder_cpu.hh"
 #include "sim/ooo_cpu.hh"
 #include "util/random.hh"
+#include "workload/registry.hh"
 
 namespace
 {
@@ -184,6 +201,192 @@ BM_TelemetryTracerRecord(benchmark::State &state)
 }
 BENCHMARK(BM_TelemetryTracerRecord);
 
+/** Shared scaffold for whole-machine loop benchmarks: each
+ *  iteration runs a fresh machine for a fixed instruction budget;
+ *  items/sec is therefore simulated instructions/sec. */
+void
+runMachineBench(benchmark::State &state, DetailLevel level,
+                std::uint32_t block_ops)
+{
+    constexpr InstCount kInsts = 2'000'000;
+    for (auto _ : state) {
+        state.PauseTiming();
+        MachineConfig cfg = bench::paperConfig();
+        cfg.level = level;
+        cfg.blockOps = block_ops;
+        auto machine = makeMachine("gzip", cfg, 1.0);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(machine->run(kInsts).totalInsts());
+        state.PauseTiming();
+        machine.reset();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kInsts);
+}
+
+/** The batched hot path this PR introduces (blockOps default). */
+void
+BM_MachineEmulateBlock(benchmark::State &state)
+{
+    runMachineBench(state, DetailLevel::Emulate, 256);
+}
+BENCHMARK(BM_MachineEmulateBlock)->Unit(benchmark::kMillisecond);
+
+/** The legacy one-op-at-a-time loop (blockOps = 1), kept as the
+ *  comparison point for the batching win. */
+void
+BM_MachineEmulatePerOp(benchmark::State &state)
+{
+    runMachineBench(state, DetailLevel::Emulate, 1);
+}
+BENCHMARK(BM_MachineEmulatePerOp)->Unit(benchmark::kMillisecond);
+
+void
+BM_MachineInOrderCacheBlock(benchmark::State &state)
+{
+    runMachineBench(state, DetailLevel::InOrderCache, 256);
+}
+BENCHMARK(BM_MachineInOrderCacheBlock)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------
+// --bench-json mode: self-timed hot-path measurements with a
+// deterministic schema (values vary by machine; the CI gate checks
+// mode ratios).
+// ---------------------------------------------------------------
+
+/** Best-of-3 wall seconds for one fresh machine run. */
+double
+timeMachineRun(DetailLevel level, std::uint32_t block_ops,
+               InstCount insts)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        MachineConfig cfg = bench::paperConfig();
+        cfg.level = level;
+        cfg.blockOps = block_ops;
+        auto machine = makeMachine("gzip", cfg, 1.0);
+        auto t0 = std::chrono::steady_clock::now();
+        InstCount done = machine->run(insts).totalInsts();
+        auto t1 = std::chrono::steady_clock::now();
+        double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (done + done / 10 < insts) {
+            std::cerr << "microbench: workload finished early ("
+                      << done << " of " << insts << " insts)\n";
+        }
+        double mips_time = secs / static_cast<double>(done);
+        if (rep == 0 || mips_time < best)
+            best = mips_time;
+    }
+    return best;  // seconds per instruction
+}
+
+/** Best-of-3 seconds per access on the L1-sized cache loop. */
+double
+timeCacheAccess(std::uint64_t accesses)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        Cache cache(CacheParams{"l1", 16 * 1024, 4, 64,
+                                ReplPolicy::Lru});
+        Pcg32 rng(1);
+        std::vector<Addr> addrs;
+        for (int i = 0; i < 4096; ++i)
+            addrs.push_back(64ULL * rng.range(1024));
+        std::uint64_t hits = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < accesses; ++i)
+            hits += cache.access(addrs[i & 4095], false,
+                                 Owner::App).hit;
+        auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(hits);
+        double secs =
+            std::chrono::duration<double>(t1 - t0).count() /
+            static_cast<double>(accesses);
+        if (rep == 0 || secs < best)
+            best = secs;
+    }
+    return best;
+}
+
+int
+runBenchJson(const std::string &path)
+{
+    // Smoke shrinks the budgets ~4x: enough for stable ratios in
+    // CI, small enough to finish in seconds even unoptimised.
+    const bool smoke = bench::smokeMode();
+    // All four machine modes run the same instruction budget: gzip's
+    // throughput varies strongly with run length (the data footprint
+    // warms up over the first few million instructions), so mode
+    // *ratios* are only meaningful at a single operating point.
+    const InstCount machine_insts = smoke ? 2'000'000 : 8'000'000;
+    const std::uint64_t cache_accesses =
+        smoke ? 4'000'000 : 16'000'000;
+
+    auto mips = [](double secs_per_inst) {
+        return 1.0 / (secs_per_inst * 1e6);
+    };
+
+    std::vector<bench::BenchMetric> metrics;
+    metrics.push_back(
+        {"emulate_block_mips",
+         mips(timeMachineRun(DetailLevel::Emulate, 256,
+                             machine_insts)),
+         "mips"});
+    metrics.push_back(
+        {"emulate_perop_mips",
+         mips(timeMachineRun(DetailLevel::Emulate, 1,
+                             machine_insts)),
+         "mips"});
+    metrics.push_back(
+        {"inorder_cache_mips",
+         mips(timeMachineRun(DetailLevel::InOrderCache, 256,
+                             machine_insts)),
+         "mips"});
+    metrics.push_back(
+        {"ooo_cache_mips",
+         mips(timeMachineRun(DetailLevel::OooCache, 256,
+                             machine_insts)),
+         "mips"});
+    metrics.push_back(
+        {"cache_accesses_per_sec",
+         1.0 / timeCacheAccess(cache_accesses), "1/s"});
+
+    if (!bench::mergeBenchJson(path, smoke, metrics))
+        return 1;
+    for (const auto &m : metrics) {
+        std::cerr << "microbench: " << m.name << " = " << m.value
+                  << " " << m.unit << "\n";
+    }
+    std::cerr << "microbench: bench json -> " << path << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    osp::bench::init(argc, argv);
+    std::vector<char *> keep;
+    keep.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--bench-json") == 0 &&
+            i + 1 < argc) {
+            return runBenchJson(argv[i + 1]);
+        }
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            continue;  // consumed by bench::init()
+        keep.push_back(argv[i]);
+    }
+    int kept = static_cast<int>(keep.size());
+    benchmark::Initialize(&kept, keep.data());
+    keep.resize(static_cast<std::size_t>(kept));
+    if (benchmark::ReportUnrecognizedArguments(kept, keep.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

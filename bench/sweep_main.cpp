@@ -17,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_json.hh"
 #include "common.hh"
 #include "driver/experiments.hh"
 #include "driver/sweep.hh"
@@ -47,6 +48,10 @@ usage(int code)
           "  --accuracy-report PATH\n"
           "                 write the human-readable prediction-"
           "accuracy / error-budget tables ('-' for stdout)\n"
+          "  --bench-json PATH\n"
+          "                 merge this sweep's wall-clock into an "
+          "ospredict-bench-v1 document (see "
+          "tools/check_perf_baseline.py)\n"
           "  --log-level {silent,warn,inform}\n"
           "                 global verbosity (default inform)\n";
     return code;
@@ -64,6 +69,7 @@ main(int argc, char **argv)
     std::string out_path = "results.json";
     std::string trace_path;
     std::string accuracy_path;
+    std::string bench_json_path;
     std::uint64_t seed = experimentSeed;
     unsigned threads = 0;
     bool timing = true;
@@ -89,6 +95,8 @@ main(int argc, char **argv)
             trace_path = argv[++i];
         } else if (arg == "--accuracy-report" && i + 1 < argc) {
             accuracy_path = argv[++i];
+        } else if (arg == "--bench-json" && i + 1 < argc) {
+            bench_json_path = argv[++i];
         } else if (arg == "--log-level" && i + 1 < argc) {
             std::string level = argv[++i];
             if (level == "silent") {
@@ -170,6 +178,20 @@ main(int argc, char **argv)
             std::cerr << "sweep: accuracy report -> "
                       << accuracy_path << "\n";
         }
+    }
+
+    if (!bench_json_path.empty()) {
+        // Wall-clock of the whole sweep: the end-to-end hot-path
+        // number the perf gate tracks alongside the microbench
+        // component rates.
+        if (!bench::mergeBenchJson(
+                bench_json_path, spec.smoke,
+                {{"sweep_" + spec.name + "_wall_seconds",
+                  result.wallSeconds, "s"}})) {
+            return 1;
+        }
+        std::cerr << "sweep: bench json -> " << bench_json_path
+                  << "\n";
     }
 
     std::cerr << "sweep " << spec.name << ": "

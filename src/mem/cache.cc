@@ -1,6 +1,7 @@
 #include "cache.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 
@@ -16,13 +17,11 @@ isPowerOfTwo(std::uint64_t x)
     return x != 0 && (x & (x - 1)) == 0;
 }
 
+/** Exact log2 of a power of two (C++20 countr_zero, no loop). */
 std::uint32_t
 log2u(std::uint64_t x)
 {
-    std::uint32_t shift = 0;
-    while ((1ULL << shift) < x)
-        ++shift;
-    return shift;
+    return static_cast<std::uint32_t>(std::countr_zero(x));
 }
 
 } // namespace
@@ -30,8 +29,10 @@ log2u(std::uint64_t x)
 Cache::Cache(const CacheParams &params, std::uint64_t seed)
     : params_(params), rng(seed, 0x9e3779b97f4a7c15ULL)
 {
-    if (!isPowerOfTwo(params_.lineBytes))
-        osp_fatal(params_.name, ": line size must be a power of two");
+    if (!isPowerOfTwo(params_.lineBytes) || params_.lineBytes < 2) {
+        osp_fatal(params_.name,
+                  ": line size must be a power of two >= 2");
+    }
     if (params_.assoc == 0)
         osp_fatal(params_.name, ": associativity must be >= 1");
     if (params_.sizeBytes == 0 ||
@@ -51,68 +52,53 @@ Cache::Cache(const CacheParams &params, std::uint64_t seed)
                                 " two, got ", sets);
     numSets_ = static_cast<std::uint32_t>(sets);
     lineShift = log2u(params_.lineBytes);
-    lines.resize(static_cast<std::size_t>(numSets_) * params_.assoc);
-}
-
-std::uint32_t
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<std::uint32_t>((addr >> lineShift) &
-                                      (numSets_ - 1));
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> lineShift;
+    std::size_t n = static_cast<std::size_t>(numSets_) * params_.assoc;
+    lines.resize(n);
+    tags_.assign(n, kInvalidTag);
+    mruWay_.assign(numSets_, 0);
 }
 
 std::uint32_t
 Cache::victimWay(std::uint32_t set)
 {
-    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
+    std::size_t base = static_cast<std::size_t>(set) * params_.assoc;
     // Invalid way first.
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (!base[w].valid)
+        if (tags_[base + w] == kInvalidTag)
             return w;
     }
     if (params_.repl == ReplPolicy::Random)
         return rng.range(params_.assoc);
+    const Line *ln = &lines[base];
     std::uint32_t victim = 0;
     for (std::uint32_t w = 1; w < params_.assoc; ++w) {
-        if (base[w].lruStamp < base[victim].lruStamp)
+        if (ln[w].lruStamp < ln[victim].lruStamp)
             victim = w;
     }
     return victim;
 }
 
 Cache::AccessResult
-Cache::access(Addr addr, bool is_write, Owner owner)
+Cache::accessSlow(std::uint32_t set, Addr tag, std::size_t base,
+                  bool is_write, Owner owner)
 {
     AccessResult result;
-    std::uint32_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
-
-    auto owner_idx = static_cast<int>(owner);
-    stats_.accesses[owner_idx] += 1;
-    ++lruClock;
-
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
+        if (tags_[base + w] == tag) {
+            Line &line = lines[base + w];
             result.hit = true;
             line.lruStamp = lruClock;
             if (is_write)
                 line.dirty = true;
+            mruWay_[set] = w;
             return result;
         }
     }
 
     // Miss: allocate (write-allocate policy), evicting if needed.
-    stats_.misses[owner_idx] += 1;
+    stats_.misses[static_cast<int>(owner)] += 1;
     std::uint32_t way = victimWay(set);
-    Line &line = base[way];
+    Line &line = lines[base + way];
     if (line.valid) {
         stats_.evictions += 1;
         if (line.dirty) {
@@ -124,10 +110,11 @@ Cache::access(Addr addr, bool is_write, Owner owner)
             result.crossEviction = true;
         }
     }
-    retag(line, true, owner);
-    line.tag = tag;
+    retag(base + way, true, owner);
+    tags_[base + way] = tag;
     line.dirty = is_write;
     line.lruStamp = lruClock;
+    mruWay_[set] = way;
     return result;
 }
 
@@ -136,23 +123,24 @@ Cache::install(Addr addr, Owner owner)
 {
     std::uint32_t set = setIndex(addr);
     Addr tag = tagOf(addr);
-    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
+    std::size_t base = static_cast<std::size_t>(set) * params_.assoc;
     ++lruClock;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lruStamp = lruClock;
+        if (tags_[base + w] == tag) {
+            lines[base + w].lruStamp = lruClock;
             return false;
         }
     }
     std::uint32_t way = victimWay(set);
-    Line &line = base[way];
+    Line &line = lines[base + way];
     if (line.valid)
         stats_.injectedEvictions += 1;
     stats_.injectedFills += 1;
-    retag(line, true, owner);
-    line.tag = tag;
+    retag(base + way, true, owner);
+    tags_[base + way] = tag;
     line.dirty = false;
     line.lruStamp = lruClock;
+    mruWay_[set] = way;
     return true;
 }
 
@@ -161,10 +149,9 @@ Cache::probe(Addr addr) const
 {
     std::uint32_t set = setIndex(addr);
     Addr tag = tagOf(addr);
-    const Line *base =
-        &lines[static_cast<std::size_t>(set) * params_.assoc];
+    std::size_t base = static_cast<std::size_t>(set) * params_.assoc;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if (tags_[base + w] == tag)
             return true;
     }
     return false;
@@ -185,14 +172,15 @@ Cache::pollute(std::uint64_t count, PollutionMode mode)
     std::uint64_t affected = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint32_t set = rng.range(numSets_);
-        Line *base =
-            &lines[static_cast<std::size_t>(set) * params_.assoc];
+        std::size_t base =
+            static_cast<std::size_t>(set) * params_.assoc;
+        Line *ln = &lines[base];
 
         // Invalid slot first: a free victim for Install, a no-op
         // draw for the invalidating modes (Sec. 4.5 victim order).
         std::int32_t invalid_way = -1;
         for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-            if (!base[w].valid) {
+            if (!ln[w].valid) {
                 invalid_way = static_cast<std::int32_t>(w);
                 break;
             }
@@ -207,11 +195,11 @@ Cache::pollute(std::uint64_t count, PollutionMode mode)
             // LRU among eligible lines, then more recently used.
             for (std::uint32_t w = 0; w < params_.assoc; ++w) {
                 if (mode == PollutionMode::InvalidateApp &&
-                    base[w].owner != Owner::App) {
+                    ln[w].owner != Owner::App) {
                     continue;
                 }
                 if (victim < 0 ||
-                    base[w].lruStamp < base[victim].lruStamp) {
+                    ln[w].lruStamp < ln[victim].lruStamp) {
                     victim = static_cast<std::int32_t>(w);
                 }
             }
@@ -219,19 +207,20 @@ Cache::pollute(std::uint64_t count, PollutionMode mode)
                 continue;
         }
 
-        Line &line = base[victim];
+        std::size_t idx = base + static_cast<std::size_t>(victim);
+        Line &line = lines[idx];
         bool evicted = line.valid;
         if (mode == PollutionMode::Install) {
             // Synthetic fill: a tag outside the architectural
             // address space so it can never hit, owned by the OS,
             // MRU (the skipped service just touched it).
-            retag(line, true, Owner::Os);
-            line.tag = (1ULL << 52) + syntheticTag++;
+            retag(idx, true, Owner::Os);
+            tags_[idx] = (1ULL << 52) + syntheticTag++;
             line.dirty = false;
             line.lruStamp = ++lruClock;
             stats_.injectedFills += 1;
         } else {
-            retag(line, false, line.owner);
+            retag(idx, false, line.owner);
             line.dirty = false;
         }
         // Only a displaced valid line is an eviction; filling an
@@ -249,9 +238,17 @@ Cache::flush()
     for (Line &line : lines) {
         line.valid = false;
         line.dirty = false;
+        line.lruStamp = 0;
     }
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(mruWay_.begin(), mruWay_.end(), 0u);
     validLines_[0] = 0;
     validLines_[1] = 0;
+    // With every line invalid this state is unobservable; rewinding
+    // it makes a reused cache's LRU stamps and synthetic tags
+    // independent of prior-run history (see header comment).
+    lruClock = 0;
+    syntheticTag = 0;
 }
 
 } // namespace osp

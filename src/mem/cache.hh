@@ -15,6 +15,7 @@
 #ifndef OSP_MEM_CACHE_HH
 #define OSP_MEM_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -112,11 +113,40 @@ class Cache
      * Access one address. On a miss the line is allocated
      * (write-allocate) and a victim evicted if the set is full.
      *
+     * The MRU-way hit — by far the most common outcome on real
+     * access streams — is resolved here in the header so callers
+     * inline it down to a handful of instructions; everything else
+     * (way scan, fill, eviction) goes through accessSlow().
+     *
      * @param addr     byte address of the access
      * @param is_write true for stores (marks the line dirty)
      * @param owner    who performs the access
      */
-    AccessResult access(Addr addr, bool is_write, Owner owner);
+    AccessResult
+    access(Addr addr, bool is_write, Owner owner)
+    {
+        std::uint32_t set = setIndex(addr);
+        Addr tag = tagOf(addr);
+        std::size_t base =
+            static_cast<std::size_t>(set) * params_.assoc;
+
+        stats_.accesses[static_cast<int>(owner)] += 1;
+        ++lruClock;
+
+        // Fast path: the way that hit (or filled) last time in this
+        // set. One compare against the compact tag array; invalid
+        // ways hold a never-matching sentinel so no valid bit is
+        // consulted.
+        std::uint32_t mru = mruWay_[set];
+        if (tags_[base + mru] == tag) {
+            Line &line = lines[base + mru];
+            line.lruStamp = lruClock;
+            if (is_write)
+                line.dirty = true;
+            return AccessResult{true, false, false};
+        }
+        return accessSlow(set, tag, base, is_write, owner);
+    }
 
     /** True if the address is currently resident (no state change,
      *  no statistics). */
@@ -163,7 +193,15 @@ class Cache
      */
     bool install(Addr addr, Owner owner);
 
-    /** Invalidate everything (cold-start). Statistics survive. */
+    /**
+     * Invalidate everything (cold-start). Statistics survive. Also
+     * rewinds the LRU clock, the synthetic-tag allocator and the
+     * MRU-way memos: with no valid lines left, none of that state
+     * is observable, and resetting it makes a flushed cache replay
+     * exactly like a freshly constructed one (replacement RNG state
+     * is the one deliberate exception — it has no reset point that
+     * would not also rewind pollution draws).
+     */
     void flush();
 
     /** Number of currently valid lines owned by @p owner (O(1):
@@ -194,30 +232,65 @@ class Cache
     const CacheParams &params() const { return params_; }
 
   private:
+    /**
+     * Per-line metadata. The tag itself lives in the separate
+     * compact tags_ array (8 bytes per way, sequential in memory),
+     * so the hit path — by far the hottest loop in the simulator —
+     * touches one dense cache line per set instead of striding
+     * through this struct.
+     */
     struct Line
     {
-        Addr tag = 0;
         bool valid = false;
         bool dirty = false;
         Owner owner = Owner::App;
         std::uint64_t lruStamp = 0;
     };
 
-    std::uint32_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    /**
+     * Sentinel stored in tags_ for invalid ways. Real tags are
+     * addr >> lineShift with lineShift >= 1 (the constructor
+     * requires lineBytes >= 2), and synthetic pollution tags start
+     * at 1 << 52, so neither can ever equal ~0.
+     */
+    static constexpr Addr kInvalidTag = ~static_cast<Addr>(0);
+
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>((addr >> lineShift) &
+                                          (numSets_ - 1));
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> lineShift; }
+
     /** Pick the victim way in a (full) set per the policy. */
     std::uint32_t victimWay(std::uint32_t set);
 
-    /** Transition a line's residency, keeping validLines_ exact. */
+    /** Way scan, fill and eviction for a non-MRU access; the stats
+     *  and LRU-clock bumps already happened in access(). */
+    AccessResult accessSlow(std::uint32_t set, Addr tag,
+                            std::size_t base, bool is_write,
+                            Owner owner);
+
+    /**
+     * Transition the residency of the line at flat index @p idx,
+     * keeping validLines_ exact and the tag array in sync (an
+     * invalidated way gets the never-matching sentinel; callers of
+     * a fill store the real tag afterwards).
+     */
     void
-    retag(Line &line, bool valid, Owner owner)
+    retag(std::size_t idx, bool valid, Owner owner)
     {
+        Line &line = lines[idx];
         if (line.valid)
             --validLines_[static_cast<int>(line.owner)];
         line.valid = valid;
         line.owner = owner;
         if (valid)
             ++validLines_[static_cast<int>(owner)];
+        else
+            tags_[idx] = kInvalidTag;
     }
 
     CacheParams params_;
@@ -227,6 +300,16 @@ class Cache
     std::uint64_t syntheticTag = 0;
     std::uint64_t validLines_[numOwners] = {0, 0};
     std::vector<Line> lines;  //!< numSets * assoc, set-major
+    /** Compact tag-or-sentinel per way, same indexing as lines. */
+    std::vector<Addr> tags_;
+    /**
+     * Per-set memo of the most recently hitting/filled way: the
+     * common "hit the same line again" case is a single compare
+     * against tags_ with no scan. Purely an access-order hint —
+     * never consulted for replacement, so victimWay semantics are
+     * untouched.
+     */
+    std::vector<std::uint32_t> mruWay_;
     CacheStats stats_;
     Pcg32 rng;
 };

@@ -26,32 +26,10 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
 }
 
 AccessOutcome
-MemoryHierarchy::access(Addr addr, AccessType type, Owner owner,
-                        Cycles now)
+MemoryHierarchy::accessBeyondL1(Addr addr, bool is_write,
+                                Owner owner, Cycles now,
+                                AccessOutcome out)
 {
-    AccessOutcome out;
-    bool is_fetch = (type == AccessType::InstFetch);
-    bool is_write = (type == AccessType::Store);
-    Cache &l1 = is_fetch ? l1i_ : l1d_;
-    Cycles l1_lat =
-        is_fetch ? params_.l1iHitLatency : params_.l1dHitLatency;
-
-    // Address translation first.
-    Cache *tlb = is_fetch ? itlb_.get() : dtlb_.get();
-    if (tlb) {
-        auto tlb_res = tlb->access(addr, false, owner);
-        if (!tlb_res.hit) {
-            out.tlbMiss = true;
-            out.latency += params_.tlbMissPenalty;
-        }
-    }
-
-    auto l1_res = l1.access(addr, is_write, owner);
-    out.latency += l1_lat;
-    if (l1_res.hit)
-        return out;
-
-    out.l1Miss = true;
     // L1 dirty writeback occupies the bus toward L2 only in spirit;
     // the L1<->L2 link is not a modeled resource, so nothing to add.
 

@@ -126,6 +126,10 @@ class MemoryHierarchy
     /**
      * Perform one demand access.
      *
+     * Defined inline (below the class) so the dominant TLB-hit +
+     * L1-hit chain collapses into the Cache::access header fast
+     * paths at the call site; only misses leave the inlined code.
+     *
      * @param addr  byte address
      * @param type  fetch / load / store
      * @param owner application or OS
@@ -133,6 +137,11 @@ class MemoryHierarchy
      */
     AccessOutcome access(Addr addr, AccessType type, Owner owner,
                          Cycles now);
+
+    /** L2-and-beyond half of access(), taken on an L1 miss. */
+    AccessOutcome accessBeyondL1(Addr addr, bool is_write,
+                                 Owner owner, Cycles now,
+                                 AccessOutcome out);
 
     /** Would this access hit in its L1? (No state change; used by
      *  CPU models to decide MSHR admission before accessing.) */
@@ -197,6 +206,36 @@ class MemoryHierarchy
     std::unique_ptr<Cache> dtlb_;
     Cycles busFreeAt = 0;
 };
+
+inline AccessOutcome
+MemoryHierarchy::access(Addr addr, AccessType type, Owner owner,
+                        Cycles now)
+{
+    AccessOutcome out;
+    bool is_fetch = (type == AccessType::InstFetch);
+    bool is_write = (type == AccessType::Store);
+    Cache &l1 = is_fetch ? l1i_ : l1d_;
+    Cycles l1_lat =
+        is_fetch ? params_.l1iHitLatency : params_.l1dHitLatency;
+
+    // Address translation first.
+    Cache *tlb = is_fetch ? itlb_.get() : dtlb_.get();
+    if (tlb) {
+        auto tlb_res = tlb->access(addr, false, owner);
+        if (!tlb_res.hit) {
+            out.tlbMiss = true;
+            out.latency += params_.tlbMissPenalty;
+        }
+    }
+
+    auto l1_res = l1.access(addr, is_write, owner);
+    out.latency += l1_lat;
+    if (l1_res.hit)
+        return out;
+
+    out.l1Miss = true;
+    return accessBeyondL1(addr, is_write, owner, now, out);
+}
 
 } // namespace osp
 

@@ -48,6 +48,22 @@ class InterruptController
     /** Pending one-shot events (excludes the self-arming timer). */
     std::size_t pending() const { return heap.size(); }
 
+    /**
+     * Instruction count of the earliest pending event (one-shot or
+     * timer), or InstCount max when nothing will ever fire. Exact:
+     * nextDue(now) returns an event iff now >= nextDueAt().
+     */
+    InstCount
+    nextDueAt() const
+    {
+        InstCount due = ~InstCount(0);
+        if (!heap.empty())
+            due = heap.top().at;
+        if (timerPeriod_ && nextTimerAt < due)
+            due = nextTimerAt;
+        return due;
+    }
+
     InstCount timerPeriod() const { return timerPeriod_; }
 
   private:

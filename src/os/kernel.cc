@@ -9,7 +9,7 @@ namespace osp
 
 namespace
 {
-constexpr std::uint64_t pageBytes = 4096;
+constexpr std::uint64_t pageBytes = KernelIface::kUserPageBytes;
 constexpr std::uint64_t mssBytes = 1448;
 /** Pages speculatively filled after a page-cache miss. */
 constexpr std::uint32_t readaheadPages = 3;

@@ -91,6 +91,10 @@ class SyntheticKernel : public KernelIface
                          InstCount now, CodeGenerator *gen) override;
     std::optional<ServiceRequest>
     pendingInterrupt(InstCount now) override;
+    InstCount nextInterruptAt() const override
+    {
+        return irq.nextDueAt();
+    }
     bool touchUserPage(Addr addr) override;
 
     /** Subsystem access (workload setup and tests). */

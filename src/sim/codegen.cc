@@ -49,9 +49,33 @@ CodeGenerator::pushCopy(const CodeProfile &profile,
     items.push_back(item);
 }
 
+namespace
+{
+
+// Fixed-probability trials in the lowering path, as raw thresholds.
+const std::uint64_t kThrHot = Pcg32::rawThreshold(0.9);
+const std::uint64_t kThrHalf = Pcg32::rawThreshold(0.5);
+const std::uint64_t kThrFlip = Pcg32::rawThreshold(0.02);
+
+} // namespace
+
 void
 CodeGenerator::startItem(WorkItem &item)
 {
+    const CodeProfile &p = item.profile;
+    // Cumulative sums formed exactly as the per-op comparisons
+    // historically did, so the raw thresholds are bit-equivalent.
+    item.thrLoad = Pcg32::rawThreshold(p.loadFrac);
+    item.thrStore = Pcg32::rawThreshold(p.loadFrac + p.storeFrac);
+    item.thrBranch =
+        Pcg32::rawThreshold(p.loadFrac + p.storeFrac + p.branchFrac);
+    item.thrFp = Pcg32::rawThreshold(p.loadFrac + p.storeFrac +
+                                     p.branchFrac + p.fpFrac);
+    item.thrBranchRandom = Pcg32::rawThreshold(p.branchRandomFrac);
+    item.thrDep = Pcg32::rawThreshold(p.depChance);
+    item.geomIdx =
+        geomTableFor(1.0 / std::max(p.depDistMean, 1.0));
+
     const Region &code = item.profile.code;
     if (code.size < 64)
         osp_panic("code region too small: ", code.size);
@@ -73,6 +97,35 @@ CodeGenerator::startItem(WorkItem &item)
     } else {
         item.dataCursor = item.data.base;
     }
+
+    // Fixed per-item draw bounds (code blocks, data lines, hot
+    // lines), formed exactly as nextPc()/dataAddr() historically
+    // computed them per draw.
+    item.pcDraw = Pcg32::makeRange(
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            blocks, 0xffffffffULL)));
+    const Region &region = item.data;
+    std::uint64_t lines =
+        std::max<std::uint64_t>(region.size / 64, 1);
+    item.dataDraw = Pcg32::makeRange(
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            lines, 0xffffffffULL)));
+    std::uint64_t hot =
+        std::max<std::uint64_t>(region.size / 10, 64);
+    std::uint64_t hot_lines = std::max<std::uint64_t>(hot / 64, 1);
+    item.hotDraw = Pcg32::makeRange(
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            hot_lines, 0xffffffffULL)));
+}
+
+std::uint32_t
+CodeGenerator::geomTableFor(double p)
+{
+    for (std::size_t i = 0; i < geomTables.size(); ++i)
+        if (geomTables[i].p == p)
+            return static_cast<std::uint32_t>(i);
+    geomTables.push_back(Pcg32::makeGeomTable(p));
+    return static_cast<std::uint32_t>(geomTables.size() - 1);
 }
 
 std::uint64_t
@@ -90,10 +143,7 @@ CodeGenerator::nextPc(WorkItem &item)
     const Region &code = item.profile.code;
     if (item.blockLeft < 4) {
         // Jump to a new block within the code footprint.
-        std::uint64_t blocks = code.size / 64;
-        item.pc = code.base + 64ULL * rng.range(
-            static_cast<std::uint32_t>(std::min<std::uint64_t>(
-                blocks, 0xffffffffULL)));
+        item.pc = code.base + 64ULL * rng.rangeWith(item.pcDraw);
         item.blockLeft = item.profile.blockRunBytes;
     }
     Addr pc = item.pc;
@@ -123,27 +173,13 @@ CodeGenerator::dataAddr(WorkItem &item, bool chase)
         }
       case PatternKind::Random:
       case PatternKind::PointerChase:
-        {
-            std::uint64_t lines = std::max<std::uint64_t>(
-                region.size / 64, 1);
-            std::uint32_t pick = rng.range(
-                static_cast<std::uint32_t>(std::min<std::uint64_t>(
-                    lines, 0xffffffffULL)));
-            return region.base + 64ULL * pick;
-        }
+        return region.base + 64ULL * rng.rangeWith(item.dataDraw);
       case PatternKind::Hot:
-        {
-            // 90% of accesses hit the first 10% of the region.
-            std::uint64_t hot = std::max<std::uint64_t>(
-                region.size / 10, 64);
-            std::uint64_t span = rng.chance(0.9) ? hot : region.size;
-            std::uint64_t lines = std::max<std::uint64_t>(
-                span / 64, 1);
-            std::uint32_t pick = rng.range(
-                static_cast<std::uint32_t>(std::min<std::uint64_t>(
-                    lines, 0xffffffffULL)));
-            return region.base + 64ULL * pick;
-        }
+        // 90% of accesses hit the first 10% of the region.
+        return region.base +
+               64ULL * rng.rangeWith(rng.chanceRaw(kThrHot)
+                                         ? item.hotDraw
+                                         : item.dataDraw);
     }
     return region.base;
 }
@@ -168,6 +204,33 @@ CodeGenerator::next()
     return op;
 }
 
+std::size_t
+CodeGenerator::nextBlock(MicroOp *out, std::size_t cap)
+{
+    std::size_t n = 0;
+    while (n < cap && !items.empty()) {
+        WorkItem &item = items.front();
+        std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(cap - n, item.opsLeft));
+        if (item.kind == WorkItem::Kind::Compute) {
+            for (std::size_t k = 0; k < take; ++k)
+                out[n++] = lowerCompute(item);
+        } else {
+            for (std::size_t k = 0; k < take; ++k)
+                out[n++] = lowerCopy(item);
+        }
+        item.opsLeft -= take;
+        if (item.opsLeft == 0) {
+            if (item.kind == WorkItem::Kind::Compute &&
+                item.pattern == PatternKind::Sequential) {
+                seqCursors[item.data.base] = item.dataCursor;
+            }
+            items.pop_front();
+        }
+    }
+    return n;
+}
+
 MicroOp
 CodeGenerator::lowerCompute(WorkItem &item)
 {
@@ -175,9 +238,12 @@ CodeGenerator::lowerCompute(WorkItem &item)
     MicroOp op;
     op.pc = nextPc(item);
 
-    double roll = rng.uniform();
+    // One draw, compared against the item's precomputed raw
+    // thresholds — outcome-identical to the historical
+    // uniform()-vs-cumulative-fraction chain (see rawThreshold).
+    std::uint32_t roll = rng.next();
     bool chase = item.pattern == PatternKind::PointerChase;
-    if (roll < p.loadFrac) {
+    if (roll < item.thrLoad) {
         op.cls = OpClass::Load;
         op.effAddr = dataAddr(item, chase);
         op.execLat = 0;  // latency comes from the memory system
@@ -187,21 +253,20 @@ CodeGenerator::lowerCompute(WorkItem &item)
             op.depDist = static_cast<std::uint8_t>(
                 std::min<std::uint32_t>(opsSinceLoad, 255));
         }
-    } else if (roll < p.loadFrac + p.storeFrac) {
+    } else if (roll < item.thrStore) {
         op.cls = OpClass::Store;
         op.effAddr = dataAddr(item, false);
         op.execLat = 1;
-    } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac) {
+    } else if (roll < item.thrBranch) {
         op.cls = OpClass::Branch;
         op.execLat = 1;
-        if (rng.chance(p.branchRandomFrac)) {
-            op.taken = rng.chance(0.5);
+        if (rng.chanceRaw(item.thrBranchRandom)) {
+            op.taken = rng.chanceRaw(kThrHalf);
         } else {
             // Strongly biased (loop-like) branch; predictors learn it.
-            op.taken = !rng.chance(0.02);
+            op.taken = !rng.chanceRaw(kThrFlip);
         }
-    } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac +
-                          p.fpFrac) {
+    } else if (roll < item.thrFp) {
         op.cls = OpClass::FpAlu;
         op.execLat = p.fpLatency;
     } else {
@@ -210,9 +275,9 @@ CodeGenerator::lowerCompute(WorkItem &item)
     }
 
     if (op.cls != OpClass::Load || !chase) {
-        if (rng.chance(p.depChance)) {
-            double mean = std::max(p.depDistMean, 1.0);
-            std::uint32_t d = rng.geometric(1.0 / mean);
+        if (rng.chanceRaw(item.thrDep)) {
+            std::uint32_t d =
+                rng.geometricWith(geomTables[item.geomIdx]);
             op.depDist =
                 static_cast<std::uint8_t>(std::min<std::uint32_t>(
                     d, 255));

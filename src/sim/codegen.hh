@@ -17,9 +17,11 @@
 #ifndef OSP_SIM_CODEGEN_HH
 #define OSP_SIM_CODEGEN_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "code_profile.hh"
 #include "microop.hh"
@@ -70,6 +72,16 @@ class CodeGenerator
     /** Produce the next MicroOp. Calling with done() is a panic. */
     MicroOp next();
 
+    /**
+     * Lower up to @p cap MicroOps into @p out and return how many
+     * were produced (0 iff done()). Produces the byte-identical
+     * sequence repeated next() calls would — same RNG draws, same
+     * cursor updates — but hoists the per-op queue-front checks and
+     * kind dispatch out of the loop, which is what makes block
+     * retirement in the Machine worth having.
+     */
+    std::size_t nextBlock(MicroOp *out, std::size_t cap);
+
     /** Drop all queued work. */
     void clear() { items.clear(); }
 
@@ -94,6 +106,32 @@ class CodeGenerator
         // Fetch state.
         Addr pc = 0;
         std::uint32_t blockLeft = 0;
+        /**
+         * Raw-integer forms of the profile's class-selection and
+         * Bernoulli thresholds (Pcg32::rawThreshold), derived once
+         * in startItem() from the exact cumulative doubles the
+         * lowering compares used to rebuild per op. Same draws,
+         * same outcomes — minus four int->double conversions and
+         * double compares per lowered op.
+         */
+        std::uint64_t thrLoad = 0;
+        std::uint64_t thrStore = 0;      //!< load + store
+        std::uint64_t thrBranch = 0;     //!< load + store + branch
+        std::uint64_t thrFp = 0;         //!< ... + fp
+        std::uint64_t thrBranchRandom = 0;
+        std::uint64_t thrDep = 0;
+        /**
+         * Precomputed range(bound) constants for the item's fixed
+         * bounds (code-block jumps, data-region lines, hot-subset
+         * lines), so the per-draw path never recomputes a rejection
+         * threshold or Lemire magic when draws alternate between
+         * bounds. Same draws, same values as plain range().
+         */
+        Pcg32::RangeDraw pcDraw;
+        Pcg32::RangeDraw dataDraw;
+        Pcg32::RangeDraw hotDraw;
+        /** Index into geomTables for the profile's dep-distance p. */
+        std::uint32_t geomIdx = 0;
     };
 
     /** Pick a data address for the current item and advance cursors. */
@@ -107,8 +145,18 @@ class CodeGenerator
 
     void startItem(WorkItem &item);
 
+    /** Index of the (built-on-demand) GeomTable for probability p. */
+    std::uint32_t geomTableFor(double p);
+
     std::deque<WorkItem> items;
     Pcg32 rng;
+    /**
+     * One exact-replay geometric table per distinct dep-distance
+     * probability seen (a handful per run: user profile + service
+     * profiles). Items reference them by index, so re-pushing a
+     * profile every few thousand ops never rebuilds a table.
+     */
+    std::vector<Pcg32::GeomTable> geomTables;
     /** Dynamic distance (ops) since the last emitted load, for
      *  pointer-chase dependence chains. */
     std::uint32_t opsSinceLoad = 255;

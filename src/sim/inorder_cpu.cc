@@ -11,77 +11,6 @@ InOrderCpu::InOrderCpu(const CpuParams &p, MemoryHierarchy *hierarchy,
         std::max<std::uint32_t>(params.mshrs, 1), 0);
 }
 
-void
-InOrderCpu::execute(const MicroOp &op, Owner owner)
-{
-    ++insts;
-
-    // Instruction fetch: one cache access per new 64B line.
-    if (hier) {
-        Addr line = op.pc >> 6;
-        if (line != lastFetchLine) {
-            lastFetchLine = line;
-            auto out = hier->access(op.pc, AccessType::InstFetch,
-                                    owner, now_);
-            if (out.l1Miss) {
-                // Stall for everything beyond the pipelined L1 hit.
-                now_ += out.latency - hier->params().l1iHitLatency;
-            }
-        }
-    }
-
-    now_ += 1;  // single-issue base cost
-
-    switch (op.cls) {
-      case OpClass::IntAlu:
-        break;
-      case OpClass::FpAlu:
-        now_ += op.execLat > 1 ? op.execLat - 1 : 0;
-        break;
-      case OpClass::Load:
-        {
-            Cycles lat = params.noCacheMemLatency;
-            if (hier) {
-                lat = hier->access(op.effAddr, AccessType::Load,
-                                   owner, now_).latency;
-            }
-            // Blocking load: the full latency serializes.
-            now_ += lat > 1 ? lat - 1 : 0;
-            break;
-        }
-      case OpClass::Store:
-        if (hier) {
-            if (hier->probeL1(op.effAddr, AccessType::Store)) {
-                hier->access(op.effAddr, AccessType::Store, owner,
-                             now_);
-            } else {
-                // Store miss: take a write-buffer slot; stall only
-                // when every slot is still busy.
-                std::size_t best = 0;
-                for (std::size_t i = 1;
-                     i < storeBusyUntil.size(); ++i) {
-                    if (storeBusyUntil[i] < storeBusyUntil[best])
-                        best = i;
-                }
-                Cycles start =
-                    std::max(now_, storeBusyUntil[best]);
-                auto out = hier->access(
-                    op.effAddr, AccessType::Store, owner, start);
-                storeBusyUntil[best] = start + out.latency;
-                now_ = start;
-            }
-        }
-        break;
-      case OpClass::Branch:
-        if (bp) {
-            bool correct = bp->predictAndUpdate(op.pc, op.taken);
-            if (!correct)
-                now_ += params.mispredictPenalty;
-        }
-        break;
-    }
-}
-
 Cycles
 InOrderCpu::drain()
 {

@@ -11,6 +11,7 @@
 #ifndef OSP_SIM_INORDER_CPU_HH
 #define OSP_SIM_INORDER_CPU_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "cpu.hh"
@@ -18,8 +19,10 @@
 namespace osp
 {
 
-/** See file comment. */
-class InOrderCpu : public CpuModel
+/** See file comment. `final` so the Machine's concrete-engine run
+ *  loop calls execute() directly (and inlines it) instead of going
+ *  through the vtable. */
+class InOrderCpu final : public CpuModel
 {
   public:
     /**
@@ -32,6 +35,10 @@ class InOrderCpu : public CpuModel
     InOrderCpu(const CpuParams &params, MemoryHierarchy *hierarchy,
                GshareBp *bp);
 
+    /** Defined inline below the class: this is the per-instruction
+     *  body of every in-order simulation, and keeping it visible to
+     *  the caller lets the whole fetch/load hit chain flatten into
+     *  the run loop. */
     void execute(const MicroOp &op, Owner owner) override;
     Cycles drain() override;
     Cycles now() const override { return now_; }
@@ -50,6 +57,77 @@ class InOrderCpu : public CpuModel
      *  all slots are busy, bounding memory-system pressure. */
     std::vector<Cycles> storeBusyUntil;
 };
+
+inline void
+InOrderCpu::execute(const MicroOp &op, Owner owner)
+{
+    ++insts;
+
+    // Instruction fetch: one cache access per new 64B line.
+    if (hier) {
+        Addr line = op.pc >> 6;
+        if (line != lastFetchLine) {
+            lastFetchLine = line;
+            auto out = hier->access(op.pc, AccessType::InstFetch,
+                                    owner, now_);
+            if (out.l1Miss) {
+                // Stall for everything beyond the pipelined L1 hit.
+                now_ += out.latency - hier->params().l1iHitLatency;
+            }
+        }
+    }
+
+    now_ += 1;  // single-issue base cost
+
+    switch (op.cls) {
+      case OpClass::IntAlu:
+        break;
+      case OpClass::FpAlu:
+        now_ += op.execLat > 1 ? op.execLat - 1 : 0;
+        break;
+      case OpClass::Load:
+        {
+            Cycles lat = params.noCacheMemLatency;
+            if (hier) {
+                lat = hier->access(op.effAddr, AccessType::Load,
+                                   owner, now_).latency;
+            }
+            // Blocking load: the full latency serializes.
+            now_ += lat > 1 ? lat - 1 : 0;
+            break;
+        }
+      case OpClass::Store:
+        if (hier) {
+            if (hier->probeL1(op.effAddr, AccessType::Store)) {
+                hier->access(op.effAddr, AccessType::Store, owner,
+                             now_);
+            } else {
+                // Store miss: take a write-buffer slot; stall only
+                // when every slot is still busy.
+                std::size_t best = 0;
+                for (std::size_t i = 1;
+                     i < storeBusyUntil.size(); ++i) {
+                    if (storeBusyUntil[i] < storeBusyUntil[best])
+                        best = i;
+                }
+                Cycles start =
+                    std::max(now_, storeBusyUntil[best]);
+                auto out = hier->access(
+                    op.effAddr, AccessType::Store, owner, start);
+                storeBusyUntil[best] = start + out.latency;
+                now_ = start;
+            }
+        }
+        break;
+      case OpClass::Branch:
+        if (bp) {
+            bool correct = bp->predictAndUpdate(op.pc, op.taken);
+            if (!correct)
+                now_ += params.mispredictPenalty;
+        }
+        break;
+    }
+}
 
 } // namespace osp
 

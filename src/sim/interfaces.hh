@@ -12,6 +12,7 @@
 #ifndef OSP_SIM_INTERFACES_HH
 #define OSP_SIM_INTERFACES_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -45,6 +46,25 @@ class UserProgram
 
     /** Produce the next instruction or service request. */
     virtual Step step(MicroOp &op, ServiceRequest &req) = 0;
+
+    /**
+     * Fill up to @p cap already-queued user-mode instructions into
+     * @p buf and return how many were produced. Must never advance
+     * the program's syscall state machine: a return of 0 means the
+     * next event has to come from step() (a syscall, completion, or
+     * a program that does not batch). The ops returned must be the
+     * byte-identical sequence step() would have produced, so the
+     * Machine can retire whole blocks without any behavioural
+     * difference. The default keeps legacy programs working with
+     * zero changes.
+     */
+    virtual std::size_t
+    opBlock(MicroOp *buf, std::size_t cap)
+    {
+        (void)buf;
+        (void)cap;
+        return 0;
+    }
 
     /** Deliver the result of a completed synchronous service. */
     virtual void onServiceReturn(ServiceType type,
@@ -99,6 +119,28 @@ class KernelIface
      */
     virtual std::optional<ServiceRequest>
     pendingInterrupt(InstCount now) = 0;
+
+    /**
+     * Lower bound on the retired-instruction count of the earliest
+     * pending interrupt, or InstCount max if none is pending. The
+     * Machine uses this to skip the per-instruction
+     * pendingInterrupt() poll: it only polls once the count reaches
+     * the bound, and refreshes the bound after every service
+     * invocation (which may schedule earlier events). Returning 0 —
+     * the conservative default — restores the poll-every-op
+     * behaviour, so implementations that cannot cheaply answer stay
+     * correct.
+     */
+    virtual InstCount nextInterruptAt() const { return 0; }
+
+    /**
+     * Page granularity of touchUserPage(): implementations must
+     * fault at most once per kUserPageBytes-aligned page, and a page
+     * once resident never becomes absent again. The Machine's run
+     * loop relies on both properties to memoize known-present pages
+     * and skip the per-access virtual call.
+     */
+    static constexpr Addr kUserPageBytes = 4096;
 
     /**
      * Record a user-mode touch of @p addr; returns true if it

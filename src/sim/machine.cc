@@ -1,5 +1,8 @@
 #include "machine.hh"
 
+#include <algorithm>
+#include <type_traits>
+
 #include "util/logging.hh"
 
 namespace osp
@@ -98,54 +101,38 @@ Machine::publishCacheStats()
     publish("mem.l2", hier.l2());
 }
 
-CpuModel &
-Machine::engine()
+template <class EngineT>
+void
+Machine::drainIntoT(EngineT *eng, Owner owner)
 {
-    switch (config_.level) {
-      case DetailLevel::InOrderCache: return inorder;
-      case DetailLevel::InOrderNoCache: return inorderNoCache;
-      case DetailLevel::OooCache: return ooo;
-      case DetailLevel::OooNoCache: return oooNoCache;
-      case DetailLevel::Emulate: break;
+    if constexpr (std::is_same_v<EngineT, EmulateEngine>) {
+        (void)eng;
+        (void)owner;
+    } else {
+        Cycles cycles = eng->drain();
+        if (cycles == 0)
+            return;
+        if (owner == Owner::App)
+            totals_.appCycles += cycles;
+        else
+            totals_.osSimCycles += cycles;
     }
-    osp_panic("engine() requested for Emulate detail level");
 }
 
+template <class EngineT>
 void
-Machine::execOp(const MicroOp &op, Owner owner, DetailLevel level)
-{
-    if (isDetailed(level))
-        engine().execute(op, owner);
-    if (owner == Owner::App)
-        ++totals_.appInsts;
-    else
-        ++totals_.osInsts;
-}
-
-void
-Machine::drainInto(Owner owner)
-{
-    if (!isDetailed(config_.level))
-        return;
-    Cycles cycles = engine().drain();
-    if (cycles == 0)
-        return;
-    if (owner == Owner::App)
-        totals_.appCycles += cycles;
-    else
-        totals_.osSimCycles += cycles;
-}
-
-void
-Machine::deliverInterrupts()
+Machine::deliverInterruptsT(EngineT *eng)
 {
     while (auto irq = kernel_->pendingInterrupt(totals_.totalInsts()))
-        runService(*irq);
+        runServiceT(eng, *irq);
 }
 
+template <class EngineT>
 void
-Machine::runService(const ServiceRequest &req)
+Machine::runServiceT(EngineT *eng, const ServiceRequest &req)
 {
+    constexpr bool timing =
+        !std::is_same_v<EngineT, EmulateEngine>;
     auto type_idx = static_cast<int>(req.type);
 
     // Trace events from here on (including the controller's) stamp
@@ -170,7 +157,7 @@ Machine::runService(const ServiceRequest &req)
     bool detailed = isDetailed(level);
 
     // Close the application segment.
-    drainInto(Owner::App);
+    drainIntoT(eng, Owner::App);
 
     // Functional execution + plan. A fresh generator per invocation,
     // seeded by the global invocation sequence, keeps the stream
@@ -193,12 +180,20 @@ Machine::runService(const ServiceRequest &req)
           default: break;
         }
     };
+    MicroOp buf[kMaxBlockOps];
+    std::size_t filled;
     if (detailed) {
-        while (!gen.done()) {
-            MicroOp op = gen.next();
-            engine().execute(op, Owner::Os);
-            tally(op);
-            ++n;
+        if constexpr (timing) {
+            // The hot learning path: retire the kernel plan in
+            // blocks on the concrete engine — no virtual dispatch,
+            // no per-op queue-front checks.
+            while ((filled = gen.nextBlock(buf, kMaxBlockOps)) != 0) {
+                for (std::size_t i = 0; i < filled; ++i) {
+                    eng->execute(buf[i], Owner::Os);
+                    tally(buf[i]);
+                }
+                n += filled;
+            }
         }
     } else if (config_.pollutionPolicy == PollutionPolicy::Footprint
                && usesCaches(config_.level) && warmupDone) {
@@ -210,33 +205,35 @@ Machine::runService(const ServiceRequest &req)
         std::uint64_t code_seen = 0;
         constexpr std::size_t dataCap = 2048;
         constexpr std::size_t codeCap = 512;
-        while (!gen.done()) {
-            MicroOp op = gen.next();
-            tally(op);
-            ++n;
-            if (config_.bpWarming && op.cls == OpClass::Branch)
-                bp.predictAndUpdate(op.pc, op.taken);
-            if (op.cls == OpClass::Load ||
-                op.cls == OpClass::Store) {
-                ++data_seen;
-                if (dataSample.size() < dataCap) {
-                    dataSample.push_back(op.effAddr);
-                } else {
-                    std::uint32_t j = pollutionRng.range(
-                        static_cast<std::uint32_t>(data_seen));
-                    if (j < dataCap)
-                        dataSample[j] = op.effAddr;
+        while ((filled = gen.nextBlock(buf, kMaxBlockOps)) != 0) {
+            for (std::size_t i = 0; i < filled; ++i) {
+                const MicroOp &op = buf[i];
+                tally(op);
+                ++n;
+                if (config_.bpWarming && op.cls == OpClass::Branch)
+                    bp.predictAndUpdate(op.pc, op.taken);
+                if (op.cls == OpClass::Load ||
+                    op.cls == OpClass::Store) {
+                    ++data_seen;
+                    if (dataSample.size() < dataCap) {
+                        dataSample.push_back(op.effAddr);
+                    } else {
+                        std::uint32_t j = pollutionRng.range(
+                            static_cast<std::uint32_t>(data_seen));
+                        if (j < dataCap)
+                            dataSample[j] = op.effAddr;
+                    }
                 }
-            }
-            if ((n & 15) == 0) {
-                ++code_seen;
-                if (codeSample.size() < codeCap) {
-                    codeSample.push_back(op.pc);
-                } else {
-                    std::uint32_t j = pollutionRng.range(
-                        static_cast<std::uint32_t>(code_seen));
-                    if (j < codeCap)
-                        codeSample[j] = op.pc;
+                if ((n & 15) == 0) {
+                    ++code_seen;
+                    if (codeSample.size() < codeCap) {
+                        codeSample.push_back(op.pc);
+                    } else {
+                        std::uint32_t j = pollutionRng.range(
+                            static_cast<std::uint32_t>(code_seen));
+                        if (j < codeCap)
+                            codeSample[j] = op.pc;
+                    }
                 }
             }
         }
@@ -251,12 +248,14 @@ Machine::runService(const ServiceRequest &req)
             n = gen.pendingOps();
             gen.clear();
         } else {
-            while (!gen.done()) {
-                MicroOp op = gen.next();
-                tally(op);
-                ++n;
-                if (warm_bp && op.cls == OpClass::Branch)
-                    bp.predictAndUpdate(op.pc, op.taken);
+            while ((filled = gen.nextBlock(buf, kMaxBlockOps)) != 0) {
+                for (std::size_t i = 0; i < filled; ++i) {
+                    const MicroOp &op = buf[i];
+                    tally(op);
+                    ++n;
+                    if (warm_bp && op.cls == OpClass::Branch)
+                        bp.predictAndUpdate(op.pc, op.taken);
+                }
             }
         }
     }
@@ -265,9 +264,11 @@ Machine::runService(const ServiceRequest &req)
     Cycles sim_cycles = 0;
     HierarchyCounts mem_delta;
     if (detailed) {
-        sim_cycles = engine().drain();
-        totals_.osSimCycles += sim_cycles;
-        mem_delta = hier.counts() - before;
+        if constexpr (timing) {
+            sim_cycles = eng->drain();
+            totals_.osSimCycles += sim_cycles;
+            mem_delta = hier.counts() - before;
+        }
     }
 
     if (!warmupDone) {
@@ -422,14 +423,49 @@ Machine::runService(const ServiceRequest &req)
     lastServiceResult = result;
 }
 
+template <class EngineT>
 const RunTotals &
-Machine::run(InstCount max_insts)
+Machine::runLoop(EngineT *eng, InstCount max_insts)
 {
+    constexpr bool timing =
+        !std::is_same_v<EngineT, EmulateEngine>;
+
     if (running)
         osp_panic("Machine::run() may only be called once");
     running = true;
 
     warmupDone = !workload_->inWarmup();
+
+    const bool app_only = config_.appOnly;
+    const std::size_t block_cap = std::clamp<std::size_t>(
+        config_.blockOps, 1, kMaxBlockOps);
+    MicroOp buf[kMaxBlockOps];
+
+    // Direct-mapped memo of pages already known resident. Sound
+    // because KernelIface guarantees a page never becomes absent
+    // once touched, so skipping a repeat touchUserPage() skips only
+    // a guaranteed-false virtual call. ~0 can never equal a real
+    // addr >> 12 (addresses are far below 2^48).
+    constexpr std::size_t kPageMemoSlots = 256;
+    constexpr unsigned kPageShift = 12;
+    static_assert((Addr(1) << kPageShift) ==
+                  KernelIface::kUserPageBytes);
+    Addr page_memo[kPageMemoSlots];
+    for (Addr &slot : page_memo)
+        slot = ~Addr(0);
+
+    // Earliest pending interrupt: polled per instruction only once
+    // the retired count reaches it, refreshed after every service
+    // invocation (which may schedule earlier events). The default
+    // KernelIface hint of 0 degenerates to the poll-every-op
+    // behaviour this loop replaced.
+    constexpr InstCount kNever = ~InstCount(0);
+    InstCount irq_due = kNever;
+    auto refreshIrq = [&] {
+        if (!app_only && kernel_)
+            irq_due = kernel_->nextInterruptAt();
+    };
+    refreshIrq();
 
     MicroOp op;
     ServiceRequest req;
@@ -440,50 +476,150 @@ Machine::run(InstCount max_insts)
         if (!warmupDone && !workload_->inWarmup()) {
             // Warm-up just ended: functional state (page cache,
             // sockets, predictor-visible history) is warm; discard
-            // the statistics gathered so far.
+            // the statistics gathered so far. (Warm-up state only
+            // changes when the workload's state machine advances —
+            // never inside a fetched block — so checking at block
+            // granularity is exact.)
             warmupDone = true;
             totals_ = RunTotals();
             intervals_.clear();
         }
 
-        UserProgram::Step s = workload_->step(op, req);
-        if (s == UserProgram::Step::Done)
-            break;
-
-        if (s == UserProgram::Step::Op) {
-            DetailLevel lvl =
-                warmupDone ? config_.level : DetailLevel::Emulate;
-            if (!config_.appOnly &&
-                (op.cls == OpClass::Load ||
-                 op.cls == OpClass::Store)) {
-                if (kernel_->touchUserPage(op.effAddr)) {
-                    ServiceRequest fault;
-                    fault.type = ServiceType::IntPageFault;
-                    fault.args.arg0 = op.effAddr;
-                    runService(fault);
-                }
-            }
-            execOp(op, Owner::App, lvl);
-            if (!config_.appOnly)
-                deliverInterrupts();
-        } else {
-            if (config_.appOnly) {
-                ServiceResult res =
-                    kernel_ ? kernel_->invoke(req.type, req.args,
+        // Fetch a block of queued user compute; fall back to
+        // step() for syscalls, completion and non-batching
+        // programs.
+        std::size_t n = block_cap > 1
+                            ? workload_->opBlock(buf, block_cap)
+                            : 0;
+        if (n == 0) {
+            UserProgram::Step s = workload_->step(op, req);
+            if (s == UserProgram::Step::Done)
+                break;
+            if (s != UserProgram::Step::Op) {
+                if (app_only) {
+                    ServiceResult res =
+                        kernel_
+                            ? kernel_->invoke(req.type, req.args,
                                               totals_.totalInsts(),
                                               nullptr)
                             : ServiceResult();
-                workload_->onServiceReturn(req.type, res);
-            } else {
-                runService(req);
-                workload_->onServiceReturn(req.type,
-                                           lastServiceResult);
-                deliverInterrupts();
+                    workload_->onServiceReturn(req.type, res);
+                } else {
+                    runServiceT(eng, req);
+                    workload_->onServiceReturn(req.type,
+                                               lastServiceResult);
+                    deliverInterruptsT(eng);
+                    refreshIrq();
+                }
+                continue;
+            }
+            buf[0] = op;
+            n = 1;
+        }
+
+        if constexpr (!timing) {
+            if (app_only) {
+                // Pure emulation with no kernel: whole-block
+                // retirement — no faults, no interrupts, no timing
+                // models. Clamp so the retired count never passes
+                // max_insts (the per-op loop stopped exactly there).
+                std::size_t take = n;
+                if (max_insts) {
+                    InstCount room =
+                        max_insts - totals_.totalInsts();
+                    take = static_cast<std::size_t>(
+                        std::min<InstCount>(take, room));
+                }
+                totals_.appInsts += take;
+                continue;
+            }
+        }
+
+        // Retire the block in chunks whose boundaries are the next
+        // interrupt-due point and the max_insts cap, so neither is
+        // re-checked per op. Within a chunk the only per-op work is
+        // the (memoized) fault check and the engine itself; retired
+        // ops accumulate in a local and flush to totals_ at chunk
+        // end (and before any service call, which reads the count).
+        const bool engine_live = timing && warmupDone;
+        std::size_t i = 0;
+        while (i < n) {
+            const InstCount base = totals_.totalInsts();
+            if (i && max_insts && base >= max_insts)
+                break;
+            InstCount limit = static_cast<InstCount>(n - i);
+            if (max_insts)
+                limit = std::min(limit, max_insts - base);
+            bool irq_boundary = false;
+            if (!app_only) {
+                // The op that reaches irq_due triggers delivery
+                // *after* it retires; if irq_due is already past
+                // (a service landed us beyond it), the next op
+                // delivers.
+                InstCount until =
+                    irq_due > base ? irq_due - base : 1;
+                if (until <= limit) {
+                    limit = until;
+                    irq_boundary = true;
+                }
+            }
+            const std::size_t end =
+                i + static_cast<std::size_t>(limit);
+            InstCount retired = 0;
+            bool resync = false;
+            for (; i < end; ++i) {
+                const MicroOp &o = buf[i];
+                if (!app_only && (o.cls == OpClass::Load ||
+                                  o.cls == OpClass::Store)) {
+                    const Addr page = o.effAddr >> kPageShift;
+                    Addr &slot =
+                        page_memo[page & (kPageMemoSlots - 1)];
+                    if (slot != page) {
+                        if (kernel_->touchUserPage(o.effAddr)) {
+                            totals_.appInsts += retired;
+                            retired = 0;
+                            ServiceRequest fault;
+                            fault.type = ServiceType::IntPageFault;
+                            fault.args.arg0 = o.effAddr;
+                            runServiceT(eng, fault);
+                            refreshIrq();
+                            slot = page;
+                            // Retire the faulting op here, then
+                            // resync: the service moved the counts,
+                            // so the chunk boundaries are stale.
+                            if constexpr (timing) {
+                                if (engine_live)
+                                    eng->execute(o, Owner::App);
+                            }
+                            ++totals_.appInsts;
+                            ++i;
+                            if (totals_.totalInsts() >= irq_due) {
+                                deliverInterruptsT(eng);
+                                refreshIrq();
+                            }
+                            resync = true;
+                            break;
+                        }
+                        slot = page;
+                    }
+                }
+                if constexpr (timing) {
+                    if (engine_live)
+                        eng->execute(o, Owner::App);
+                }
+                ++retired;
+            }
+            if (resync)
+                continue;
+            totals_.appInsts += retired;
+            if (irq_boundary) {
+                deliverInterruptsT(eng);
+                refreshIrq();
             }
         }
     }
 
-    drainInto(Owner::App);
+    drainIntoT(eng, Owner::App);
     totals_.measuredMem = hier.counts();
     publishCacheStats();
     if (telemetry_) {
@@ -493,6 +629,27 @@ Machine::run(InstCount max_insts)
                                            totals_.osPredCycles);
     }
     return totals_;
+}
+
+const RunTotals &
+Machine::run(InstCount max_insts)
+{
+    // One switch for the whole run: every per-instruction dispatch
+    // below this point is on a concrete engine type.
+    switch (config_.level) {
+      case DetailLevel::InOrderCache:
+        return runLoop(&inorder, max_insts);
+      case DetailLevel::InOrderNoCache:
+        return runLoop(&inorderNoCache, max_insts);
+      case DetailLevel::OooCache:
+        return runLoop(&ooo, max_insts);
+      case DetailLevel::OooNoCache:
+        return runLoop(&oooNoCache, max_insts);
+      case DetailLevel::Emulate:
+        break;
+    }
+    EmulateEngine none;
+    return runLoop(&none, max_insts);
 }
 
 } // namespace osp

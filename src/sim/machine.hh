@@ -18,6 +18,7 @@
 #define OSP_SIM_MACHINE_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -98,6 +99,16 @@ struct MachineConfig
      * which the cache-only pollution model misses.
      */
     bool bpWarming = true;
+    /**
+     * User-mode instructions fetched per workload block. The block
+     * path amortizes the per-op virtual step() and interrupt polls
+     * over whole compute bursts and is simulation-outcome-identical
+     * for every value (blocks never cross a syscall, warm-up
+     * boundary or interrupt-delivery point). 1 selects the legacy
+     * one-op-at-a-time loop — kept as the microbench comparison
+     * point. Clamped to [1, 256].
+     */
+    std::uint32_t blockOps = 256;
 };
 
 /** One logged OS-service interval (recordIntervals mode). */
@@ -249,20 +260,35 @@ class Machine
     KernelIface &kernel() { return *kernel_; }
 
   private:
-    /** Execute one instruction at the given level. */
-    void execOp(const MicroOp &op, Owner owner, DetailLevel level);
+    /**
+     * Tag type standing in for "no timing model": the run loop is
+     * instantiated once per concrete engine (InOrderCpu, OooCpu,
+     * EmulateEngine), so the per-instruction path calls the timing
+     * model directly — inlineable, no virtual dispatch — and the
+     * Emulate instantiation compiles the timing calls out entirely.
+     */
+    struct EmulateEngine
+    {
+    };
+
+    /** Upper bound on ops per fetched block (stack buffer size). */
+    static constexpr std::size_t kMaxBlockOps = 256;
+
+    /** The run loop, devirtualized over the engine type. */
+    template <class EngineT>
+    const RunTotals &runLoop(EngineT *eng, InstCount max_insts);
 
     /** Run one complete OS-service interval. */
-    void runService(const ServiceRequest &req);
+    template <class EngineT>
+    void runServiceT(EngineT *eng, const ServiceRequest &req);
 
     /** Deliver all interrupts due at the current instruction count. */
-    void deliverInterrupts();
-
-    /** The timing model selected by the run's detail level. */
-    CpuModel &engine();
+    template <class EngineT>
+    void deliverInterruptsT(EngineT *eng);
 
     /** Drain the engine and credit cycles to @p owner. */
-    void drainInto(Owner owner);
+    template <class EngineT>
+    void drainIntoT(EngineT *eng, Owner owner);
 
     /** Record a machine-level trace event (no-op unattached). */
     void

@@ -25,8 +25,9 @@
 namespace osp
 {
 
-/** See file comment. */
-class OooCpu : public CpuModel
+/** See file comment. `final` so concrete-pointer callers (the
+ *  Machine's templated run loop) can devirtualize execute(). */
+class OooCpu final : public CpuModel
 {
   public:
     /**

@@ -28,6 +28,50 @@ namespace osp
 class Pcg32
 {
   public:
+    /**
+     * Precomputed constants for repeated range(bound) draws with a
+     * fixed bound (makeRange/rangeWith). Hot paths that alternate
+     * between several fixed bounds keep one of these per bound so no
+     * draw ever recomputes the rejection threshold or the Lemire
+     * magic (a division each).
+     */
+    struct RangeDraw
+    {
+        std::uint32_t bound = 0;
+        std::uint32_t threshold = 0;
+        std::uint64_t magic = 0;
+    };
+
+    /**
+     * Exact-replay lookup table for geometric(p) with a fixed p.
+     * boundary[k-1] is the smallest raw draw r for which the
+     * original expression 1 + (uint32)(log(r/2^32) / log(1-p))
+     * evaluates to k, found at build time by evaluating that same
+     * expression (same process, same libm) around the analytic
+     * boundary — so a table hit is the original result by
+     * construction. Draws below boundary[entries-1] (the large-d
+     * tail) and tables that failed verification fall back to the
+     * original formula. Either way: one draw, same value.
+     */
+    struct GeomTable
+    {
+        static constexpr std::uint32_t kMaxEntries = 32;
+        static constexpr std::uint32_t kBuckets = 256;
+        double p = -1.0;
+        double logOneMinusP = 1.0;
+        std::uint32_t entries = 0;  //!< 0 when the table is unusable
+        std::uint32_t boundary[kMaxEntries] = {};
+        /**
+         * Direct index on the draw's top 8 bits: low byte is the
+         * result d when the whole bucket maps to one value, or d
+         * with bits 32.. holding the one boundary inside the bucket
+         * (result d + (r < boundary)). 0 = bucket not covered, use
+         * the formula. Turns the common lookup into one load and
+         * one compare instead of a data-dependent scan.
+         */
+        std::uint64_t bucket[kBuckets] = {};
+    };
+
     /** Construct from a seed and a stream selector. */
     explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
                    std::uint64_t stream = 0xda3e39cb94b95bdbULL)
@@ -74,11 +118,58 @@ class Pcg32
     {
         if (bound <= 1)
             return 0;
-        std::uint32_t threshold = (-bound) % bound;
+        // The rejection threshold and the reciprocal both depend
+        // only on the bound; callers overwhelmingly reuse the same
+        // bound (address-stream spans), so memoize them and replace
+        // two divisions per draw with two multiplies. The remainder
+        // uses Lemire's direct-computation trick, which is exact for
+        // all 32-bit operands: n % d == mulhi64(M * n, d) with
+        // M = 2^64/d + 1 (Lemire, Kaser & Kurz 2019).
+        if (bound != rangeBound) {
+            rangeBound = bound;
+            rangeThreshold = (-bound) % bound;
+            rangeMagic = ~std::uint64_t(0) / bound + 1;
+        }
         for (;;) {
             std::uint32_t r = next();
-            if (r >= threshold)
-                return r % bound;
+            if (r >= rangeThreshold) {
+                std::uint64_t low = rangeMagic * r;
+                return static_cast<std::uint32_t>(
+                    (static_cast<unsigned __int128>(low) * bound) >>
+                    64);
+            }
+        }
+    }
+
+    /** Precompute range(bound) constants for rangeWith(). */
+    static RangeDraw
+    makeRange(std::uint32_t bound)
+    {
+        RangeDraw d;
+        d.bound = bound;
+        if (bound > 1) {
+            d.threshold = (-bound) % bound;
+            d.magic = ~std::uint64_t(0) / bound + 1;
+        }
+        return d;
+    }
+
+    /** range(d.bound) using precomputed constants: same draws, same
+     *  rejection, same value — no divisions. */
+    std::uint32_t
+    rangeWith(const RangeDraw &d)
+    {
+        if (d.bound <= 1)
+            return 0;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= d.threshold) {
+                std::uint64_t low = d.magic * r;
+                return static_cast<std::uint32_t>(
+                    (static_cast<unsigned __int128>(low) *
+                     d.bound) >>
+                    64);
+            }
         }
     }
 
@@ -146,6 +237,34 @@ class Pcg32
         return uniform() < p;
     }
 
+    /**
+     * Integer threshold T(p) such that chance(p) == next() < T(p),
+     * *exactly*: uniform() is next()/2^32 with no rounding (a 32-bit
+     * integer scaled by a power of two), so r/2^32 < p iff
+     * r < ceil(p * 2^32) for every integer r. Hot paths with a fixed
+     * p precompute this once and use chanceRaw(), replacing an
+     * int->double conversion, multiply and double compare with one
+     * integer compare per trial — same draw, same outcome, faster.
+     */
+    static std::uint64_t
+    rawThreshold(double p)
+    {
+        if (p <= 0.0)
+            return 0;
+        if (p >= 1.0)
+            return std::uint64_t(1) << 32;
+        return static_cast<std::uint64_t>(
+            std::ceil(p * 4294967296.0));
+    }
+
+    /** chance(p) with a precomputed rawThreshold(p). Consumes
+     *  exactly one draw, like chance(). */
+    bool
+    chanceRaw(std::uint64_t threshold)
+    {
+        return next() < threshold;
+    }
+
     /** Normally distributed double (Box-Muller, one value per call). */
     double
     gaussian(double mean = 0.0, double stddev = 1.0)
@@ -190,8 +309,142 @@ class Pcg32
         double u = uniform();
         if (u <= 0.0)
             u = 1e-12;
+        // log(1 - p) depends only on p; components call geometric()
+        // with a fixed per-profile p, so memoizing halves the log
+        // count on the lowering hot path without changing any sample
+        // (same p -> bit-identical denominator).
+        if (p != geomP) {
+            geomP = p;
+            geomLogOneMinusP = std::log(1.0 - p);
+        }
         return 1 + static_cast<std::uint32_t>(std::log(u) /
-                                              std::log(1.0 - p));
+                                              geomLogOneMinusP);
+    }
+
+    /**
+     * Build a GeomTable for geometric(p). The evaluator below is the
+     * geometric() expression verbatim; each boundary is located by
+     * scanning that evaluator around the analytic estimate
+     * (1-p)^k * 2^32, so table lookups reproduce geometric() exactly.
+     * Rounding in std::log can only move a boundary by a few raw
+     * units (the true ratio moves >= 1/(u*|log(1-p)|*2^32) per unit
+     * of r, orders of magnitude more than a sub-ulp log error), so a
+     * window around the estimate always brackets it; a window that
+     * fails to show one clean transition marks the table unusable
+     * and every draw falls back to the formula.
+     */
+    static GeomTable
+    makeGeomTable(double p)
+    {
+        GeomTable t;
+        t.p = p;
+        if (p <= 0.0 || p >= 1.0)
+            return t;
+        t.logOneMinusP = std::log(1.0 - p);
+        // Tiny p spreads the distribution far past the table, so a
+        // scan would nearly always fall through; not worth building.
+        if (p < 0.01)
+            return t;
+        auto dOf = [&](std::uint32_t r) {
+            double u = r * (1.0 / 4294967296.0);
+            if (u <= 0.0)
+                u = 1e-12;
+            return 1 + static_cast<std::uint32_t>(
+                           std::log(u) / t.logOneMinusP);
+        };
+        std::uint64_t prev = std::uint64_t(1) << 32;
+        for (std::uint32_t k = 1; k <= GeomTable::kMaxEntries;
+             ++k) {
+            double est =
+                std::pow(1.0 - p, static_cast<double>(k)) *
+                4294967296.0;
+            if (est < 256.0)
+                break;  // boundaries crowd; leave the tail to log()
+            std::uint64_t g = static_cast<std::uint64_t>(est);
+            constexpr std::uint64_t kWin = 128;
+            std::uint64_t lo = g > kWin ? g - kWin : 1;
+            std::uint64_t hi = g + kWin;
+            if (hi >= prev)
+                hi = prev - 1;
+            // Anything unexpected in the window — a second boundary,
+            // a wiggle, no transition — just stops extending: the
+            // entries verified so far stay exact, and draws below
+            // them take the formula path.
+            if (dOf(static_cast<std::uint32_t>(lo)) != k + 1 ||
+                dOf(static_cast<std::uint32_t>(hi)) != k)
+                break;
+            std::uint64_t s = 0;
+            bool clean = true;
+            for (std::uint64_t r = lo + 1; r <= hi && clean; ++r) {
+                std::uint32_t d =
+                    dOf(static_cast<std::uint32_t>(r));
+                if (!s) {
+                    if (d == k)
+                        s = r;
+                    else if (d != k + 1)
+                        clean = false;
+                } else if (d != k) {
+                    clean = false;
+                }
+            }
+            if (!clean || !s)
+                break;
+            t.boundary[k - 1] = static_cast<std::uint32_t>(s);
+            t.entries = k;
+            prev = s;
+        }
+
+        // Index the verified intervals by the draw's top byte.
+        auto dFromBoundaries =
+            [&](std::uint64_t r) -> std::uint32_t {
+            for (std::uint32_t k = 0; k < t.entries; ++k)
+                if (r >= t.boundary[k])
+                    return k + 1;
+            return 0;  // below coverage
+        };
+        for (std::uint32_t i = 0; i < GeomTable::kBuckets; ++i) {
+            std::uint64_t lo = std::uint64_t(i) << 24;
+            std::uint64_t hi = (std::uint64_t(i + 1) << 24) - 1;
+            std::uint32_t dlo = dFromBoundaries(lo);
+            std::uint32_t dhi = dFromBoundaries(hi);
+            if (dlo == 0 || dhi == 0)
+                continue;  // (partly) uncovered: formula
+            if (dlo == dhi)
+                t.bucket[i] = dhi;
+            else if (dlo == dhi + 1)
+                t.bucket[i] =
+                    (static_cast<std::uint64_t>(
+                         t.boundary[dhi - 1])
+                     << 32) |
+                    dhi;
+            // >1 boundary inside: leave 0, formula
+        }
+        return t;
+    }
+
+    /**
+     * geometric(t.p) via a GeomTable: identical guard order, one
+     * draw, and the original formula whenever the table cannot
+     * answer. Bit-identical to geometric(t.p) by construction.
+     */
+    std::uint32_t
+    geometricWith(const GeomTable &t)
+    {
+        if (t.p >= 1.0)
+            return 1;
+        if (t.p <= 0.0)
+            return 1;
+        std::uint32_t r = next();
+        std::uint64_t e = t.bucket[r >> 24];
+        if (e) {
+            return static_cast<std::uint32_t>(e & 0xff) +
+                   (r < static_cast<std::uint32_t>(e >> 32));
+        }
+        double u = r * (1.0 / 4294967296.0);
+        if (u <= 0.0)
+            u = 1e-12;
+        return 1 + static_cast<std::uint32_t>(std::log(u) /
+                                              t.logOneMinusP);
     }
 
   private:
@@ -199,6 +452,11 @@ class Pcg32
     std::uint64_t inc = 0;
     bool haveSpare = false;
     double spare = 0.0;
+    std::uint32_t rangeBound = 0;
+    std::uint32_t rangeThreshold = 0;
+    std::uint64_t rangeMagic = 0;
+    double geomP = -1.0;
+    double geomLogOneMinusP = 1.0;
 };
 
 } // namespace osp

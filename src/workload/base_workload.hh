@@ -44,6 +44,18 @@ class BaseWorkload : public UserProgram
 
     Step step(MicroOp &op, ServiceRequest &req) final;
 
+    /**
+     * Drain queued user compute in blocks straight from the
+     * generator. Never advances the state machine (see the
+     * UserProgram contract): returning 0 routes the Machine back to
+     * step(), which is where syscalls and completion happen.
+     */
+    std::size_t
+    opBlock(MicroOp *buf, std::size_t cap) final
+    {
+        return gen.nextBlock(buf, cap);
+    }
+
     void
     onServiceReturn(ServiceType type, ServiceResult result) override
     {

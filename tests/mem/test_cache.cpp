@@ -370,5 +370,97 @@ TEST(Cache, LargerCacheFewerMissesOnRandomTrace)
     EXPECT_LT(large_misses, small_misses);
 }
 
+/** flush() must rewind the LRU clock, the MRU memos and the
+ *  synthetic-tag allocator: a flushed cache replays a subsequent
+ *  access script exactly like a freshly constructed one. (The
+ *  script avoids pollute(): the replacement RNG deliberately
+ *  survives flush, so RNG-consuming ops would diverge by design.) */
+TEST(Cache, FlushResetsReplacementStateDeterministically)
+{
+    auto script = [](Cache &c) {
+        std::vector<bool> hits;
+        Pcg32 rng(99);
+        for (int i = 0; i < 3000; ++i) {
+            Addr a = 64ULL * rng.range(96);
+            hits.push_back(c.access(a, i % 3 == 0, Owner::App).hit);
+            if (i % 7 == 0)
+                c.install(64ULL * rng.range(96), Owner::Os);
+        }
+        return hits;
+    };
+
+    Cache fresh(smallCache(4 * 1024, 4));
+    auto want = script(fresh);
+
+    Cache used(smallCache(4 * 1024, 4));
+    // Heavy non-RNG use: advance the LRU clock and MRU memos far
+    // from their initial values before flushing.
+    for (int i = 0; i < 5000; ++i)
+        used.access(64ULL * (i % 256), i % 2 == 0, Owner::Os);
+    used.flush();
+    EXPECT_EQ(used.residentLines(), 0u);
+
+    auto got = script(used);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(used.residentLines(), fresh.residentLines());
+    EXPECT_EQ(used.residentLines(Owner::App),
+              fresh.residentLines(Owner::App));
+}
+
+/** InvalidateAny on a completely full cache: every draw lands on a
+ *  full set, so each invalidates exactly one victim. */
+TEST(Cache, PollutionInvalidateAnyOnFullCache)
+{
+    Cache c(smallCache(8 * 1024, 4));  // 32 sets x 4 ways
+    const std::uint64_t cap = 128;
+    for (std::uint64_t i = 0; i < cap; ++i)
+        c.access(64 * i, false, Owner::App);
+    ASSERT_EQ(c.residentLines(), cap);
+
+    std::uint64_t n = c.pollute(1 << 20,
+                                Cache::PollutionMode::InvalidateAny);
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, cap);
+    EXPECT_EQ(c.residentLines(), cap - n);
+    EXPECT_EQ(c.stats().injectedEvictions, n);
+}
+
+/** InvalidateApp with zero app-owned lines resident clamps to zero
+ *  before any RNG draw: a free no-op regardless of request size. */
+TEST(Cache, PollutionInvalidateAppZeroAppLinesIsFreeNoOp)
+{
+    Cache c(smallCache(4 * 1024, 4));
+    for (std::uint64_t i = 0; i < 16; ++i)
+        c.access(64 * i, false, Owner::Os);
+    ASSERT_EQ(c.residentLines(Owner::Os), 16u);
+
+    std::uint64_t n = c.pollute(1ULL << 40,
+                                Cache::PollutionMode::InvalidateApp);
+    EXPECT_EQ(n, 0u);
+    EXPECT_EQ(c.residentLines(Owner::Os), 16u);
+    EXPECT_EQ(c.stats().injectedEvictions, 0u);
+}
+
+/** Synthetic Install lines must never hit for realistic addresses,
+ *  under the compact tag layout included. */
+TEST(Cache, PollutionInstallSyntheticLinesNeverHit)
+{
+    CacheParams p = smallCache(2 * 64, 2);  // one set, two ways
+    Cache c(p);
+    ASSERT_EQ(c.numSets(), 1u);
+    std::uint64_t n =
+        c.pollute(2, Cache::PollutionMode::Install);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(c.residentLines(Owner::Os), 2u);
+
+    // Any address below the synthetic-tag range (addr >> 6 < 2^52)
+    // must miss against both synthetic lines.
+    for (Addr a : {Addr(0), Addr(0x1000), Addr(0xdeadbe00),
+                   (Addr(1) << 48) + 64}) {
+        EXPECT_FALSE(c.probe(a)) << "addr " << a;
+    }
+    EXPECT_FALSE(c.access(0x2000, false, Owner::App).hit);
+}
+
 } // namespace
 } // namespace osp

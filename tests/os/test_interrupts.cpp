@@ -91,5 +91,44 @@ TEST(InterruptController, PendingCountsOneShotsOnly)
     EXPECT_EQ(irq.pending(), 0u);
 }
 
+/** nextDueAt() is the exact poll-skipping hint the Machine's run
+ *  loop uses: nextDue(now) yields an event iff now >= nextDueAt(). */
+TEST(InterruptController, NextDueAtIsExact)
+{
+    InterruptController irq(1000);
+    EXPECT_EQ(irq.nextDueAt(), 1000u);
+
+    irq.schedule(ServiceType::IntDisk, 400);
+    irq.schedule(ServiceType::IntNic, 700);
+    EXPECT_EQ(irq.nextDueAt(), 400u);
+
+    EXPECT_FALSE(irq.nextDue(399).has_value());
+    auto disk = irq.nextDue(400);
+    ASSERT_TRUE(disk.has_value());
+    EXPECT_EQ(disk->type, ServiceType::IntDisk);
+
+    EXPECT_EQ(irq.nextDueAt(), 700u);
+    auto nic = irq.nextDue(700);
+    ASSERT_TRUE(nic.has_value());
+    EXPECT_EQ(nic->type, ServiceType::IntNic);
+
+    // Only the self-arming timer is left.
+    EXPECT_EQ(irq.nextDueAt(), 1000u);
+    auto timer = irq.nextDue(1000);
+    ASSERT_TRUE(timer.has_value());
+    EXPECT_EQ(timer->type, ServiceType::IntTimer);
+    EXPECT_EQ(irq.nextDueAt(), 2000u);  // re-armed
+}
+
+TEST(InterruptController, NextDueAtNeverWhenIdle)
+{
+    InterruptController irq(0);  // timer disabled
+    EXPECT_EQ(irq.nextDueAt(), ~InstCount(0));
+    irq.schedule(ServiceType::IntNic, 5);
+    EXPECT_EQ(irq.nextDueAt(), 5u);
+    ASSERT_TRUE(irq.nextDue(5).has_value());
+    EXPECT_EQ(irq.nextDueAt(), ~InstCount(0));
+}
+
 } // namespace
 } // namespace osp

@@ -270,5 +270,57 @@ TEST(Machine, MissingKernelDiesUnlessAppOnly)
     EXPECT_DEATH(Machine(cfg, std::move(wl), nullptr), "kernel");
 }
 
+/** The block size is a pure throughput knob: every blockOps value
+ *  (including the degenerate per-op 1 and the clamp ceiling) must
+ *  produce the exact same run — same instruction counts, cycles,
+ *  service invocations and memory-system counters. */
+TEST(Machine, BlockSizeDoesNotChangeOutcome)
+{
+    RunTotals want;
+    bool have_want = false;
+    for (std::uint32_t block : {1u, 2u, 64u, 256u, 100000u}) {
+        MachineConfig cfg = testConfig();
+        cfg.level = DetailLevel::InOrderCache;
+        cfg.blockOps = block;
+        auto m = makeIperf(cfg, 200);
+        const RunTotals &t = m->run();
+        if (!have_want) {
+            want = t;
+            have_want = true;
+            EXPECT_GT(t.appInsts, 0u);
+            EXPECT_GT(t.osInvocations, 0u);
+            continue;
+        }
+        EXPECT_EQ(t.appInsts, want.appInsts) << "block " << block;
+        EXPECT_EQ(t.osInsts, want.osInsts) << "block " << block;
+        EXPECT_EQ(t.osPredInsts, want.osPredInsts);
+        EXPECT_EQ(t.appCycles, want.appCycles) << "block " << block;
+        EXPECT_EQ(t.osSimCycles, want.osSimCycles);
+        EXPECT_EQ(t.osPredCycles, want.osPredCycles);
+        EXPECT_EQ(t.osInvocations, want.osInvocations);
+        EXPECT_EQ(t.measuredMem.l1dAccesses,
+                  want.measuredMem.l1dAccesses);
+        EXPECT_EQ(t.measuredMem.l1dMisses,
+                  want.measuredMem.l1dMisses);
+        EXPECT_EQ(t.measuredMem.l2Misses,
+                  want.measuredMem.l2Misses);
+    }
+}
+
+/** max_insts must stop the run at the same point for every block
+ *  size (the batched loop may not overshoot the cap). */
+TEST(Machine, MaxInstsExactUnderAppOnlyEmulation)
+{
+    for (std::uint32_t block : {1u, 7u, 64u, 256u}) {
+        MachineConfig cfg = testConfig();
+        cfg.level = DetailLevel::Emulate;
+        cfg.appOnly = true;
+        cfg.blockOps = block;
+        auto m = makeIperf(cfg, 100000);
+        const RunTotals &t = m->run(12345);
+        EXPECT_EQ(t.totalInsts(), 12345u) << "block " << block;
+    }
+}
+
 } // namespace
 } // namespace osp

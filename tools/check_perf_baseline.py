@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Gate a hot-path bench document against a committed baseline.
+
+Usage: check_perf_baseline.py BENCH_JSON BASELINE_JSON
+
+Absolute throughput (MIPS, accesses/sec, sweep wall-clock) varies
+wildly across CI machines, so those are only sanity-checked (present,
+finite, positive). What the gate actually enforces are the *mode
+ratios*, which are largely machine-independent properties of the
+simulator's hot path:
+
+  - block_speedup        = emulate_block_mips / emulate_perop_mips
+    The batched run loop must never regress to (or below) the legacy
+    per-op loop: a hard floor of `block_floor`, plus a tolerance band
+    around the baseline ratio.
+  - emulate_over_inorder = emulate_block_mips / inorder_cache_mips
+  - emulate_over_ooo     = emulate_block_mips / ooo_cache_mips
+    Emulation must stay the cheap mode; a collapse of either ratio
+    means someone made the emulate path expensive (or the timing
+    models suspiciously cheap) without noticing.
+
+Each ratio must lie within a multiplicative factor `ratio_tol` of
+the baseline value (band [base / tol, base * tol]).
+
+Regenerate the baseline (after an intentional hot-path change), on a
+quiet machine with a Release (-O3) build:
+
+  ./bench/microbench_components --bench-json hotpath.json --smoke
+  ./bench/sweep fig08 --smoke --threads "$(nproc)" --out /dev/null \
+      --bench-json hotpath.json --log-level silent
+  ./tools/check_perf_baseline.py hotpath.json \
+      bench/baselines/hotpath_smoke.json --update
+"""
+
+import argparse
+import json
+import math
+import sys
+
+RATIO_TOL = 2.5
+BLOCK_FLOOR = 1.0
+
+RATIOS = {
+    "block_speedup": ("emulate_block_mips", "emulate_perop_mips"),
+    "emulate_over_inorder": ("emulate_block_mips",
+                             "inorder_cache_mips"),
+    "emulate_over_ooo": ("emulate_block_mips", "ooo_cache_mips"),
+}
+
+
+def fail(msg):
+    print(f"perf baseline: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ospredict-bench-v1":
+        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
+    metrics = {}
+    for name, entry in doc.get("metrics", {}).items():
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or \
+                not math.isfinite(value) or value <= 0:
+            fail(f"{path}: metric {name!r} has non-positive or "
+                 f"non-finite value {value!r}")
+        metrics[name] = float(value)
+    if not metrics:
+        fail(f"{path}: no metrics")
+    return doc, metrics
+
+
+def ratios_of(metrics, path):
+    out = {}
+    for name, (num, den) in RATIOS.items():
+        if num not in metrics or den not in metrics:
+            fail(f"{path}: needs {num!r} and {den!r} for the "
+                 f"{name!r} ratio")
+        out[name] = metrics[num] / metrics[den]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("results")
+    ap.add_argument("baseline")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the results")
+    args = ap.parse_args()
+
+    doc, metrics = load_metrics(args.results)
+    got = ratios_of(metrics, args.results)
+
+    if args.update:
+        baseline = {
+            "schema": "ospredict-bench-baseline-v1",
+            "smoke": doc.get("smoke", False),
+            "ratio_tol": RATIO_TOL,
+            "block_floor": BLOCK_FLOOR,
+            "ratios": {k: round(v, 4)
+                       for k, v in sorted(got.items())},
+            "required_metrics": sorted(metrics),
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"perf baseline: wrote {args.baseline} "
+              f"({len(got)} ratios)")
+        return
+
+    with open(args.baseline) as f:
+        want = json.load(f)
+    if want.get("schema") != "ospredict-bench-baseline-v1":
+        fail(f"bad baseline schema {want.get('schema')!r}")
+    if doc.get("smoke", False) != want.get("smoke", False):
+        fail(f"smoke mismatch: results {doc.get('smoke', False)} "
+             f"vs baseline {want.get('smoke', False)}")
+
+    missing = set(want.get("required_metrics", [])) - set(metrics)
+    if missing:
+        fail(f"metrics disappeared: {sorted(missing)}")
+
+    tol = want.get("ratio_tol", RATIO_TOL)
+    floor = want.get("block_floor", BLOCK_FLOOR)
+    if got["block_speedup"] < floor:
+        fail(f"block_speedup {got['block_speedup']:.3f} fell below "
+             f"the hard floor {floor} — the batched loop is slower "
+             f"than the per-op loop")
+    for name, base in want["ratios"].items():
+        cur = got.get(name)
+        if cur is None:
+            fail(f"ratio {name!r} not computable from results")
+        if not base / tol <= cur <= base * tol:
+            fail(f"{name} {cur:.3f} outside [{base / tol:.3f}, "
+                 f"{base * tol:.3f}] (baseline {base:.3f}, "
+                 f"tol x{tol})")
+
+    print(f"perf baseline: OK ({len(want['ratios'])} ratios within "
+          f"x{tol} of baseline; block_speedup "
+          f"{got['block_speedup']:.2f} >= {floor})")
+
+
+if __name__ == "__main__":
+    main()
