@@ -16,11 +16,18 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 
 #include "bench_json.hh"
 #include "common.hh"
+#include "driver/cell_cache.hh"
 #include "driver/experiments.hh"
 #include "driver/sweep.hh"
+#include "store/plt_archive.hh"
+#include "util/hash.hh"
+
+#include "osp_code_fingerprint.hh"
 
 namespace
 {
@@ -53,7 +60,24 @@ usage(int code)
           "ospredict-bench-v1 document (see "
           "tools/check_perf_baseline.py)\n"
           "  --log-level {silent,warn,inform}\n"
-          "                 global verbosity (default inform)\n";
+          "                 global verbosity (default inform)\n"
+          "  --store PATH   persistent result store: record every "
+          "executed cell, content-addressed by its expanded spec, "
+          "seed and the simulator code fingerprint\n"
+          "  --incremental  reuse cells cached in --store instead "
+          "of re-simulating them (results are byte-identical to a "
+          "cold run)\n"
+          "  --store-stats PATH\n"
+          "                 write the volatile cache/store "
+          "statistics document ('-' for stdout; requires --store)\n"
+          "  --plt {save,warm,warm,save}\n"
+          "                 archive learned PLT profiles into the "
+          "store (save) and/or warm-start predictors from archived "
+          "ones (warm; changes simulated results and the cells' "
+          "cache identity)\n"
+          "  --fingerprint STR\n"
+          "                 override the built-in code fingerprint "
+          "(testing)\n";
     return code;
 }
 
@@ -70,6 +94,12 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string accuracy_path;
     std::string bench_json_path;
+    std::string store_path;
+    std::string store_stats_path;
+    std::string fingerprint = OSP_CODE_FINGERPRINT;
+    bool incremental = false;
+    bool plt_save = false;
+    bool plt_warm = false;
     std::uint64_t seed = experimentSeed;
     unsigned threads = 0;
     bool timing = true;
@@ -110,6 +140,23 @@ main(int argc, char **argv)
                           << "'\n";
                 return usage(2);
             }
+        } else if (arg == "--store" && i + 1 < argc) {
+            store_path = argv[++i];
+        } else if (arg == "--incremental") {
+            incremental = true;
+        } else if (arg == "--store-stats" && i + 1 < argc) {
+            store_stats_path = argv[++i];
+        } else if (arg == "--plt" && i + 1 < argc) {
+            std::string modes = argv[++i];
+            plt_save = modes.find("save") != std::string::npos;
+            plt_warm = modes.find("warm") != std::string::npos;
+            if (!plt_save && !plt_warm) {
+                std::cerr << "sweep: bad --plt mode '" << modes
+                          << "' (want save, warm or warm,save)\n";
+                return usage(2);
+            }
+        } else if (arg == "--fingerprint" && i + 1 < argc) {
+            fingerprint = argv[++i];
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
@@ -129,6 +176,14 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (store_path.empty() &&
+        (incremental || plt_save || plt_warm ||
+         !store_stats_path.empty())) {
+        std::cerr << "sweep: --incremental/--plt/--store-stats "
+                     "require --store\n";
+        return usage(2);
+    }
+
     SweepSpec spec = makeNamedSweep(name, bench::smokeFactor(),
                                     bench::smokeMode());
     spec.baseSeed = seed;
@@ -137,7 +192,45 @@ main(int argc, char **argv)
     opts.threads = threads;
     if (!trace_path.empty())
         opts.traceCapacity = 4096;
-    SweepResult result = runSweep(spec, opts);
+
+    std::unique_ptr<store::PageStore> pstore;
+    std::unique_ptr<CellCache> cache;
+    std::map<std::string, std::string> warm_profiles;
+    if (!store_path.empty()) {
+        try {
+            pstore = store::PageStore::open(store_path);
+        } catch (const std::exception &e) {
+            std::cerr << "sweep: " << e.what() << "\n";
+            return 1;
+        }
+        cache = std::make_unique<CellCache>(*pstore, fingerprint);
+        if (plt_warm) {
+            store::PltArchive archive(*pstore);
+            for (const std::string &w : spec.workloads) {
+                std::optional<std::string> profile =
+                    archive.load(w);
+                if (!profile)
+                    continue;
+                // The profile changes the cells' simulated
+                // results, so its hash is part of their identity.
+                cache->setWarmProfileHash(
+                    w, stableHash64(*profile));
+                warm_profiles.emplace(w, std::move(*profile));
+            }
+        }
+        opts.cache = cache.get();
+        opts.incremental = incremental;
+        if (!warm_profiles.empty())
+            opts.warmProfiles = &warm_profiles;
+    }
+
+    SweepResult result;
+    try {
+        result = runSweep(spec, opts);
+    } catch (const std::exception &e) {
+        std::cerr << "sweep: " << e.what() << "\n";
+        return 1;
+    }
 
     JsonOptions jopts;
     jopts.includeTiming = timing;
@@ -192,6 +285,51 @@ main(int argc, char **argv)
         }
         std::cerr << "sweep: bench json -> " << bench_json_path
                   << "\n";
+    }
+
+    if (plt_save) {
+        // Archive one learned profile per workload: the first
+        // accelerated, non-failed cell in index order (cached
+        // cells round-trip their profile, so warm runs re-archive
+        // the same bytes).
+        store::PltArchive archive(*pstore);
+        std::uint64_t archived = 0;
+        for (const std::string &w : spec.workloads) {
+            for (const CellResult &r : result.cells) {
+                if (r.failed || r.cell.workload != w ||
+                    r.pltProfile.empty())
+                    continue;
+                try {
+                    archive.save(w, r.pltProfile);
+                } catch (const std::exception &e) {
+                    std::cerr << "sweep: " << e.what() << "\n";
+                    return 1;
+                }
+                ++archived;
+                break;
+            }
+        }
+        std::cerr << "sweep: archived " << archived
+                  << " PLT profile(s) -> " << store_path << "\n";
+    }
+
+    if (!store_stats_path.empty()) {
+        JsonValue stats = cache->statsToJson();
+        if (store_stats_path == "-") {
+            stats.write(std::cout, 2);
+            std::cout << "\n";
+        } else {
+            std::ofstream ss(store_stats_path);
+            if (!ss) {
+                std::cerr << "sweep: cannot write "
+                          << store_stats_path << "\n";
+                return 1;
+            }
+            stats.write(ss, 2);
+            ss << "\n";
+            std::cerr << "sweep: store stats -> "
+                      << store_stats_path << "\n";
+        }
     }
 
     std::cerr << "sweep " << spec.name << ": "

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <exception>
 #include <map>
+#include <sstream>
 
+#include "cell_cache.hh"
 #include "core/accelerator.hh"
 #include "thread_pool.hh"
 #include "util/logging.hh"
@@ -119,7 +121,8 @@ expandSweep(const SweepSpec &spec)
 
 CellResult
 runCell(const SweepSpec &spec, const SweepCell &cell,
-        std::size_t trace_capacity)
+        std::size_t trace_capacity,
+        const std::string *warm_profile)
 {
     MachineConfig cfg = spec.baseConfig;
     cfg.seed = cell.seed;
@@ -140,11 +143,24 @@ runCell(const SweepSpec &spec, const SweepCell &cell,
         Accelerator accel(
             spec.predictors[cell.predictorIndex].params);
         accel.setTelemetry(&telemetry);
+        if (warm_profile) {
+            // Cross-run warm start: predictors begin in the
+            // Predicting state with the archived cluster stats —
+            // the paper's offline approach (see store/plt_archive).
+            std::istringstream is(*warm_profile);
+            if (!accel.loadState(is))
+                warn("cell ", cell.workload,
+                     ": archived PLT profile rejected; learning "
+                     "online");
+        }
         machine->setController(&accel);
         machine->setTelemetry(&telemetry);
         result.totals = machine->run();
         result.stats = accel.aggregateStats();
         result.hasStats = true;
+        std::ostringstream profile;
+        accel.saveState(profile);
+        result.pltProfile = profile.str();
     } else {
         auto machine = makeMachine(cell.workload, cfg, spec.scale);
         machine->setTelemetry(&telemetry);
@@ -253,26 +269,68 @@ runSweep(const SweepSpec &spec, const RunnerOptions &options)
             threads = 1;
     }
 
+    // Warm-start profile per cell (accelerated cells of archived
+    // workloads only). The map outlives the pool; workers take
+    // stable pointers into it.
+    std::vector<const std::string *> warm(cells.size(), nullptr);
+    if (options.warmProfiles) {
+        for (const SweepCell &cell : cells) {
+            if (cell.mode != RunMode::Accelerated)
+                continue;
+            auto it = options.warmProfiles->find(cell.workload);
+            if (it != options.warmProfiles->end())
+                warm[cell.index] = &it->second;
+        }
+    }
+
+    // Cache interaction happens entirely on this thread, in
+    // cell-index order: keys, then lookups (incremental), and one
+    // commit after the join — see the determinism contract.
+    std::vector<std::string> keys;
+    std::vector<bool> cached(cells.size(), false);
+    if (options.cache) {
+        keys.resize(cells.size());
+        for (const SweepCell &cell : cells)
+            keys[cell.index] = options.cache->cellKey(
+                spec, cell, options.traceCapacity);
+        if (options.incremental) {
+            for (const SweepCell &cell : cells) {
+                std::optional<CellResult> hit =
+                    options.cache->fetch(keys[cell.index], cell);
+                if (hit) {
+                    result.cells[cell.index] = std::move(*hit);
+                    cached[cell.index] = true;
+                }
+            }
+        } else {
+            options.cache->noteMisses(cells.size());
+        }
+    }
+
     auto start = std::chrono::steady_clock::now();
     {
         WorkStealingPool pool(threads);
         result.threads = pool.numThreads();
         for (const SweepCell &cell : cells) {
+            if (cached[cell.index])
+                continue;
             // Each task owns exactly one preassigned result slot,
             // so completion order cannot affect the aggregate. A
             // throwing cell is captured into its own slot: the rest
             // of the sweep completes, and the failure is reported in
             // the results document instead of tearing down the pool.
             CellResult *slot = &result.cells[cell.index];
+            const std::string *profile = warm[cell.index];
             const SweepSpec *s = &spec;
             const RunnerOptions *o = &options;
-            pool.submit([slot, s, o, cell] {
+            pool.submit([slot, s, o, cell, profile] {
                 try {
                     *slot = o->cellRunner
                                 ? o->cellRunner(*s, cell,
                                                 o->traceCapacity)
                                 : runCell(*s, cell,
-                                          o->traceCapacity);
+                                          o->traceCapacity,
+                                          profile);
                 } catch (const std::exception &e) {
                     slot->cell = cell;
                     slot->failed = true;
@@ -289,6 +347,20 @@ runSweep(const SweepSpec &spec, const RunnerOptions &options)
     auto end = std::chrono::steady_clock::now();
     result.wallSeconds =
         std::chrono::duration<double>(end - start).count();
+
+    if (options.cache) {
+        result.store.present = true;
+        result.store.fingerprint = options.cache->fingerprint();
+        result.store.cellKeys = keys;
+        std::vector<std::pair<std::string, const CellResult *>>
+            items;
+        for (const SweepCell &cell : cells) {
+            const CellResult &r = result.cells[cell.index];
+            if (!cached[cell.index] && !r.failed)
+                items.emplace_back(keys[cell.index], &r);
+        }
+        options.cache->commitResults(items);
+    }
 
     aggregate(result);
     return result;
@@ -575,6 +647,21 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
         }
         accuracy.add("services", std::move(svc));
         doc.add("accuracy", std::move(accuracy));
+    }
+
+    // Canonical store section: only data invariant across thread
+    // counts and warm/cold runs (the code fingerprint and the
+    // content-addressed cell keys). Hit/miss statistics are
+    // volatile and live in the --store-stats document instead.
+    if (result.store.present) {
+        JsonValue store = JsonValue::object();
+        store.add("schema", "ospredict-store-v1");
+        store.add("code_fingerprint", result.store.fingerprint);
+        JsonValue keys = JsonValue::array();
+        for (const std::string &k : result.store.cellKeys)
+            keys.append(k);
+        store.add("cell_keys", std::move(keys));
+        doc.add("store", std::move(store));
     }
 
     JsonValue summary = JsonValue::object();

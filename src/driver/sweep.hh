@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,12 @@ struct CellResult
      *  was given a trace capacity). */
     std::vector<obs::TraceEvent> trace;
     /**
+     * The learned PLT profile at end of run (Accelerator::saveState
+     * text; empty for baseline cells). Captured so the persistent
+     * store can archive it for cross-run warm starts.
+     */
+    std::string pltProfile;
+    /**
      * Worker-thread failure capture: a cell whose run threw keeps
      * its slot with failed set and the exception text in error, so
      * one bad cell no longer takes down the whole sweep (and CI can
@@ -182,12 +189,29 @@ struct VariantSummary
     double meanEstSpeedupR133 = 0.0;
 };
 
+/**
+ * The canonical store section of a cached sweep ("ospredict-
+ * store-v1" in the results document). Deliberately contains only
+ * data invariant across thread counts AND across warm/cold runs —
+ * the code fingerprint and the per-cell content-addressed keys —
+ * so the determinism contract extends to cached sweeps. Volatile
+ * cache statistics (hits/misses/bytes) live in the separate
+ * --store-stats document instead.
+ */
+struct StoreSection
+{
+    bool present = false;
+    std::string fingerprint;         //!< code fingerprint in keys
+    std::vector<std::string> cellKeys;  //!< hex, cell-index order
+};
+
 /** The aggregated result set of one sweep. */
 struct SweepResult
 {
     SweepSpec spec;
     std::vector<CellResult> cells;   //!< in cell-index order
     std::vector<VariantSummary> summary;
+    StoreSection store;              //!< set when a cache was used
     unsigned threads = 1;            //!< volatile (timing section)
     double wallSeconds = 0.0;        //!< volatile (timing section)
 
@@ -203,6 +227,8 @@ struct SweepResult
                            std::size_t pollution_index = 0) const;
 };
 
+class CellCache;
+
 /** Runner knobs. */
 struct RunnerOptions
 {
@@ -210,6 +236,28 @@ struct RunnerOptions
     unsigned threads = 1;
     /** Per-cell event-ring size; 0 = metrics only, no tracing. */
     std::size_t traceCapacity = 0;
+    /**
+     * Persistent sweep-cell cache. When set, every executed cell is
+     * recorded (one transaction after the join) and the results
+     * document gains the canonical store section. Lookups and
+     * inserts run on the driving thread in cell-index order, so
+     * caching never perturbs the determinism contract.
+     */
+    CellCache *cache = nullptr;
+    /**
+     * Reuse cached cells instead of re-simulating them (requires
+     * cache). Off, the cache only records — a cold run counts every
+     * cell as a miss, which is what CI's zero-miss warm assertion
+     * is measured against.
+     */
+    bool incremental = false;
+    /**
+     * Archived PLT profiles by workload: accelerated cells of a
+     * listed workload warm-start their predictors from the profile
+     * (and the profile's hash becomes part of those cells' cache
+     * identity — see CellCache). Null = no warm starts.
+     */
+    const std::map<std::string, std::string> *warmProfiles = nullptr;
     /**
      * Test seam: replaces the per-cell body (runCell) when set.
      * Exceptions it throws are captured into the cell's slot like
@@ -235,9 +283,13 @@ SweepResult runSweep(const SweepSpec &spec,
  * re-run one point of a sweep.
  *
  * @param trace_capacity the cell's event-ring size (0 = no tracing)
+ * @param warm_profile   archived PLT profile text to warm-start an
+ *                       Accelerated cell's predictors from
+ *                       (nullptr = learn online as usual)
  */
 CellResult runCell(const SweepSpec &spec, const SweepCell &cell,
-                   std::size_t trace_capacity = 0);
+                   std::size_t trace_capacity = 0,
+                   const std::string *warm_profile = nullptr);
 
 /** JSON emission knobs. */
 struct JsonOptions

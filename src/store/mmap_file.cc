@@ -1,0 +1,127 @@
+#include "mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace osp::store
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what, const std::string &path)
+{
+    throw std::runtime_error("store: " + what + " '" + path +
+                             "': " + std::strerror(errno));
+}
+
+} // namespace
+
+std::uint32_t
+osDefaultPageSize()
+{
+    static const std::uint32_t page_size = []() -> std::uint32_t {
+        long sz = ::sysconf(_SC_PAGE_SIZE);
+        if (sz <= 0)
+            return 4096;
+        return static_cast<std::uint32_t>(sz);
+    }();
+    return page_size;
+}
+
+MappedView::~MappedView()
+{
+    if (base_ && length_)
+        ::munmap(base_, length_);
+}
+
+MmapFile::MmapFile(const std::string &path, bool read_only,
+                   std::size_t min_length)
+    : path_(path), readOnly_(read_only)
+{
+    int flags = read_only ? O_RDONLY : (O_RDWR | O_CREAT);
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0)
+        throwErrno("cannot open", path);
+
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+        ::close(fd_);
+        throwErrno("cannot stat", path);
+    }
+    length_ = static_cast<std::size_t>(st.st_size);
+
+    if (!read_only && length_ < min_length) {
+        if (::ftruncate(fd_, static_cast<off_t>(min_length)) != 0) {
+            ::close(fd_);
+            throwErrno("cannot extend", path);
+        }
+        length_ = min_length;
+    }
+    if (length_ == 0) {
+        if (read_only)
+            throw std::runtime_error("store: empty file '" + path +
+                                     "'");
+        // Mapping a zero-length file is an error; the store always
+        // passes a min_length when creating.
+        throw std::runtime_error(
+            "store: zero-length mapping requested for '" + path +
+            "'");
+    }
+    map();
+}
+
+MmapFile::~MmapFile()
+{
+    view_.reset();
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+MmapFile::map()
+{
+    int prot = PROT_READ | (readOnly_ ? 0 : PROT_WRITE);
+    void *base = ::mmap(nullptr, length_, prot, MAP_SHARED, fd_, 0);
+    if (base == MAP_FAILED)
+        throwErrno("cannot mmap", path_);
+    view_ = std::make_shared<MappedView>(base, length_);
+}
+
+void
+MmapFile::grow(std::size_t new_length)
+{
+    if (readOnly_)
+        throw std::runtime_error("store: grow on read-only '" +
+                                 path_ + "'");
+    if (new_length <= length_)
+        return;
+    if (::ftruncate(fd_, static_cast<off_t>(new_length)) != 0)
+        throwErrno("cannot extend", path_);
+    length_ = new_length;
+    map();  // publishes the new view; old views stay mapped
+}
+
+void
+MmapFile::sync(std::size_t offset, std::size_t len)
+{
+    if (readOnly_ || len == 0)
+        return;
+    // msync requires a page-aligned address: round the range out.
+    std::size_t page = osDefaultPageSize();
+    std::size_t begin = offset - offset % page;
+    std::size_t end = offset + len;
+    if (end > length_)
+        end = length_;
+    if (::msync(view_->data() + begin, end - begin, MS_SYNC) != 0)
+        throwErrno("cannot msync", path_);
+}
+
+} // namespace osp::store

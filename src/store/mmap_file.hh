@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A growable memory-mapped file for the page store.
+ *
+ * Two properties the store needs drive the shape of this wrapper:
+ *
+ *  - *Readers keep their view.* A snapshot-isolated reader holds raw
+ *    pointers into the mapping for its whole transaction. Growing
+ *    the file therefore never munmap()s the old view: a new, larger
+ *    mapping is created and published, while existing transactions
+ *    keep a shared_ptr to the view they started with. Both views
+ *    map the same file with MAP_SHARED, so pages written through
+ *    the new view are coherent in the old one — but copy-on-write
+ *    at the store layer guarantees a reader never looks at a page
+ *    written after its transaction began.
+ *  - *Durability is explicit.* Nothing is guaranteed on disk until
+ *    sync() returns; the store orders data-page syncs before the
+ *    meta-page sync to get its crash-safety.
+ *
+ * POSIX only (mmap/ftruncate/msync); the repo's CI targets are
+ * Linux. The OS page-size query follows the usual sysconf idiom
+ * with a 4 KB fallback.
+ */
+
+#ifndef OSP_STORE_MMAP_FILE_HH
+#define OSP_STORE_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace osp::store
+{
+
+/** The OS VM page size (sysconf), 4096 on query failure. */
+std::uint32_t osDefaultPageSize();
+
+/** One immutable mapping of the file at some length. */
+class MappedView
+{
+  public:
+    MappedView(void *base, std::size_t length)
+        : base_(base), length_(length)
+    {
+    }
+    ~MappedView();
+
+    MappedView(const MappedView &) = delete;
+    MappedView &operator=(const MappedView &) = delete;
+
+    unsigned char *
+    data() const
+    {
+        return static_cast<unsigned char *>(base_);
+    }
+    std::size_t length() const { return length_; }
+
+  private:
+    void *base_;
+    std::size_t length_;
+};
+
+/** See file comment. */
+class MmapFile
+{
+  public:
+    /**
+     * Open (creating if absent and not read-only) and map the file.
+     * Throws std::runtime_error on any system-call failure.
+     *
+     * @param min_length grow the file to at least this many bytes
+     *                   before mapping (ignored when read-only)
+     */
+    MmapFile(const std::string &path, bool read_only,
+             std::size_t min_length = 0);
+    ~MmapFile();
+
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /** The current (newest) view. Hold the returned shared_ptr for
+     *  as long as pointers into it are live. */
+    std::shared_ptr<MappedView> view() const { return view_; }
+
+    /** Current file length in bytes. */
+    std::size_t length() const { return length_; }
+
+    bool readOnly() const { return readOnly_; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Extend the file to @p new_length bytes and publish a new view
+     * of the full length. Old views stay valid until their last
+     * holder drops them. No-op when already at least that long.
+     */
+    void grow(std::size_t new_length);
+
+    /** msync a byte range of the newest view to disk (MS_SYNC). */
+    void sync(std::size_t offset, std::size_t len);
+
+  private:
+    void map();
+
+    std::string path_;
+    bool readOnly_;
+    int fd_ = -1;
+    std::size_t length_ = 0;
+    std::shared_ptr<MappedView> view_;
+};
+
+} // namespace osp::store
+
+#endif // OSP_STORE_MMAP_FILE_HH

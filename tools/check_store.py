@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Offline integrity checker for ospredict page-store files.
+
+Independently re-implements the on-disk format of
+src/store/page_store.hh (dual checksummed meta pages, two-level
+copy-on-write B+tree, freelist run) and validates a store file
+without linking the simulator:
+
+  * both meta slots are parsed; each is checked for magic, version,
+    FNV-1a checksum, and bounds (numPages within the file, root and
+    freelist in range) — the valid slot with the larger txid is the
+    live one, mirroring PageStore::open()
+  * the live tree is walked: the root directory run, every leaf
+    (header id/flags/record framing, keys sorted and in-bounds) and
+    every overflow value run
+  * the freelist run is decoded and checked for range, duplicates
+    and overlap with reachable pages
+
+Exit status 0 means the store is healthy (a report is printed,
+``--json`` for machine-readable form); any corruption exits 1 with
+a diagnostic on stderr. CI runs this after the cold and warm smoke
+sweeps and over a corpus of deliberately truncated files (which
+must all fail).
+
+Usage:
+  tools/check_store.py STORE [--json] [--expect-keys N]
+"""
+
+import argparse
+import json
+import struct
+import sys
+
+PAGE_HEADER_SIZE = 16
+STORE_MAGIC = 0x4F535044  # "OSPD"
+STORE_VERSION = 1
+MAX_KEY_SIZE = 1024
+META_BYTES = 56
+# Page sizes probed for meta slot 1 when slot 0 is torn (must match
+# the candidate list in PageStore::open()).
+PROBE_PAGE_SIZES = (4096, 8192, 16384, 32768, 65536)
+
+FLAG_FREELIST = 0x02
+FLAG_BRANCH = 0x04
+FLAG_LEAF = 0x08
+FLAG_OVERFLOW = 0x10
+
+
+def fnv1a64(data: bytes) -> int:
+    """64-bit FNV-1a — the same function as util/hash.hh."""
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class Corrupt(Exception):
+    pass
+
+
+class Meta:
+    FMT = "<IIII4Q"  # magic version pageSize reserved root freelist numPages txid
+
+    def __init__(self, raw: bytes):
+        (self.magic, self.version, self.page_size, self.reserved,
+         self.root, self.freelist, self.num_pages,
+         self.txid) = struct.unpack(self.FMT, raw[:48])
+        (self.checksum,) = struct.unpack("<Q", raw[48:56])
+
+    def valid(self, page_size: int, file_len: int) -> bool:
+        """Mirror of metaValid() in page_store.cc."""
+        if self.magic != STORE_MAGIC or self.version != STORE_VERSION:
+            return False
+        if self.page_size != page_size or self.page_size < 512:
+            return False
+        if self.checksum != fnv1a64(bytes(self_raw48(self))):
+            return False
+        if self.num_pages < 2 or self.num_pages * self.page_size > file_len:
+            return False
+        if self.root >= self.num_pages or self.freelist >= self.num_pages:
+            return False
+        return True
+
+
+def self_raw48(m: Meta) -> bytes:
+    return struct.pack(Meta.FMT, m.magic, m.version, m.page_size,
+                       m.reserved, m.root, m.freelist, m.num_pages,
+                       m.txid)
+
+
+def page_header(data: bytes, page_size: int, pid: int):
+    off = pid * page_size
+    if off + PAGE_HEADER_SIZE > len(data):
+        raise Corrupt(f"page {pid} beyond file")
+    hid, flags, count, overflow = struct.unpack_from("<QHHI", data, off)
+    if hid != pid:
+        raise Corrupt(f"page {pid} header id {hid}")
+    return flags, count, overflow
+
+
+def run_data(data: bytes, page_size: int, pid: int, want_flag: int,
+             what: str) -> bytes:
+    """The payload of the run starting at @p pid (headers stripped
+    from the first page only — runs are contiguous after it)."""
+    flags, _, overflow = page_header(data, page_size, pid)
+    if not flags & want_flag:
+        raise Corrupt(f"{what} page {pid} has flags {flags:#x}")
+    run_pages = 1 + overflow
+    start = pid * page_size
+    end = start + run_pages * page_size
+    if end > len(data):
+        raise Corrupt(f"{what} run {pid}(+{overflow}) beyond file")
+    return data[start + PAGE_HEADER_SIZE:end]
+
+
+def pick_meta(data: bytes, path: str):
+    """Both meta slots, validated; the live one; per-slot status."""
+    file_len = len(data)
+    slots = []
+
+    m0 = None
+    if file_len >= PAGE_HEADER_SIZE + META_BYTES:
+        m0 = Meta(data[PAGE_HEADER_SIZE:PAGE_HEADER_SIZE + META_BYTES])
+        if not m0.valid(m0.page_size, file_len):
+            m0 = None
+    if m0:
+        slots.append(m0)
+        candidates = (m0.page_size,)
+    else:
+        candidates = PROBE_PAGE_SIZES
+    for ps in candidates:
+        off = ps + PAGE_HEADER_SIZE
+        if file_len < off + META_BYTES:
+            continue
+        m1 = Meta(data[off:off + META_BYTES])
+        if m1.valid(ps, file_len):
+            slots.append(m1)
+            break
+
+    if not slots:
+        raise Corrupt(f"no valid meta page in '{path}' "
+                      "(corrupt or truncated store)")
+    live = max(slots, key=lambda m: m.txid)
+    return live, len(slots)
+
+
+def walk_tree(data: bytes, meta: Meta):
+    """Validate the live tree; returns (stats, reachable page set)."""
+    ps = meta.page_size
+    reachable = {0, 1}
+    stats = {"leaf_pages": 0, "overflow_pages": 0,
+             "root_run_pages": 0, "keys": 0, "value_bytes": 0}
+    if meta.root == 0:
+        return stats, reachable
+
+    # Root directory run: count, then (leaf u64, ksize u32, key).
+    _, _, root_ov = page_header(data, ps, meta.root)
+    stats["root_run_pages"] = 1 + root_ov
+    reachable.update(range(meta.root, meta.root + 1 + root_ov))
+    payload = run_data(data, ps, meta.root, FLAG_BRANCH, "root")
+    (count,) = struct.unpack_from("<Q", payload, 0)
+    pos = 8
+    index = []
+    for _ in range(count):
+        if pos + 12 > len(payload):
+            raise Corrupt("root entry overruns run")
+        leaf, ksize = struct.unpack_from("<QI", payload, pos)
+        pos += 12
+        if ksize > MAX_KEY_SIZE or pos + ksize > len(payload):
+            raise Corrupt("root key overruns run")
+        index.append((payload[pos:pos + ksize], leaf))
+        pos += ksize
+    if [k for k, _ in index] != sorted(k for k, _ in index):
+        raise Corrupt("root directory keys out of order")
+
+    prev_key = None
+    for first_key, leaf in index:
+        if leaf >= meta.num_pages:
+            raise Corrupt(f"leaf {leaf} out of range")
+        if leaf in reachable:
+            raise Corrupt(f"leaf {leaf} reached twice")
+        reachable.add(leaf)
+        stats["leaf_pages"] += 1
+        flags, rec_count, _ = page_header(data, ps, leaf)
+        if not flags & FLAG_LEAF:
+            raise Corrupt(f"page {leaf} is not a leaf")
+        base = leaf * ps
+        pos = PAGE_HEADER_SIZE
+        for i in range(rec_count):
+            if pos + 9 > ps:
+                raise Corrupt(f"leaf {leaf} record {i} overruns page")
+            ksize, vsize = struct.unpack_from("<II", data, base + pos)
+            is_overflow = data[base + pos + 8] != 0
+            rec = 9 + ksize + (8 if is_overflow else vsize)
+            if ksize > MAX_KEY_SIZE or pos + rec > ps:
+                raise Corrupt(f"leaf {leaf} record {i} overruns page")
+            key = data[base + pos + 9:base + pos + 9 + ksize]
+            if i == 0 and key != first_key:
+                raise Corrupt(f"leaf {leaf} first key mismatches "
+                              "root directory")
+            if prev_key is not None and key <= prev_key:
+                raise Corrupt(f"keys out of order at leaf {leaf}")
+            prev_key = key
+            if is_overflow:
+                (ov,) = struct.unpack_from(
+                    "<Q", data, base + pos + 9 + ksize)
+                oflags, _, oextra = page_header(data, ps, ov)
+                if not oflags & FLAG_OVERFLOW:
+                    raise Corrupt(f"value run page {ov} is not "
+                                  "overflow")
+                run = range(ov, ov + 1 + oextra)
+                if run.stop > meta.num_pages:
+                    raise Corrupt(f"value run {ov} out of range")
+                if reachable & set(run):
+                    raise Corrupt(f"value run {ov} reached twice")
+                capacity = (1 + oextra) * ps - PAGE_HEADER_SIZE
+                if vsize > capacity:
+                    raise Corrupt(f"value at leaf {leaf} overruns "
+                                  f"run {ov}")
+                reachable.update(run)
+                stats["overflow_pages"] += 1 + oextra
+            stats["keys"] += 1
+            stats["value_bytes"] += vsize
+            pos += rec
+    return stats, reachable
+
+
+def check_freelist(data: bytes, meta: Meta, reachable: set):
+    if meta.freelist == 0:
+        return 0, 0
+    ps = meta.page_size
+    _, _, ov = page_header(data, ps, meta.freelist)
+    run = set(range(meta.freelist, meta.freelist + 1 + ov))
+    if reachable & run:
+        raise Corrupt("freelist run overlaps the tree")
+    payload = run_data(data, ps, meta.freelist, FLAG_FREELIST,
+                       "freelist")
+    (count,) = struct.unpack_from("<Q", payload, 0)
+    if 8 + count * 8 > len(payload):
+        raise Corrupt("freelist overruns run")
+    ids = struct.unpack_from(f"<{count}Q", payload, 8) if count else ()
+    seen = set()
+    for pid in ids:
+        if pid < 2 or pid >= meta.num_pages:
+            raise Corrupt(f"freelist lists page {pid}")
+        if pid in seen:
+            raise Corrupt(f"freelist lists page {pid} twice")
+        if pid in reachable or pid in run:
+            raise Corrupt(f"freelist lists live page {pid}")
+        seen.add(pid)
+    return count, 1 + ov
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Validate an ospredict page-store file.")
+    ap.add_argument("store", help="store file path")
+    ap.add_argument("--json", action="store_true",
+                    help="print the report as JSON")
+    ap.add_argument("--expect-keys", type=int, default=None,
+                    help="additionally require exactly N keys")
+    args = ap.parse_args()
+
+    try:
+        with open(args.store, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        print(f"check_store: {e}", file=sys.stderr)
+        return 1
+
+    try:
+        meta, valid_slots = pick_meta(data, args.store)
+        stats, reachable = walk_tree(data, meta)
+        free_count, freelist_run_pages = check_freelist(
+            data, meta, reachable)
+    except Corrupt as e:
+        print(f"check_store: {args.store}: CORRUPT: {e}",
+              file=sys.stderr)
+        return 1
+
+    report = {
+        "store": args.store,
+        "file_bytes": len(data),
+        "page_size": meta.page_size,
+        "txid": meta.txid,
+        "valid_meta_slots": valid_slots,
+        "num_pages": meta.num_pages,
+        "reachable_pages": len(reachable),
+        "free_pages": free_count,
+        "freelist_run_pages": freelist_run_pages,
+        **stats,
+    }
+    if args.expect_keys is not None and stats["keys"] != args.expect_keys:
+        print(f"check_store: {args.store}: expected "
+              f"{args.expect_keys} keys, found {stats['keys']}",
+              file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"{args.store}: OK — txid {meta.txid}, "
+              f"{stats['keys']} keys, {meta.num_pages} pages "
+              f"({stats['leaf_pages']} leaf, "
+              f"{stats['overflow_pages']} overflow, "
+              f"{free_count} free), "
+              f"{valid_slots}/2 meta slots valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
