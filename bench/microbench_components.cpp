@@ -22,6 +22,10 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
+#include <unistd.h>
+
 #include "bench_json.hh"
 #include "common.hh"
 #include "mem/hierarchy.hh"
@@ -29,6 +33,8 @@
 #include "sim/codegen.hh"
 #include "sim/inorder_cpu.hh"
 #include "sim/ooo_cpu.hh"
+#include "store/claim_table.hh"
+#include "store/page_store.hh"
 #include "util/random.hh"
 #include "workload/registry.hh"
 
@@ -250,6 +256,54 @@ BM_MachineInOrderCacheBlock(benchmark::State &state)
 BENCHMARK(BM_MachineInOrderCacheBlock)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * One distributed-sweep coordination unit: the claim transaction
+ * (heartbeat bump + claim record) and the commit transaction
+ * (heartbeat bump + cell value + done record) a worker pays per
+ * cell on top of the simulation itself — two synced store commits
+ * through the shared-mode writer gate. Bounds how small a cell can
+ * get before coordination dominates (driver/claim_executor.hh).
+ */
+void
+BM_SweepClaimLoop(benchmark::State &state)
+{
+    std::string path = "/tmp/osp_bm_claim_" +
+                       std::to_string(::getpid()) + ".db";
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+    {
+        store::StoreOptions sopts;
+        sopts.shared = true;
+        auto pstore = store::PageStore::open(path, sopts);
+        store::ClaimTable table("fp");
+        std::uint64_t i = 0;
+        for (auto _ : state) {
+            std::string key = "k" + std::to_string(i++);
+            {
+                store::WriteTx tx = pstore->beginWrite();
+                std::uint64_t hb = table.bumpHeartbeat(tx);
+                store::ClaimRecord rec;
+                rec.owner = "bench";
+                rec.epoch = hb;
+                table.put(tx, key, rec);
+                tx.commit();
+            }
+            {
+                store::WriteTx tx = pstore->beginWrite();
+                table.bumpHeartbeat(tx);
+                auto rec = table.get(tx, key);
+                rec->state = store::ClaimState::Done;
+                tx.put("cell/fp/" + key, "value");
+                table.put(tx, key, *rec);
+                tx.commit();
+            }
+        }
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+}
+BENCHMARK(BM_SweepClaimLoop)->Unit(benchmark::kMicrosecond);
+
 // ---------------------------------------------------------------
 // --bench-json mode: self-timed hot-path measurements with a
 // deterministic schema (values vary by machine; the CI gate checks
@@ -311,6 +365,55 @@ timeCacheAccess(std::uint64_t accesses)
     return best;
 }
 
+/** Best-of-3 seconds per claim/commit transaction pair (the
+ *  per-cell coordination overhead of a distributed sweep). */
+double
+timeClaimLoop(std::uint64_t pairs)
+{
+    std::string path = "/tmp/osp_bench_claim_" +
+                       std::to_string(::getpid()) + ".db";
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        std::remove(path.c_str());
+        std::remove((path + ".lock").c_str());
+        store::StoreOptions sopts;
+        sopts.shared = true;
+        auto pstore = store::PageStore::open(path, sopts);
+        store::ClaimTable table("fp");
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < pairs; ++i) {
+            std::string key = "k" + std::to_string(i);
+            {
+                store::WriteTx tx = pstore->beginWrite();
+                std::uint64_t hb = table.bumpHeartbeat(tx);
+                store::ClaimRecord rec;
+                rec.owner = "bench";
+                rec.epoch = hb;
+                table.put(tx, key, rec);
+                tx.commit();
+            }
+            {
+                store::WriteTx tx = pstore->beginWrite();
+                table.bumpHeartbeat(tx);
+                auto rec = table.get(tx, key);
+                rec->state = store::ClaimState::Done;
+                tx.put("cell/fp/" + key, "value");
+                table.put(tx, key, *rec);
+                tx.commit();
+            }
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        double secs =
+            std::chrono::duration<double>(t1 - t0).count() /
+            static_cast<double>(pairs);
+        if (rep == 0 || secs < best)
+            best = secs;
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+    return best;
+}
+
 int
 runBenchJson(const std::string &path)
 {
@@ -353,6 +456,9 @@ runBenchJson(const std::string &path)
     metrics.push_back(
         {"cache_accesses_per_sec",
          1.0 / timeCacheAccess(cache_accesses), "1/s"});
+    metrics.push_back(
+        {"claim_commit_pairs_per_sec",
+         1.0 / timeClaimLoop(smoke ? 64 : 256), "1/s"});
 
     if (!bench::mergeBenchJson(path, smoke, metrics))
         return 1;

@@ -11,17 +11,37 @@
  * (src/driver/sweep.hh). With --no-timing the bytes are identical
  * for any --threads value at the same seed — CI runs the smoke
  * sweep at 1 and N threads and diffs the two files.
+ *
+ * Distributed execution over a shared --store (the claim/lease
+ * protocol of driver/claim_executor.hh):
+ *
+ *   sweep table2 --store s.db --jobs 3 --out results.json
+ *       fork 3 local worker processes, wait for the fleet, then
+ *       assemble — one command, same bytes as --threads runs.
+ *   sweep table2 --store s.db --worker --owner w1
+ *       one claim-loop worker; run any number of these on the same
+ *       store, from any mix of terminals/hosts sharing the file.
+ *   sweep table2 --store s.db --assemble --out results.json
+ *       replay every cached cell into the final document (cells no
+ *       worker finished are executed locally; cells that exhausted
+ *       their retries are marked failed from the claim table).
  */
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "bench_json.hh"
 #include "common.hh"
 #include "driver/cell_cache.hh"
+#include "driver/claim_executor.hh"
 #include "driver/experiments.hh"
 #include "driver/sweep.hh"
 #include "store/plt_archive.hh"
@@ -77,8 +97,98 @@ usage(int code)
           "cache identity)\n"
           "  --fingerprint STR\n"
           "                 override the built-in code fingerprint "
-          "(testing)\n";
+          "(testing)\n"
+          "  --store-wait MS\n"
+          "                 wait up to MS ms for another read-write "
+          "handle to release the store instead of failing "
+          "immediately (requires --store)\n"
+          "\n"
+          "distributed execution (all require --store):\n"
+          "  --jobs N       fork N worker processes that claim "
+          "cells from the shared store, then assemble the results "
+          "document (byte-identical to a single-process run)\n"
+          "  --worker       run one claim-loop worker process and "
+          "exit (no results document; combine with --store-stats)\n"
+          "  --assemble     assemble the results document from "
+          "cached cells and the claim table (implies "
+          "--incremental)\n"
+          "  --owner ID     worker id recorded in claim records "
+          "(default: pid<pid>)\n"
+          "  --lease-ticks N\n"
+          "                 heartbeats before an idle claim is "
+          "reclaimable (default 64)\n"
+          "  --max-retries N\n"
+          "                 attempts before a cell is marked failed "
+          "(default 3)\n"
+          "  --poll-ms MS   initial idle-poll sleep while other "
+          "workers hold leases (default 50)\n"
+          "  --kill-after-claim\n"
+          "                 crash-test seam: SIGKILL ourselves "
+          "after the first claim commits (--worker only)\n";
     return code;
+}
+
+/**
+ * The body of one worker process (--worker, and each --jobs
+ * child): open the store in shared mode, run the claim loop, and
+ * optionally dump the per-worker stats document.
+ */
+int
+runWorkerProcess(const osp::SweepSpec &spec,
+                 const std::string &store_path,
+                 const std::string &fingerprint, bool plt_warm,
+                 osp::WorkerOptions wopts,
+                 const std::string &stats_path)
+{
+    using namespace osp;
+    try {
+        store::StoreOptions sopts;
+        sopts.shared = true;
+        std::unique_ptr<store::PageStore> pstore =
+            store::PageStore::open(store_path, sopts);
+        CellCache cache(*pstore, fingerprint);
+        std::map<std::string, std::string> warm_profiles;
+        if (plt_warm) {
+            store::PltArchive archive(*pstore);
+            for (const std::string &w : spec.workloads) {
+                std::optional<std::string> profile =
+                    archive.load(w);
+                if (!profile)
+                    continue;
+                cache.setWarmProfileHash(w,
+                                         stableHash64(*profile));
+                warm_profiles.emplace(w, std::move(*profile));
+            }
+        }
+        if (!warm_profiles.empty())
+            wopts.warmProfiles = &warm_profiles;
+
+        WorkerStats stats = runSweepWorker(spec, cache, wopts);
+
+        if (!stats_path.empty()) {
+            JsonValue doc = cache.statsToJson();
+            doc.add("worker",
+                    workerStatsToJson(stats, wopts.owner));
+            std::ofstream ss(stats_path);
+            if (!ss) {
+                std::cerr << "sweep: cannot write " << stats_path
+                          << "\n";
+                return 1;
+            }
+            doc.write(ss, 2);
+            ss << "\n";
+        }
+        std::cerr << "sweep worker " << wopts.owner << ": claimed "
+                  << stats.claimed << ", committed "
+                  << stats.committed << ", reclaimed "
+                  << stats.reclaimed << ", lost "
+                  << stats.lostLeases << "\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "sweep worker " << wopts.owner << ": "
+                  << e.what() << "\n";
+        return 1;
+    }
 }
 
 } // namespace
@@ -103,6 +213,12 @@ main(int argc, char **argv)
     std::uint64_t seed = experimentSeed;
     unsigned threads = 0;
     bool timing = true;
+    unsigned jobs = 0;
+    bool worker_mode = false;
+    bool assemble = false;
+    long store_wait_ms = 0;
+    WorkerOptions wopts;
+    wopts.owner = "pid" + std::to_string(::getpid());
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -157,6 +273,31 @@ main(int argc, char **argv)
             }
         } else if (arg == "--fingerprint" && i + 1 < argc) {
             fingerprint = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (jobs == 0) {
+                std::cerr << "sweep: --jobs wants N >= 1\n";
+                return usage(2);
+            }
+        } else if (arg == "--worker") {
+            worker_mode = true;
+        } else if (arg == "--assemble") {
+            assemble = true;
+        } else if (arg == "--owner" && i + 1 < argc) {
+            wopts.owner = argv[++i];
+        } else if (arg == "--lease-ticks" && i + 1 < argc) {
+            wopts.leaseTicks =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--max-retries" && i + 1 < argc) {
+            wopts.maxRetries =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--poll-ms" && i + 1 < argc) {
+            wopts.pollMs = std::strtol(argv[++i], nullptr, 10);
+        } else if (arg == "--kill-after-claim") {
+            wopts.killAfterFirstClaim = true;
+        } else if (arg == "--store-wait" && i + 1 < argc) {
+            store_wait_ms = std::strtol(argv[++i], nullptr, 10);
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
@@ -183,22 +324,104 @@ main(int argc, char **argv)
                      "require --store\n";
         return usage(2);
     }
+    if (store_path.empty() &&
+        (jobs > 0 || worker_mode || assemble ||
+         store_wait_ms > 0)) {
+        std::cerr << "sweep: --jobs/--worker/--assemble/"
+                     "--store-wait require --store\n";
+        return usage(2);
+    }
+    if ((jobs > 0) + (worker_mode ? 1 : 0) + (assemble ? 1 : 0) >
+        1) {
+        std::cerr << "sweep: --jobs, --worker and --assemble are "
+                     "mutually exclusive\n";
+        return usage(2);
+    }
+    if (assemble)
+        incremental = true;
 
     SweepSpec spec = makeNamedSweep(name, bench::smokeFactor(),
                                     bench::smokeMode());
     spec.baseSeed = seed;
 
+    if (worker_mode) {
+        wopts.traceCapacity = trace_path.empty() ? 0 : 4096;
+        return runWorkerProcess(spec, store_path, fingerprint,
+                                plt_warm, wopts,
+                                store_stats_path);
+    }
+
+    double fleet_seconds = 0.0;
+    if (jobs > 0) {
+        // Fork the fleet before opening the store: flock(2) state
+        // is shared across fork, so the parent must not hold any
+        // handle the children would inherit. Each child opens the
+        // store itself in shared mode.
+        auto fleet_start = std::chrono::steady_clock::now();
+        std::vector<pid_t> pids;
+        for (unsigned k = 0; k < jobs; ++k) {
+            pid_t pid = ::fork();
+            if (pid < 0) {
+                std::cerr << "sweep: fork failed\n";
+                return 1;
+            }
+            if (pid == 0) {
+                WorkerOptions w = wopts;
+                w.owner = wopts.owner + "-w" +
+                          std::to_string(k + 1);
+                w.killAfterFirstClaim = false;
+                w.traceCapacity = trace_path.empty() ? 0 : 4096;
+                std::string stats_path =
+                    store_stats_path.empty() ||
+                            store_stats_path == "-"
+                        ? std::string()
+                        : store_stats_path + ".w" +
+                              std::to_string(k + 1);
+                int code = runWorkerProcess(spec, store_path,
+                                            fingerprint, plt_warm,
+                                            w, stats_path);
+                ::_exit(code);
+            }
+            pids.push_back(pid);
+        }
+        unsigned failed_workers = 0;
+        for (pid_t pid : pids) {
+            int status = 0;
+            if (::waitpid(pid, &status, 0) < 0 ||
+                !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+                ++failed_workers;
+        }
+        auto fleet_end = std::chrono::steady_clock::now();
+        fleet_seconds = std::chrono::duration<double>(fleet_end -
+                                                      fleet_start)
+                            .count();
+        if (failed_workers > 0) {
+            // Assembly recovers whatever the fleet did finish (and
+            // executes the rest locally), so a dead worker is a
+            // warning, not an error.
+            std::cerr << "sweep: " << failed_workers << " of "
+                      << jobs << " worker(s) failed; assembling "
+                      << "from what was committed\n";
+        }
+        // The remainder of main() is the assembly pass.
+        assemble = true;
+        incremental = true;
+    }
+
     RunnerOptions opts;
     opts.threads = threads;
     if (!trace_path.empty())
         opts.traceCapacity = 4096;
+    opts.claimAware = assemble;
 
     std::unique_ptr<store::PageStore> pstore;
     std::unique_ptr<CellCache> cache;
     std::map<std::string, std::string> warm_profiles;
     if (!store_path.empty()) {
         try {
-            pstore = store::PageStore::open(store_path);
+            store::StoreOptions sopts;
+            sopts.lockWaitMs = store_wait_ms;
+            pstore = store::PageStore::open(store_path, sopts);
         } catch (const std::exception &e) {
             std::cerr << "sweep: " << e.what() << "\n";
             return 1;
@@ -231,6 +454,7 @@ main(int argc, char **argv)
         std::cerr << "sweep: " << e.what() << "\n";
         return 1;
     }
+    result.workerProcesses = jobs;
 
     JsonOptions jopts;
     jopts.includeTiming = timing;
@@ -276,11 +500,26 @@ main(int argc, char **argv)
     if (!bench_json_path.empty()) {
         // Wall-clock of the whole sweep: the end-to-end hot-path
         // number the perf gate tracks alongside the microbench
-        // component rates.
-        if (!bench::mergeBenchJson(
-                bench_json_path, spec.smoke,
-                {{"sweep_" + spec.name + "_wall_seconds",
-                  result.wallSeconds, "s"}})) {
+        // component rates. A --jobs run reports under jobs-tagged
+        // names — the fleet time (fork to last exit) is the
+        // multi-process scaling headline — so single- and
+        // multi-process rows coexist in one document.
+        std::vector<bench::BenchMetric> metrics;
+        if (jobs > 0) {
+            std::string tag =
+                "sweep_" + spec.name + "_jobs" +
+                std::to_string(jobs);
+            metrics.push_back(
+                {tag + "_fleet_seconds", fleet_seconds, "s"});
+            metrics.push_back(
+                {tag + "_wall_seconds", result.wallSeconds, "s"});
+        } else {
+            metrics.push_back(
+                {"sweep_" + spec.name + "_wall_seconds",
+                 result.wallSeconds, "s"});
+        }
+        if (!bench::mergeBenchJson(bench_json_path, spec.smoke,
+                                   metrics)) {
             return 1;
         }
         std::cerr << "sweep: bench json -> " << bench_json_path

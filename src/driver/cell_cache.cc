@@ -1,6 +1,7 @@
 #include "cell_cache.hh"
 
 #include "cell_io.hh"
+#include "store/claim_table.hh"
 #include "util/hash.hh"
 
 namespace osp
@@ -156,14 +157,33 @@ CellCache::storeKey(const std::string &cell_key) const
 
 std::optional<CellResult>
 CellCache::fetch(const std::string &cell_key,
-                 const SweepCell &cell)
+                 const SweepCell &cell, bool claim_aware)
 {
     auto &hits = registry_.counter("cell_cache", "hits");
     auto &misses = registry_.counter("cell_cache", "misses");
 
-    std::optional<std::string> value =
-        store_.beginRead().get(storeKey(cell_key));
+    std::optional<std::string> value;
+    std::optional<store::ClaimRecord> claim;
+    {
+        store::ReadTx read = store_.beginRead();
+        value = read.get(storeKey(cell_key));
+        if (!value && claim_aware)
+            claim = store::ClaimTable(fingerprint_)
+                        .get(read, cell_key);
+    }
     if (!value) {
+        // Assembly replays exhausted failures from the claim table:
+        // workers never cache a failed result, but the final
+        // document must mark the cell failed exactly as a
+        // single-process run would have.
+        if (claim && claim->state == store::ClaimState::Failed) {
+            CellResult failed;
+            failed.cell = cell;
+            failed.failed = true;
+            failed.error = claim->error;
+            registry_.counter("cell_cache", "failed_replays").inc();
+            return failed;
+        }
         misses.inc();
         return std::nullopt;
     }
@@ -202,19 +222,24 @@ CellCache::commitResults(
         &items)
 {
     // One pass, one transaction: stale-fingerprint eviction and
-    // this sweep's inserts commit (or fail) together.
+    // this sweep's inserts commit (or fail) together. The claim
+    // keyspaces age out with the cells they coordinated.
     std::vector<std::string> stale;
-    std::string live(cellPrefix);
-    live += fingerprint_;
-    live += '/';
     {
         store::ReadTx read = store_.beginRead();
-        read.scan(cellPrefix, [&](std::string_view k,
+        for (const auto &[prefix, live] :
+             {std::pair<std::string, std::string>{
+                  std::string(cellPrefix),
+                  std::string(cellPrefix) + fingerprint_ + "/"},
+              {"claim/", "claim/" + fingerprint_ + "/"},
+              {"claimhb/", "claimhb/" + fingerprint_}}) {
+            read.scan(prefix, [&](std::string_view k,
                                   std::string_view) {
-            if (k.compare(0, live.size(), live) != 0)
-                stale.emplace_back(k);
-            return true;
-        });
+                if (k.compare(0, live.size(), live) != 0)
+                    stale.emplace_back(k);
+                return true;
+            });
+        }
     }
 
     std::uint64_t bytes = 0;
@@ -248,8 +273,8 @@ CellCache::statsToJson()
     obs::MetricsSnapshot snap = registry_.snapshot();
     JsonValue counters = JsonValue::object();
     for (const char *name :
-         {"hits", "misses", "inserts", "evictions", "bytes_read",
-          "bytes_written"})
+         {"hits", "misses", "failed_replays", "inserts",
+          "evictions", "bytes_read", "bytes_written"})
         counters.add(name, snap.counterValue("cell_cache", name));
     doc.add("cache", std::move(counters));
 

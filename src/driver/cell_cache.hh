@@ -77,9 +77,16 @@ class CellCache
     /**
      * Look up a cached result by cell key, verifying the decoded
      * cell coordinates against @p cell. Counts a hit or a miss.
+     *
+     * With @p claim_aware set (the --assemble pass), a cell with no
+     * cached value but an *exhausted* claim record (state failed)
+     * synthesizes the failed CellResult a live worker would have
+     * produced — same coordinates, same error text — instead of
+     * re-running the cell; counted separately as a failed replay.
      */
     std::optional<CellResult> fetch(const std::string &cell_key,
-                                    const SweepCell &cell);
+                                    const SweepCell &cell,
+                                    bool claim_aware = false);
 
     /** Count cells that will run without a lookup (a cold,
      *  non-incremental recording pass). */
@@ -87,16 +94,20 @@ class CellCache
 
     /**
      * Persist executed cells in ONE transaction and drop every
-     * "cell/" entry belonging to a different code fingerprint
-     * (counted as evictions). Failed cells are the caller's
-     * responsibility to exclude — a cached failure would never be
-     * retried.
+     * "cell/", "claim/" or "claimhb/" entry belonging to a
+     * different code fingerprint (counted as evictions). Failed
+     * cells are the caller's responsibility to exclude — a cached
+     * failure would never be retried.
      */
     void commitResults(
         const std::vector<std::pair<std::string,
                                     const CellResult *>> &items);
 
     const std::string &fingerprint() const { return fingerprint_; }
+
+    /** The backing store — the claim executor shares the handle to
+     *  run its claim/commit transactions. */
+    store::PageStore &store() { return store_; }
 
     /** Volatile cache statistics (hits/misses/inserts/evictions/
      *  bytes), as telemetry counters under component "cell_cache". */

@@ -1,0 +1,224 @@
+#include "claim_executor.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cell_cache.hh"
+#include "cell_io.hh"
+#include "store/claim_table.hh"
+
+namespace osp
+{
+
+namespace
+{
+
+/** Outcome of one claim transaction. */
+struct ClaimOutcome
+{
+    /** Index into the expansion of the cell we claimed. */
+    std::optional<std::size_t> cellIndex;
+    /** Cells neither committed nor terminal — some worker still
+     *  owes a result (live lease or awaiting retry by us). */
+    std::uint64_t outstanding = 0;
+    bool reclaimedExpired = false;
+};
+
+} // namespace
+
+WorkerStats
+runSweepWorker(const SweepSpec &spec, CellCache &cache,
+               const WorkerOptions &options)
+{
+    WorkerStats stats;
+    store::ClaimTable table(cache.fingerprint());
+    store::PageStore &store = cache.store();
+
+    std::vector<SweepCell> cells = expandSweep(spec);
+    std::vector<std::string> keys(cells.size());
+    for (const SweepCell &cell : cells)
+        keys[cell.index] =
+            cache.cellKey(spec, cell, options.traceCapacity);
+
+    // Warm-start profiles, as in runSweep.
+    std::vector<const std::string *> warm(cells.size(), nullptr);
+    if (options.warmProfiles) {
+        for (const SweepCell &cell : cells) {
+            if (cell.mode != RunMode::Accelerated)
+                continue;
+            auto it = options.warmProfiles->find(cell.workload);
+            if (it != options.warmProfiles->end())
+                warm[cell.index] = &it->second;
+        }
+    }
+
+    long poll_ms = options.pollMs;
+    bool first_claim = true;
+    for (;;) {
+        // --- claim transaction --------------------------------
+        ClaimOutcome outcome;
+        {
+            store::WriteTx tx = store.beginWrite();
+            std::uint64_t hb = table.bumpHeartbeat(tx);
+            ++stats.heartbeats;
+            for (const SweepCell &cell : cells) {
+                const std::string &key = keys[cell.index];
+                if (tx.get(cache.storeKey(key)))
+                    continue;  // result already committed
+                auto rec = table.get(tx, key);
+                if (rec && rec->state == store::ClaimState::Done)
+                    continue;  // done claim, value raced in
+                if (rec && rec->state == store::ClaimState::Failed)
+                    continue;  // terminal
+                if (outcome.cellIndex) {
+                    ++outcome.outstanding;
+                    continue;
+                }
+                store::ClaimRecord next;
+                next.owner = options.owner;
+                next.state = store::ClaimState::Claimed;
+                next.epoch = hb;
+                if (!rec) {
+                    // Unclaimed: take it.
+                } else if (rec->state == store::ClaimState::Retry) {
+                    next.retries = rec->retries;
+                } else if (rec->owner == options.owner) {
+                    // Our own stale lease (a previous incarnation
+                    // of this owner id): re-claim at full price.
+                    next.retries = rec->retries;
+                } else if (hb - rec->epoch > options.leaseTicks) {
+                    // Expired lease: the owner stopped committing.
+                    // The abandoned attempt costs one retry.
+                    next.retries = rec->retries + 1;
+                    if (next.retries >= options.maxRetries) {
+                        next.state = store::ClaimState::Failed;
+                        next.error = "lease expired (owner " +
+                                     rec->owner + ") after " +
+                                     std::to_string(next.retries) +
+                                     " attempts";
+                        table.put(tx, key, next);
+                        ++stats.exhausted;
+                        continue;
+                    }
+                    outcome.reclaimedExpired = true;
+                } else {
+                    ++outcome.outstanding;  // live lease elsewhere
+                    continue;
+                }
+                table.put(tx, key, next);
+                outcome.cellIndex = cell.index;
+            }
+            tx.commit();
+        }
+
+        if (outcome.cellIndex) {
+            ++stats.claimed;
+            if (outcome.reclaimedExpired)
+                ++stats.reclaimed;
+            poll_ms = options.pollMs;
+        }
+        if (first_claim && outcome.cellIndex &&
+            options.killAfterFirstClaim) {
+            // Crash seam: die holding exactly one live lease.
+            ::kill(::getpid(), SIGKILL);
+        }
+        first_claim = false;
+
+        if (!outcome.cellIndex) {
+            if (outcome.outstanding == 0)
+                return stats;  // sweep complete (or terminal)
+            // Everything left is leased by live workers: wait for
+            // them to finish, fail, or expire.
+            ++stats.polls;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(poll_ms));
+            poll_ms = std::min<long>(poll_ms * 2, 1000);
+            continue;
+        }
+
+        // --- execute (no transaction held) --------------------
+        const SweepCell &cell = cells[*outcome.cellIndex];
+        const std::string &key = keys[cell.index];
+        CellResult result;
+        bool failed = false;
+        std::string error;
+        try {
+            result = options.cellRunner
+                         ? options.cellRunner(spec, cell,
+                                              options.traceCapacity)
+                         : runCell(spec, cell,
+                                   options.traceCapacity,
+                                   warm[cell.index]);
+            ++stats.executed;
+        } catch (const std::exception &e) {
+            failed = true;
+            error = e.what();
+        } catch (...) {
+            failed = true;
+            error = "unknown exception";
+        }
+
+        // --- commit transaction -------------------------------
+        {
+            store::WriteTx tx = store.beginWrite();
+            table.bumpHeartbeat(tx);
+            ++stats.heartbeats;
+            auto rec = table.get(tx, key);
+            if (!rec ||
+                rec->state != store::ClaimState::Claimed ||
+                rec->owner != options.owner) {
+                // Someone reclaimed our expired lease while we ran;
+                // their (identical, deterministic) result wins.
+                ++stats.lostLeases;
+                tx.commit();
+                continue;
+            }
+            store::ClaimRecord next = *rec;
+            if (!failed) {
+                tx.put(cache.storeKey(key),
+                       encodeCellResult(result));
+                next.state = store::ClaimState::Done;
+                next.error.clear();
+                ++stats.committed;
+            } else {
+                next.retries = rec->retries + 1;
+                next.error = error;
+                if (next.retries >= options.maxRetries) {
+                    next.state = store::ClaimState::Failed;
+                    ++stats.exhausted;
+                } else {
+                    next.state = store::ClaimState::Retry;
+                    ++stats.retriesRecorded;
+                }
+            }
+            table.put(tx, key, next);
+            tx.commit();
+        }
+    }
+}
+
+JsonValue
+workerStatsToJson(const WorkerStats &stats,
+                  const std::string &owner)
+{
+    JsonValue doc = JsonValue::object();
+    doc.add("owner", owner);
+    doc.add("claimed", stats.claimed);
+    doc.add("executed", stats.executed);
+    doc.add("committed", stats.committed);
+    doc.add("reclaimed", stats.reclaimed);
+    doc.add("retries_recorded", stats.retriesRecorded);
+    doc.add("exhausted", stats.exhausted);
+    doc.add("lost_leases", stats.lostLeases);
+    doc.add("polls", stats.polls);
+    doc.add("heartbeats", stats.heartbeats);
+    return doc;
+}
+
+} // namespace osp

@@ -296,7 +296,8 @@ runSweep(const SweepSpec &spec, const RunnerOptions &options)
         if (options.incremental) {
             for (const SweepCell &cell : cells) {
                 std::optional<CellResult> hit =
-                    options.cache->fetch(keys[cell.index], cell);
+                    options.cache->fetch(keys[cell.index], cell,
+                                         options.claimAware);
                 if (hit) {
                     result.cells[cell.index] = std::move(*hit);
                     cached[cell.index] = true;
@@ -688,6 +689,8 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
     if (options.includeTiming) {
         JsonValue timing = JsonValue::object();
         timing.add("threads", result.threads);
+        if (result.workerProcesses > 0)
+            timing.add("jobs", result.workerProcesses);
         timing.add("wall_s", result.wallSeconds);
         doc.add("timing", std::move(timing));
     }

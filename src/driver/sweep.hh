@@ -214,6 +214,9 @@ struct SweepResult
     StoreSection store;              //!< set when a cache was used
     unsigned threads = 1;            //!< volatile (timing section)
     double wallSeconds = 0.0;        //!< volatile (timing section)
+    /** Worker processes that executed cells before this (assembly)
+     *  pass; 0 = single-process run. Volatile (timing section). */
+    unsigned workerProcesses = 0;
 
     /**
      * Cell lookup by coordinates; nullptr when the spec did not
@@ -251,6 +254,14 @@ struct RunnerOptions
      * is measured against.
      */
     bool incremental = false;
+    /**
+     * Assembly after a distributed run (requires incremental):
+     * cells with no cached value but an exhausted claim record are
+     * marked failed from the claim table instead of re-executed, so
+     * the assembled document equals the single-process one even for
+     * cells that failed in a worker. See CellCache::fetch.
+     */
+    bool claimAware = false;
     /**
      * Archived PLT profiles by workload: accelerated cells of a
      * listed workload warm-start their predictors from the profile

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The claim/lease keyspace that turns the page store into a
+ * coordination substrate for multi-process sweeps.
+ *
+ * Workers cooperating on one sweep spec rendezvous on two key
+ * families, both living next to the `cell/<fp>/...` result keys:
+ *
+ *  - `claim/<fingerprint>/<cellkey>` — one record per cell a worker
+ *    has taken responsibility for, encoding the owner id, the claim
+ *    state, the logical heartbeat epoch at which the current lease
+ *    was taken, the retry count, and (for failed cells) the last
+ *    error text.
+ *  - `claimhb/<fingerprint>` — a monotonically increasing logical
+ *    heartbeat counter. Every worker write transaction bumps it, so
+ *    it advances exactly when *someone* is making progress. Leases
+ *    expire in heartbeat ticks, not wall time: a claim whose epoch
+ *    lags the counter by more than the lease length belongs to a
+ *    worker that has stopped committing (crashed, killed, hung) and
+ *    may be reclaimed. When *nobody* commits the counter stands
+ *    still, so leases never expire spuriously while the whole fleet
+ *    is stalled on one slow cell.
+ *
+ * Records are canonical compact JSON so tools/check_store.py can
+ * validate the keyspace without C++ help. Encoding is deterministic
+ * (util/json insertion-ordered objects).
+ *
+ * The table is a pure codec plus transaction helpers; arbitration
+ * (who may write when) is the page store's shared-mode gate, and
+ * policy (when to reclaim, when to give up) is the claim executor's
+ * (src/driver/claim_executor).
+ */
+
+#ifndef OSP_STORE_CLAIM_TABLE_HH
+#define OSP_STORE_CLAIM_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "page_store.hh"
+
+namespace osp::store
+{
+
+/** Lifecycle of one cell's claim record. */
+enum class ClaimState
+{
+    Claimed, //!< a worker holds a live lease and is executing
+    Retry,   //!< last attempt threw; awaiting another claimant
+    Done,    //!< result committed under the matching cell key
+    Failed,  //!< retries exhausted; terminal
+};
+
+/** Round-trippable wire name ("claimed", "retry", ...). */
+std::string claimStateName(ClaimState state);
+
+/** Inverse of claimStateName(); nullopt for unknown names. */
+std::optional<ClaimState> claimStateFromName(const std::string &name);
+
+/** One `claim/<fp>/<cellkey>` record. */
+struct ClaimRecord
+{
+    std::string owner;       //!< claiming worker's id
+    ClaimState state = ClaimState::Claimed;
+    std::uint64_t epoch = 0; //!< heartbeat value when claimed
+    std::uint64_t retries = 0;
+    std::string error;       //!< last failure text ("" when none)
+};
+
+/** See file comment. */
+class ClaimTable
+{
+  public:
+    /** `claim/<fingerprint>/<cellkey>`. @p cell_key is the cell
+     *  cache's content hash, not the full store key. */
+    static std::string claimKey(const std::string &fingerprint,
+                                const std::string &cell_key);
+
+    /** `claimhb/<fingerprint>`. */
+    static std::string heartbeatKey(const std::string &fingerprint);
+
+    /** Canonical compact-JSON encoding ("error" omitted when
+     *  empty). */
+    static std::string encode(const ClaimRecord &record);
+
+    /** Strict decode; nullopt on malformed input (tools report
+     *  those as corruption, workers treat them as absent). */
+    static std::optional<ClaimRecord> decode(std::string_view text);
+
+    explicit ClaimTable(std::string fingerprint)
+        : fingerprint_(std::move(fingerprint))
+    {
+    }
+
+    const std::string &fingerprint() const { return fingerprint_; }
+
+    /** Record for @p cell_key in @p tx, nullopt when absent or
+     *  malformed. */
+    template <typename Tx>
+    std::optional<ClaimRecord>
+    get(const Tx &tx, const std::string &cell_key) const
+    {
+        auto raw = tx.get(claimKey(fingerprint_, cell_key));
+        if (!raw)
+            return std::nullopt;
+        return decode(*raw);
+    }
+
+    /** Stage @p record for @p cell_key into @p tx. */
+    void
+    put(WriteTx &tx, const std::string &cell_key,
+        const ClaimRecord &record) const
+    {
+        tx.put(claimKey(fingerprint_, cell_key), encode(record));
+    }
+
+    /** Current heartbeat in @p tx (0 when never bumped). */
+    template <typename Tx>
+    std::uint64_t
+    heartbeat(const Tx &tx) const
+    {
+        auto raw = tx.get(heartbeatKey(fingerprint_));
+        if (!raw)
+            return 0;
+        return parseHeartbeat(*raw);
+    }
+
+    /** Increment the heartbeat in @p tx; returns the new value. */
+    std::uint64_t
+    bumpHeartbeat(WriteTx &tx) const
+    {
+        std::uint64_t next = heartbeat(tx) + 1;
+        tx.put(heartbeatKey(fingerprint_), std::to_string(next));
+        return next;
+    }
+
+  private:
+    static std::uint64_t parseHeartbeat(const std::string &raw);
+
+    std::string fingerprint_;
+};
+
+} // namespace osp::store
+
+#endif // OSP_STORE_CLAIM_TABLE_HH

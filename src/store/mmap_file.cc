@@ -1,10 +1,13 @@
 #include "mmap_file.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -109,6 +112,20 @@ MmapFile::grow(std::size_t new_length)
     map();  // publishes the new view; old views stay mapped
 }
 
+bool
+MmapFile::refresh()
+{
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0)
+        throwErrno("cannot stat", path_);
+    auto disk = static_cast<std::size_t>(st.st_size);
+    if (disk <= length_)
+        return false;
+    length_ = disk;
+    map();  // publishes the longer view; old views stay mapped
+    return true;
+}
+
 void
 MmapFile::sync(std::size_t offset, std::size_t len)
 {
@@ -122,6 +139,77 @@ MmapFile::sync(std::size_t offset, std::size_t len)
         end = length_;
     if (::msync(view_->data() + begin, end - begin, MS_SYNC) != 0)
         throwErrno("cannot msync", path_);
+}
+
+// --- FileLock --------------------------------------------------------
+
+FileLock::FileLock(const std::string &path) : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        throwErrno("cannot open lock file", path);
+}
+
+FileLock::~FileLock()
+{
+    unlock();
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+FileLock::tryLock(const std::string &hint, long wait_ms)
+{
+    if (held_)
+        return true;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(wait_ms);
+    long backoff_ms = 1;
+    for (;;) {
+        if (::flock(fd_, LOCK_EX | LOCK_NB) == 0)
+            break;
+        if (errno != EWOULDBLOCK && errno != EINTR)
+            throwErrno("cannot flock", path_);
+        if (wait_ms <= 0 ||
+            std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min<long>(backoff_ms * 2, 50);
+    }
+    held_ = true;
+
+    std::string line = "pid " + std::to_string(::getpid()) + " (" +
+                       hint + ")\n";
+    // Best effort: a failed hint write must not fail the lock.
+    if (::ftruncate(fd_, 0) == 0) {
+        ssize_t n [[maybe_unused]] =
+            ::pwrite(fd_, line.data(), line.size(), 0);
+    }
+    return true;
+}
+
+void
+FileLock::unlock()
+{
+    if (!held_)
+        return;
+    ::flock(fd_, LOCK_UN);
+    held_ = false;
+}
+
+std::string
+FileLock::holderHint() const
+{
+    char buf[256];
+    ssize_t n = ::pread(fd_, buf, sizeof(buf) - 1, 0);
+    if (n <= 0)
+        return "";
+    std::string hint(buf, static_cast<std::size_t>(n));
+    while (!hint.empty() &&
+           (hint.back() == '\n' || hint.back() == '\r'))
+        hint.pop_back();
+    return hint;
 }
 
 } // namespace osp::store

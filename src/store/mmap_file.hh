@@ -20,6 +20,16 @@
  * POSIX only (mmap/ftruncate/msync); the repo's CI targets are
  * Linux. The OS page-size query follows the usual sysconf idiom
  * with a 4 KB fallback.
+ *
+ * FileLock adds the multi-process arbitration primitive: an
+ * flock(2)-held sidecar lockfile with bounded-backoff acquisition
+ * and a human-readable holder hint, used by the page store both as
+ * an open-lifetime writer gate (exclusive mode) and as a
+ * per-transaction gate (shared worker mode). flock locks belong to
+ * the open file description, so two opens of the same sidecar
+ * conflict even within one process — which is exactly what makes
+ * two PageStore handles in one process behave like two processes
+ * in tests.
  */
 
 #ifndef OSP_STORE_MMAP_FILE_HH
@@ -96,6 +106,14 @@ class MmapFile
      */
     void grow(std::size_t new_length);
 
+    /**
+     * Re-stat the file and, when another process has grown it,
+     * publish a new full-length view (old views stay mapped, as in
+     * grow()). Returns true when the mapping changed. The file
+     * never shrinks, so a stale shorter view is the only case.
+     */
+    bool refresh();
+
     /** msync a byte range of the newest view to disk (MS_SYNC). */
     void sync(std::size_t offset, std::size_t len);
 
@@ -107,6 +125,53 @@ class MmapFile
     int fd_ = -1;
     std::size_t length_ = 0;
     std::shared_ptr<MappedView> view_;
+};
+
+/**
+ * An flock(2)-based advisory lock on a sidecar file (see file
+ * comment). The sidecar is created on construction and never
+ * deleted — unlinking a lockfile while another process holds its
+ * own descriptor to it would split the lock namespace.
+ *
+ * While held, the sidecar's content is a one-line holder hint
+ * ("pid 1234 (exclusive)") so a contending opener can say *who*
+ * holds the store, not just that someone does. The hint is written
+ * under the lock and read optimistically (diagnostics only).
+ */
+class FileLock
+{
+  public:
+    /** Open (creating if absent) the sidecar at @p path. Throws
+     *  std::runtime_error on system-call failure. */
+    explicit FileLock(const std::string &path);
+    ~FileLock();
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /**
+     * Acquire the exclusive lock, retrying with bounded exponential
+     * backoff (1 ms doubling to 50 ms) until roughly @p wait_ms
+     * milliseconds have elapsed; 0 means a single non-blocking
+     * attempt. On success the holder hint is rewritten to
+     * "pid <pid> (<hint>)". Returns false on timeout.
+     */
+    bool tryLock(const std::string &hint, long wait_ms);
+
+    /** Release the lock (no-op when not held). */
+    void unlock();
+
+    bool held() const { return held_; }
+    const std::string &path() const { return path_; }
+
+    /** Last hint written by any holder ("" when none). Read
+     *  without the lock: a diagnostic, not a synchronization. */
+    std::string holderHint() const;
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    bool held_ = false;
 };
 
 } // namespace osp::store

@@ -312,6 +312,30 @@ std::unique_ptr<PageStore>
 PageStore::open(const std::string &path, const StoreOptions &options)
 {
     auto store = std::unique_ptr<PageStore>(new PageStore());
+    store->shared_ = options.shared;
+    store->txLockWaitMs_ = options.txLockWaitMs;
+
+    // The sidecar writer gate. Exclusive read-write opens keep it
+    // for the store's lifetime (a second read-write open fails with
+    // the holder diagnostic below); shared mode holds it only
+    // across open/creation, then per transaction. Read-only
+    // exclusive opens are lockless offline inspection.
+    if (options.shared || !options.readOnly) {
+        store->gate_ = std::make_unique<FileLock>(path + ".lock");
+        long wait = options.shared ? options.txLockWaitMs
+                                   : options.lockWaitMs;
+        if (!store->gate_->tryLock(
+                options.shared ? "shared worker" : "exclusive",
+                wait)) {
+            std::string holder = store->gate_->holderHint();
+            throw std::runtime_error(
+                "store: '" + path +
+                "' is locked by another read-write handle" +
+                (holder.empty() ? std::string()
+                                : " [" + holder + "]") +
+                "; close it, or wait for it with --store-wait");
+        }
+    }
 
     bool exists = false;
     {
@@ -357,6 +381,8 @@ PageStore::open(const std::string &path, const StoreOptions &options)
         store->file_->sync(0, 2 * page_size);
         store->meta_ = m;  // txid 1 (slot 1) is the newest
         store->allocHigh_ = 2;
+        if (options.shared)
+            store->gate_->unlock();
         return store;
     }
 
@@ -403,6 +429,8 @@ PageStore::open(const std::string &path, const StoreOptions &options)
     }
     store->allocHigh_ = store->meta_.numPages;
     store->loadFreelist();
+    if (options.shared)
+        store->gate_->unlock();
     return store;
 }
 
@@ -439,11 +467,101 @@ PageStore::loadFreelist()
     std::sort(free_.begin(), free_.end());
 }
 
+// --- shared-mode gate ------------------------------------------------
+
+void
+PageStore::acquireTxGate()
+{
+    {
+        std::unique_lock<std::mutex> lock(gateMu_);
+        if (gateHeld_ &&
+            gateOwner_ == std::this_thread::get_id())
+            throw std::runtime_error(
+                "store: nested transaction on shared-mode store "
+                "'" +
+                file_->path() + "'");
+        gateCv_.wait(lock, [this] { return !gateHeld_; });
+        gateHeld_ = true;
+        gateOwner_ = std::this_thread::get_id();
+    }
+    if (!gate_->tryLock("shared worker", txLockWaitMs_)) {
+        std::string holder = gate_->holderHint();
+        {
+            std::lock_guard<std::mutex> lock(gateMu_);
+            gateHeld_ = false;
+            gateOwner_ = std::thread::id();
+        }
+        gateCv_.notify_one();
+        throw std::runtime_error(
+            "store: timed out waiting for the writer gate of '" +
+            file_->path() + "'" +
+            (holder.empty() ? std::string()
+                            : " [held by " + holder + "]"));
+    }
+}
+
+void
+PageStore::releaseTxGate()
+{
+    gate_->unlock();
+    {
+        std::lock_guard<std::mutex> lock(gateMu_);
+        gateHeld_ = false;
+        gateOwner_ = std::thread::id();
+    }
+    gateCv_.notify_one();
+}
+
+void
+PageStore::refreshFromDisk()
+{
+    file_->refresh();
+    auto view = file_->view();
+    std::uint64_t file_len = view->length();
+    // Both meta slots at the page size recorded at open (another
+    // process cannot change it); adopt the newest valid commit.
+    Meta newest = meta_;
+    for (std::uint64_t slot = 0; slot < 2; ++slot) {
+        std::uint64_t off =
+            slot * meta_.pageSize + pageHeaderSize;
+        if (off + metaBytes > file_len)
+            continue;
+        Meta m = decodeMeta(view->data() + off);
+        if (metaValid(m, meta_.pageSize, file_len) &&
+            m.txid > newest.txid)
+            newest = m;
+    }
+    if (newest.txid == meta_.txid)
+        return;
+    meta_ = newest;
+    allocHigh_ = meta_.numPages;
+    // The gate globally serializes transactions, so no reader —
+    // here or in any other process — can still reference pages the
+    // adopted freelist hands out.
+    pending_.clear();
+    loadFreelist();
+}
+
 // --- transactions ----------------------------------------------------
 
 ReadTx
 PageStore::beginRead()
 {
+    if (shared_) {
+        acquireTxGate();
+        try {
+            std::lock_guard<std::mutex> lock(stateMu_);
+            refreshFromDisk();
+            readers_.insert(meta_.txid);
+            ReadTx tx(this, file_->view(), meta_.root,
+                      meta_.txid);
+            tx.gated_ = true;
+            return tx;
+        } catch (...) {
+            releaseTxGate();
+            throw;
+        }
+    }
     std::lock_guard<std::mutex> lock(stateMu_);
     readers_.insert(meta_.txid);
     return ReadTx(this, file_->view(), meta_.root, meta_.txid);
@@ -467,15 +585,19 @@ ReadTx::ReadTx(PageStore *store, std::shared_ptr<MappedView> view,
 
 ReadTx::~ReadTx()
 {
-    if (store_)
-        store_->unregisterReader(txid_);
+    if (!store_)
+        return;
+    store_->unregisterReader(txid_);
+    if (gated_)
+        store_->releaseTxGate();
 }
 
 ReadTx::ReadTx(ReadTx &&other) noexcept
     : store_(other.store_), view_(std::move(other.view_)),
-      root_(other.root_), txid_(other.txid_)
+      root_(other.root_), txid_(other.txid_), gated_(other.gated_)
 {
     other.store_ = nullptr;
+    other.gated_ = false;
 }
 
 std::optional<std::string>
@@ -548,7 +670,21 @@ PageStore::beginWrite()
     if (file_->readOnly())
         throw std::runtime_error(
             "store: write transaction on read-only store");
-    return WriteTx(this);
+    if (!shared_)
+        return WriteTx(this);
+    acquireTxGate();
+    try {
+        {
+            std::lock_guard<std::mutex> lock(stateMu_);
+            refreshFromDisk();
+        }
+        WriteTx tx(this);
+        tx.gated_ = true;
+        return tx;
+    } catch (...) {
+        releaseTxGate();
+        throw;
+    }
 }
 
 WriteTx::WriteTx(PageStore *store)
@@ -560,17 +696,23 @@ WriteTx::WriteTx(PageStore *store)
     rootIndex_ = store_->decodeRoot(*view_, store_->meta_.root);
 }
 
-WriteTx::~WriteTx() = default;
+WriteTx::~WriteTx()
+{
+    if (store_ && gated_)
+        store_->releaseTxGate();
+}
 
 WriteTx::WriteTx(WriteTx &&other) noexcept
     : store_(other.store_),
       writerLock_(std::move(other.writerLock_)),
       view_(std::move(other.view_)), baseTxid_(other.baseTxid_),
-      done_(other.done_), rootIndex_(std::move(other.rootIndex_)),
+      done_(other.done_), gated_(other.gated_),
+      rootIndex_(std::move(other.rootIndex_)),
       leaves_(std::move(other.leaves_))
 {
     other.store_ = nullptr;
     other.done_ = true;
+    other.gated_ = false;
 }
 
 std::size_t

@@ -41,11 +41,35 @@
  * ordering is data-pages msync, then meta write, then meta msync;
  * killing the process between any two steps recovers to the
  * previous commit.
+ *
+ * Multi-process arbitration (StoreOptions): every store has a
+ * sidecar lockfile "<path>.lock" (see FileLock in mmap_file.hh).
+ *
+ *  - *Exclusive* (default): a read-write open acquires the lock
+ *    for the store's whole lifetime, so a second read-write open —
+ *    from another process or another handle in this one — fails
+ *    fast with a diagnostic naming the holder instead of silently
+ *    corrupting the file (StoreOptions::lockWaitMs bounds an
+ *    optional wait). Read-only opens take no lock; they are
+ *    offline-inspection tools.
+ *  - *Shared* (worker mode): the open does not keep the lock.
+ *    Instead EVERY transaction — read and write — holds it from
+ *    begin to destruction, globally serializing transactions
+ *    across all sharing processes, and re-reads the meta pages
+ *    (plus freelist and mapping length) at begin so each
+ *    transaction starts from the newest committed tree. This is
+ *    deliberately coarse: distributed sweep workers spend their
+ *    time simulating *outside* transactions, so a global
+ *    transaction gate costs them nothing while making cross-
+ *    process reader/page-reuse races impossible by construction.
+ *    Transactions cannot nest on one thread in this mode (the
+ *    store throws rather than self-deadlocking).
  */
 
 #ifndef OSP_STORE_PAGE_STORE_HH
 #define OSP_STORE_PAGE_STORE_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -55,6 +79,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "mmap_file.hh"
@@ -157,6 +182,7 @@ class ReadTx
     std::shared_ptr<MappedView> view_;
     std::uint64_t root_;
     std::uint64_t txid_;
+    bool gated_ = false;  //!< holds the shared-mode tx gate
 };
 
 /**
@@ -219,6 +245,7 @@ class WriteTx
     std::shared_ptr<MappedView> view_;
     std::uint64_t baseTxid_ = 0;
     bool done_ = false;
+    bool gated_ = false;  //!< holds the shared-mode tx gate
 
     /** (first key, page id) of every base-tree leaf, key order. */
     std::vector<std::pair<std::string, std::uint64_t>> rootIndex_;
@@ -232,6 +259,25 @@ struct StoreOptions
     /** Page size for a newly created file; 0 = the OS VM page
      *  size. Existing files always use their recorded size. */
     std::uint32_t pageSize = 0;
+    /**
+     * Shared (multi-process worker) mode: the writer gate is held
+     * per transaction instead of per open, and every transaction
+     * refreshes from disk first. See the file comment.
+     */
+    bool shared = false;
+    /**
+     * Exclusive mode: how long a read-write open waits for the
+     * writer gate before failing with the holder diagnostic.
+     * 0 = fail immediately (the `sweep --store-wait` flag).
+     */
+    long lockWaitMs = 0;
+    /**
+     * Shared mode: how long a transaction waits for the gate. The
+     * generous default covers commit-sized critical sections of
+     * any realistic worker fleet; hitting it usually means an
+     * *exclusive* handle holds the store open.
+     */
+    long txLockWaitMs = 60000;
 };
 
 /** See file comment. */
@@ -269,6 +315,7 @@ class PageStore
 
     const std::string &path() const { return file_->path(); }
     std::uint32_t pageSize() const { return meta_.pageSize; }
+    bool shared() const { return shared_; }
 
     /** Arm a commit fail point (test seam; one-shot). */
     void setFailPoint(FailPoint fp) { failPoint_ = fp; }
@@ -304,6 +351,16 @@ class PageStore
     void loadFreelist();
     void unregisterReader(std::uint64_t txid);
 
+    /** Shared mode: acquire/release the cross-process transaction
+     *  gate (in-process queueing + the sidecar flock). acquire
+     *  throws on same-thread nesting or gate timeout. */
+    void acquireTxGate();
+    void releaseTxGate();
+
+    /** Shared mode, gate + stateMu_ held: remap if the file grew
+     *  and adopt the newest committed meta/freelist from disk. */
+    void refreshFromDisk();
+
     /** Allocate a run of @p n contiguous pages from the free list
      *  or the end of the file (no mapping change; commit grows the
      *  file afterwards). Caller holds stateMu_. */
@@ -327,6 +384,18 @@ class PageStore
     std::mutex stateMu_;   //!< meta_/free_/pending_/readers_/view
     std::mutex writerMu_;  //!< serializes write transactions
     FailPoint failPoint_ = FailPoint::None;
+
+    /** The sidecar writer gate ("<path>.lock"). Exclusive mode
+     *  holds it from open to close; shared mode per transaction. */
+    std::unique_ptr<FileLock> gate_;
+    bool shared_ = false;
+    long txLockWaitMs_ = 0;
+    /** In-process half of the shared-mode gate: queues threads
+     *  before the flock and detects same-thread nesting. */
+    std::mutex gateMu_;
+    std::condition_variable gateCv_;
+    bool gateHeld_ = false;
+    std::thread::id gateOwner_;
 };
 
 /** Meta checksum as stored on disk (exposed for tools/tests). */

@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/accelerator.hh"
 #include "driver/experiments.hh"
@@ -123,6 +124,33 @@ TEST(RunSweep, ThreadCountInvariance)
     writeResultsJson(os1, runSweep(spec, serial), canonical);
     writeResultsJson(os8, runSweep(spec, parallel), canonical);
     EXPECT_EQ(os1.str(), os8.str());
+}
+
+TEST(RunSweep, AutoThreadCountIsRecordedResolved)
+{
+    // threads = 0 means "pick hardware_concurrency()"; the timing
+    // section must record what was actually used, not the 0.
+    SweepSpec spec = tinySpec();
+    spec.workloads = {"du"};
+
+    RunnerOptions opts;
+    opts.threads = 0;
+    opts.cellRunner = [](const SweepSpec &, const SweepCell &cell,
+                         std::size_t) {
+        CellResult r;
+        r.cell = cell;
+        return r;
+    };
+    SweepResult result = runSweep(spec, opts);
+
+    unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_GE(result.threads, 1u);
+    if (hw != 0) {
+        EXPECT_EQ(result.threads, hw);
+    }
+
+    JsonValue doc = sweepToJson(result);
+    EXPECT_EQ(doc["timing"]["threads"].asUint(), result.threads);
 }
 
 TEST(RunSweep, CellsMatchStandaloneRuns)

@@ -1,0 +1,177 @@
+/** @file Tests for the claim/lease codec and transaction helpers:
+ *  canonical record round-trips, strict rejection of malformed
+ *  records, key layout, and the heartbeat counter. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "store/claim_table.hh"
+#include "store/page_store.hh"
+
+namespace osp::store
+{
+namespace
+{
+
+class ClaimTableTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("osp_claim_test_" +
+                  std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()) +
+                  ".db"))
+                    .string();
+        std::filesystem::remove(path_);
+        std::filesystem::remove(path_ + ".lock");
+        store_ = PageStore::open(path_);
+    }
+
+    void
+    TearDown() override
+    {
+        store_.reset();
+        std::filesystem::remove(path_);
+        std::filesystem::remove(path_ + ".lock");
+    }
+
+    std::string path_;
+    std::unique_ptr<PageStore> store_;
+};
+
+TEST(ClaimTableKeys, Layout)
+{
+    EXPECT_EQ(ClaimTable::claimKey("f00d", "abc123"),
+              "claim/f00d/abc123");
+    EXPECT_EQ(ClaimTable::heartbeatKey("f00d"), "claimhb/f00d");
+}
+
+TEST(ClaimTableCodec, RoundTripsEveryStateExactly)
+{
+    for (ClaimState state :
+         {ClaimState::Claimed, ClaimState::Retry, ClaimState::Done,
+          ClaimState::Failed}) {
+        ClaimRecord rec;
+        rec.owner = "worker-1";
+        rec.state = state;
+        rec.epoch = 41;
+        rec.retries = 2;
+        if (state == ClaimState::Retry ||
+            state == ClaimState::Failed)
+            rec.error = "cell exploded: \"quoted\"";
+
+        std::string encoded = ClaimTable::encode(rec);
+        std::optional<ClaimRecord> decoded =
+            ClaimTable::decode(encoded);
+        ASSERT_TRUE(decoded.has_value())
+            << claimStateName(state);
+        EXPECT_EQ(decoded->owner, rec.owner);
+        EXPECT_EQ(decoded->state, rec.state);
+        EXPECT_EQ(decoded->epoch, rec.epoch);
+        EXPECT_EQ(decoded->retries, rec.retries);
+        EXPECT_EQ(decoded->error, rec.error);
+        // Canonical: encoding is a fixpoint.
+        EXPECT_EQ(ClaimTable::encode(*decoded), encoded);
+    }
+}
+
+TEST(ClaimTableCodec, ErrorOmittedWhenEmpty)
+{
+    ClaimRecord rec;
+    rec.owner = "w";
+    std::string encoded = ClaimTable::encode(rec);
+    EXPECT_EQ(encoded.find("error"), std::string::npos) << encoded;
+}
+
+TEST(ClaimTableCodec, RejectsMalformedRecords)
+{
+    EXPECT_EQ(ClaimTable::decode(""), std::nullopt);
+    EXPECT_EQ(ClaimTable::decode("not json"), std::nullopt);
+    EXPECT_EQ(ClaimTable::decode("{}"), std::nullopt);
+    EXPECT_EQ(ClaimTable::decode("[1,2]"), std::nullopt);
+    // Unknown state name.
+    EXPECT_EQ(ClaimTable::decode(
+                  R"({"owner":"w","state":"zombie","epoch":1,)"
+                  R"("retries":0})"),
+              std::nullopt);
+    // Wrong types.
+    EXPECT_EQ(ClaimTable::decode(
+                  R"({"owner":1,"state":"done","epoch":1,)"
+                  R"("retries":0})"),
+              std::nullopt);
+    EXPECT_EQ(ClaimTable::decode(
+                  R"({"owner":"w","state":"done","epoch":"x",)"
+                  R"("retries":0})"),
+              std::nullopt);
+    // Missing field.
+    EXPECT_EQ(
+        ClaimTable::decode(R"({"owner":"w","state":"done"})"),
+        std::nullopt);
+}
+
+TEST(ClaimTableCodec, StateNamesRoundTrip)
+{
+    for (ClaimState state :
+         {ClaimState::Claimed, ClaimState::Retry, ClaimState::Done,
+          ClaimState::Failed})
+        EXPECT_EQ(claimStateFromName(claimStateName(state)), state);
+    EXPECT_EQ(claimStateFromName("bogus"), std::nullopt);
+}
+
+TEST_F(ClaimTableTest, HeartbeatStartsAtZeroAndCounts)
+{
+    ClaimTable table("fp");
+    EXPECT_EQ(table.heartbeat(store_->beginRead()), 0u);
+    for (std::uint64_t want = 1; want <= 3; ++want) {
+        WriteTx tx = store_->beginWrite();
+        EXPECT_EQ(table.bumpHeartbeat(tx), want);
+        tx.commit();
+    }
+    EXPECT_EQ(table.heartbeat(store_->beginRead()), 3u);
+    // Independent per fingerprint.
+    EXPECT_EQ(ClaimTable("other").heartbeat(store_->beginRead()),
+              0u);
+}
+
+TEST_F(ClaimTableTest, RecordLifecycleThroughTheStore)
+{
+    ClaimTable table("fp");
+    EXPECT_EQ(table.get(store_->beginRead(), "cell1"),
+              std::nullopt);
+
+    ClaimRecord rec;
+    rec.owner = "w1";
+    rec.epoch = 7;
+    {
+        WriteTx tx = store_->beginWrite();
+        table.put(tx, "cell1", rec);
+        tx.commit();
+    }
+    auto got = table.get(store_->beginRead(), "cell1");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->owner, "w1");
+    EXPECT_EQ(got->state, ClaimState::Claimed);
+
+    rec.state = ClaimState::Failed;
+    rec.retries = 3;
+    rec.error = "boom";
+    {
+        WriteTx tx = store_->beginWrite();
+        table.put(tx, "cell1", rec);
+        tx.commit();
+    }
+    got = table.get(store_->beginRead(), "cell1");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->state, ClaimState::Failed);
+    EXPECT_EQ(got->retries, 3u);
+    EXPECT_EQ(got->error, "boom");
+}
+
+} // namespace
+} // namespace osp::store

@@ -123,7 +123,7 @@ TEST_F(PltArchiveTest, ArchivedProfileSurvivesReopen)
         store::PltArchive archive(*store_);
         archive.save("du", "persisted profile");
     }
-    store_.reset();
+    store_.reset();  // release the writer gate before reopening
     store_ = store::PageStore::open(path_);
     store::PltArchive archive(*store_);
     EXPECT_EQ(archive.load("du"), "persisted profile");

@@ -15,15 +15,25 @@ without linking the simulator:
     every overflow value run
   * the freelist run is decoded and checked for range, duplicates
     and overlap with reachable pages
+  * the claim/lease keyspace of distributed sweeps
+    (src/store/claim_table.hh) is cross-checked: every
+    ``claim/<fp>/<cellkey>`` record must decode (owner, known
+    state, epoch, retries), a done claim must have its matching
+    ``cell/<fp>/<cellkey>`` value, a live claim must *not* (commit
+    writes both atomically), no owner may hold two live claims at
+    once (workers claim one cell per transaction), and no claim may
+    be newer than its fingerprint's ``claimhb/<fp>`` heartbeat
 
 Exit status 0 means the store is healthy (a report is printed,
 ``--json`` for machine-readable form); any corruption exits 1 with
 a diagnostic on stderr. CI runs this after the cold and warm smoke
-sweeps and over a corpus of deliberately truncated files (which
+sweeps, after the distributed-sweep assembly (with ``--no-orphans``:
+a live or retry-state claim surviving assembly means a cell was
+lost), and over a corpus of deliberately truncated files (which
 must all fail).
 
 Usage:
-  tools/check_store.py STORE [--json] [--expect-keys N]
+  tools/check_store.py STORE [--json] [--expect-keys N] [--no-orphans]
 """
 
 import argparse
@@ -146,13 +156,17 @@ def pick_meta(data: bytes, path: str):
 
 
 def walk_tree(data: bytes, meta: Meta):
-    """Validate the live tree; returns (stats, reachable page set)."""
+    """Validate the live tree; returns (stats, reachable page set,
+    coordination view). The coordination view is what the claim
+    checker needs: claim records and heartbeats by key (decoded
+    values) plus the set of cell keys (names only)."""
     ps = meta.page_size
     reachable = {0, 1}
     stats = {"leaf_pages": 0, "overflow_pages": 0,
              "root_run_pages": 0, "keys": 0, "value_bytes": 0}
+    coord = {"claims": {}, "heartbeats": {}, "cell_keys": set()}
     if meta.root == 0:
-        return stats, reachable
+        return stats, reachable, coord
 
     # Root directory run: count, then (leaf u64, ksize u32, key).
     _, _, root_ov = page_header(data, ps, meta.root)
@@ -202,6 +216,8 @@ def walk_tree(data: bytes, meta: Meta):
             if prev_key is not None and key <= prev_key:
                 raise Corrupt(f"keys out of order at leaf {leaf}")
             prev_key = key
+            value = None
+            want_value = key.startswith((b"claim/", b"claimhb/"))
             if is_overflow:
                 (ov,) = struct.unpack_from(
                     "<Q", data, base + pos + 9 + ksize)
@@ -220,10 +236,25 @@ def walk_tree(data: bytes, meta: Meta):
                                   f"run {ov}")
                 reachable.update(run)
                 stats["overflow_pages"] += 1 + oextra
+                if want_value:
+                    start = ov * ps + PAGE_HEADER_SIZE
+                    value = data[start:start + vsize]
+            elif want_value:
+                start = base + pos + 9 + ksize
+                value = data[start:start + vsize]
+            if key.startswith(b"claim/"):
+                coord["claims"][key.decode("utf-8",
+                                           "replace")] = value
+            elif key.startswith(b"claimhb/"):
+                coord["heartbeats"][key.decode(
+                    "utf-8", "replace")] = value
+            elif key.startswith(b"cell/"):
+                coord["cell_keys"].add(key.decode("utf-8",
+                                                  "replace"))
             stats["keys"] += 1
             stats["value_bytes"] += vsize
             pos += rec
-    return stats, reachable
+    return stats, reachable, coord
 
 
 def check_freelist(data: bytes, meta: Meta, reachable: set):
@@ -252,6 +283,71 @@ def check_freelist(data: bytes, meta: Meta, reachable: set):
     return count, 1 + ov
 
 
+CLAIM_STATES = ("claimed", "retry", "done", "failed")
+
+
+def check_claims(coord: dict, no_orphans: bool) -> dict:
+    """Validate the claim/lease keyspace (see module docstring);
+    returns per-state counts. Raises Corrupt on any violation."""
+    counts = {state: 0 for state in CLAIM_STATES}
+    heartbeats = {}
+    for key, raw in coord["heartbeats"].items():
+        fp = key[len("claimhb/"):]
+        try:
+            heartbeats[fp] = int(raw.decode("ascii"))
+        except (UnicodeDecodeError, ValueError):
+            raise Corrupt(f"heartbeat {key} is not a decimal "
+                          "counter")
+
+    live_owners = {}  # fingerprint -> owner -> claim key
+    for key, raw in sorted(coord["claims"].items()):
+        fp, _, cell_key = key[len("claim/"):].partition("/")
+        if not cell_key:
+            raise Corrupt(f"claim key {key} lacks a cell key")
+        try:
+            rec = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise Corrupt(f"claim {key} is not valid JSON")
+        if (not isinstance(rec, dict)
+                or not isinstance(rec.get("owner"), str)
+                or rec.get("state") not in CLAIM_STATES
+                or not isinstance(rec.get("epoch"), int)
+                or not isinstance(rec.get("retries"), int)):
+            raise Corrupt(f"claim {key} has a malformed record")
+        state = rec["state"]
+        counts[state] += 1
+
+        hb = heartbeats.get(fp)
+        if hb is None:
+            raise Corrupt(f"claim {key} has no heartbeat "
+                          f"claimhb/{fp}")
+        if rec["epoch"] > hb:
+            raise Corrupt(f"claim {key} epoch {rec['epoch']} is "
+                          f"ahead of heartbeat {hb}")
+
+        has_cell = f"cell/{fp}/{cell_key}" in coord["cell_keys"]
+        if state == "done" and not has_cell:
+            raise Corrupt(f"done claim {key} has no cell value")
+        if state == "claimed":
+            if has_cell:
+                raise Corrupt(f"live claim {key} on a committed "
+                              "cell (commit writes both "
+                              "atomically)")
+            other = live_owners.setdefault(fp, {})
+            if rec["owner"] in other:
+                raise Corrupt(
+                    f"owner {rec['owner']} holds two live claims "
+                    f"({other[rec['owner']]} and {key})")
+            other[rec["owner"]] = key
+
+    if no_orphans and (counts["claimed"] or counts["retry"]):
+        raise Corrupt(
+            f"{counts['claimed']} live and {counts['retry']} "
+            "retry-state claim(s) survive (--no-orphans: "
+            "every cell must be done or failed after assembly)")
+    return counts
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description="Validate an ospredict page-store file.")
@@ -260,6 +356,9 @@ def main() -> int:
                     help="print the report as JSON")
     ap.add_argument("--expect-keys", type=int, default=None,
                     help="additionally require exactly N keys")
+    ap.add_argument("--no-orphans", action="store_true",
+                    help="fail when any live or retry-state claim "
+                         "remains (run after --assemble)")
     args = ap.parse_args()
 
     try:
@@ -271,9 +370,10 @@ def main() -> int:
 
     try:
         meta, valid_slots = pick_meta(data, args.store)
-        stats, reachable = walk_tree(data, meta)
+        stats, reachable, coord = walk_tree(data, meta)
         free_count, freelist_run_pages = check_freelist(
             data, meta, reachable)
+        claim_counts = check_claims(coord, args.no_orphans)
     except Corrupt as e:
         print(f"check_store: {args.store}: CORRUPT: {e}",
               file=sys.stderr)
@@ -290,6 +390,7 @@ def main() -> int:
         "free_pages": free_count,
         "freelist_run_pages": freelist_run_pages,
         **stats,
+        "claims": claim_counts,
     }
     if args.expect_keys is not None and stats["keys"] != args.expect_keys:
         print(f"check_store: {args.store}: expected "
@@ -300,12 +401,16 @@ def main() -> int:
     if args.json:
         print(json.dumps(report, indent=2))
     else:
+        claims = ", ".join(f"{claim_counts[s]} {s}"
+                           for s in CLAIM_STATES
+                           if claim_counts[s])
         print(f"{args.store}: OK — txid {meta.txid}, "
               f"{stats['keys']} keys, {meta.num_pages} pages "
               f"({stats['leaf_pages']} leaf, "
               f"{stats['overflow_pages']} overflow, "
               f"{free_count} free), "
-              f"{valid_slots}/2 meta slots valid")
+              f"{valid_slots}/2 meta slots valid"
+              + (f"; claims: {claims}" if claims else ""))
     return 0
 
 
