@@ -20,7 +20,9 @@
  *       assemble — one command, same bytes as --threads runs.
  *   sweep table2 --store s.db --worker --owner w1
  *       one claim-loop worker; run any number of these on the same
- *       store, from any mix of terminals/hosts sharing the file.
+ *       store, from any mix of terminals on one host (flock(2)
+ *       arbitration is host-local — network filesystems are not
+ *       supported; see EXPERIMENTS.md "Distributed sweeps").
  *   sweep table2 --store s.db --assemble --out results.json
  *       replay every cached cell into the final document (cells no
  *       worker finished are executed locally; cells that exhausted
@@ -122,6 +124,9 @@ usage(int code)
           "(default 3)\n"
           "  --poll-ms MS   initial idle-poll sleep while other "
           "workers hold leases (default 50)\n"
+          "  --refresh-ms MS\n"
+          "                 lease-refresh period while a cell "
+          "executes (default 200; 0 disables)\n"
           "  --kill-after-claim\n"
           "                 crash-test seam: SIGKILL ourselves "
           "after the first claim commits (--worker only)\n";
@@ -294,6 +299,9 @@ main(int argc, char **argv)
                 std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--poll-ms" && i + 1 < argc) {
             wopts.pollMs = std::strtol(argv[++i], nullptr, 10);
+        } else if (arg == "--refresh-ms" && i + 1 < argc) {
+            wopts.refreshMs =
+                std::strtol(argv[++i], nullptr, 10);
         } else if (arg == "--kill-after-claim") {
             wopts.killAfterFirstClaim = true;
         } else if (arg == "--store-wait" && i + 1 < argc) {

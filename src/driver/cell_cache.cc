@@ -226,16 +226,32 @@ CellCache::commitResults(
     // keyspaces age out with the cells they coordinated.
     std::vector<std::string> stale;
     {
+        // cell/ and claim/ hold many keys per fingerprint, so the
+        // live set is a prefix; claimhb/ holds exactly one key per
+        // fingerprint, so it is matched exactly (a prefix test
+        // would let a fingerprint that merely extends ours escape
+        // eviction).
+        struct Family
+        {
+            std::string prefix, live;
+            bool exact;
+        };
+        const Family families[] = {
+            {std::string(cellPrefix),
+             std::string(cellPrefix) + fingerprint_ + "/", false},
+            {"claim/", "claim/" + fingerprint_ + "/", false},
+            {"claimhb/", "claimhb/" + fingerprint_, true},
+        };
         store::ReadTx read = store_.beginRead();
-        for (const auto &[prefix, live] :
-             {std::pair<std::string, std::string>{
-                  std::string(cellPrefix),
-                  std::string(cellPrefix) + fingerprint_ + "/"},
-              {"claim/", "claim/" + fingerprint_ + "/"},
-              {"claimhb/", "claimhb/" + fingerprint_}}) {
-            read.scan(prefix, [&](std::string_view k,
-                                  std::string_view) {
-                if (k.compare(0, live.size(), live) != 0)
+        for (const Family &family : families) {
+            read.scan(family.prefix, [&](std::string_view k,
+                                         std::string_view) {
+                bool is_live =
+                    family.exact
+                        ? k == family.live
+                        : k.compare(0, family.live.size(),
+                                    family.live) == 0;
+                if (!is_live)
                     stale.emplace_back(k);
                 return true;
             });

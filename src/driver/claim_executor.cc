@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
+#include <limits>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -28,6 +31,94 @@ struct ClaimOutcome
      *  owes a result (live lease or awaiting retry by us). */
     std::uint64_t outstanding = 0;
     bool reclaimedExpired = false;
+};
+
+/**
+ * Background lease refresher: while a cell executes, periodically
+ * re-assert the claim's epoch so the lease stays fresh however
+ * fast other workers' poll/claim/commit transactions advance the
+ * heartbeat. Best-effort — a refresh that loses the store gate or
+ * hits an I/O error is simply skipped; the worst case (the lease
+ * expires and another worker re-runs the cell) is benign because
+ * reclaims are free and cells are deterministic.
+ */
+class LeaseRefresher
+{
+  public:
+    LeaseRefresher(store::PageStore &store,
+                   const store::ClaimTable &table,
+                   const std::string &cell_key,
+                   const std::string &owner, long period_ms)
+        : store_(store), table_(table), cellKey_(cell_key),
+          owner_(owner)
+    {
+        if (period_ms > 0)
+            thread_ = std::thread(
+                [this, period_ms] { run(period_ms); });
+    }
+
+    ~LeaseRefresher() { stop(); }
+
+    /** Join the refresher; returns how many refreshes landed. */
+    std::uint64_t
+    stop()
+    {
+        if (thread_.joinable()) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                stop_ = true;
+            }
+            cv_.notify_one();
+            thread_.join();
+        }
+        return refreshes_;
+    }
+
+  private:
+    void
+    run(long period_ms)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!cv_.wait_for(lock,
+                             std::chrono::milliseconds(period_ms),
+                             [this] { return stop_; })) {
+            lock.unlock();
+            refreshOnce();
+            lock.lock();
+        }
+    }
+
+    void
+    refreshOnce()
+    {
+        try {
+            store::WriteTx tx = store_.beginWrite();
+            auto rec = table_.get(tx, cellKey_);
+            if (!rec ||
+                rec->state != store::ClaimState::Claimed ||
+                rec->owner != owner_)
+                return;  // reclaimed under us; drop the tx
+            std::uint64_t hb = table_.heartbeat(tx);
+            if (rec->epoch == hb)
+                return;  // already fresh; nothing to commit
+            rec->epoch = hb;
+            table_.put(tx, cellKey_, *rec);
+            tx.commit();
+            ++refreshes_;
+        } catch (...) {
+            // Skip this refresh; the next period tries again.
+        }
+    }
+
+    store::PageStore &store_;
+    const store::ClaimTable &table_;
+    std::string cellKey_;
+    std::string owner_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::uint64_t refreshes_ = 0;
 };
 
 } // namespace
@@ -65,6 +156,13 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
         ClaimOutcome outcome;
         {
             store::WriteTx tx = store.beginWrite();
+            // Bump even when this pass claims nothing: once every
+            // other cell is done, idle polls are the only thing
+            // still advancing the clock, and without them a
+            // crashed worker's last lease would never expire. Live
+            // owners are immune to the resulting churn — their
+            // refresher re-asserts the epoch while they execute,
+            // and reclaiming never charges a retry.
             std::uint64_t hb = table.bumpHeartbeat(tx);
             ++stats.heartbeats;
             for (const SweepCell &cell : cells) {
@@ -92,24 +190,32 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
                     // Our own stale lease (a previous incarnation
                     // of this owner id): re-claim at full price.
                     next.retries = rec->retries;
-                } else if (hb - rec->epoch > options.leaseTicks) {
-                    // Expired lease: the owner stopped committing.
-                    // The abandoned attempt costs one retry.
-                    next.retries = rec->retries + 1;
-                    if (next.retries >= options.maxRetries) {
-                        next.state = store::ClaimState::Failed;
-                        next.error = "lease expired (owner " +
-                                     rec->owner + ") after " +
-                                     std::to_string(next.retries) +
-                                     " attempts";
-                        table.put(tx, key, next);
-                        ++stats.exhausted;
+                } else {
+                    // hb is this transaction's bump, so any well-
+                    // formed store has epoch <= hb (check_store
+                    // asserts it). An epoch from the future means
+                    // the heartbeat record was corrupted and the
+                    // counter restarted near zero: treat the lease
+                    // as infinitely old so the keyspace heals
+                    // through reclaim.
+                    std::uint64_t age =
+                        hb >= rec->epoch
+                            ? hb - rec->epoch
+                            : std::numeric_limits<
+                                  std::uint64_t>::max();
+                    if (age <= options.leaseTicks) {
+                        ++outcome.outstanding;  // live lease
                         continue;
                     }
+                    // Expired lease: the owner stopped refreshing
+                    // (crashed, killed, hung). Reclaiming is free
+                    // — only execution failures charge retries —
+                    // so a slow but live owner can never be driven
+                    // to terminal failure by lease churn; the
+                    // duplicate run it causes is benign because
+                    // cells are deterministic.
+                    next.retries = rec->retries;
                     outcome.reclaimedExpired = true;
-                } else {
-                    ++outcome.outstanding;  // live lease elsewhere
-                    continue;
                 }
                 table.put(tx, key, next);
                 outcome.cellIndex = cell.index;
@@ -148,20 +254,27 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
         CellResult result;
         bool failed = false;
         std::string error;
-        try {
-            result = options.cellRunner
-                         ? options.cellRunner(spec, cell,
-                                              options.traceCapacity)
-                         : runCell(spec, cell,
-                                   options.traceCapacity,
-                                   warm[cell.index]);
-            ++stats.executed;
-        } catch (const std::exception &e) {
-            failed = true;
-            error = e.what();
-        } catch (...) {
-            failed = true;
-            error = "unknown exception";
+        {
+            LeaseRefresher refresher(store, table, key,
+                                     options.owner,
+                                     options.refreshMs);
+            try {
+                result =
+                    options.cellRunner
+                        ? options.cellRunner(spec, cell,
+                                             options.traceCapacity)
+                        : runCell(spec, cell,
+                                  options.traceCapacity,
+                                  warm[cell.index]);
+                ++stats.executed;
+            } catch (const std::exception &e) {
+                failed = true;
+                error = e.what();
+            } catch (...) {
+                failed = true;
+                error = "unknown exception";
+            }
+            stats.refreshes += refresher.stop();
         }
 
         // --- commit transaction -------------------------------
@@ -218,6 +331,7 @@ workerStatsToJson(const WorkerStats &stats,
     doc.add("lost_leases", stats.lostLeases);
     doc.add("polls", stats.polls);
     doc.add("heartbeats", stats.heartbeats);
+    doc.add("refreshes", stats.refreshes);
     return doc;
 }
 

@@ -13,14 +13,18 @@
  *     or a terminal claim, and take the first cell that is
  *     unclaimed, awaiting retry, or whose claim's lease has expired
  *     (heartbeat - epoch > leaseTicks — the owner stopped
- *     committing). Reclaiming an expired lease charges one retry;
- *     a cell whose retries reach the policy limit is marked failed
- *     (terminal) instead of re-claimed.
+ *     refreshing). Reclaiming an expired lease is free: only
+ *     execution failures charge retries, so lease churn alone can
+ *     never drive a cell to the terminal failed state.
  *  2. *Execute.* runCell() (or the test seam) outside any
  *     transaction — the expensive part runs unserialized, which is
- *     where the multi-process speedup comes from.
+ *     where the multi-process speedup comes from. A background
+ *     refresher thread re-asserts the claim's epoch every
+ *     refreshMs, so the lease stays fresh however long the cell
+ *     takes while other workers' poll transactions advance the
+ *     heartbeat.
  *  3. *Commit.* One write transaction: bump the heartbeat, verify
- *     the claim is still ours (a slow worker whose lease was
+ *     the claim is still ours (a worker whose lease was somehow
  *     reclaimed finds another owner and discards its result — the
  *     duplicate execution is benign because cells are
  *     deterministic), then atomically put the encoded cell value
@@ -56,11 +60,18 @@ struct WorkerOptions
     /** Lease length in heartbeat ticks: a claim whose epoch lags
      *  the counter by more than this is reclaimable. */
     std::uint64_t leaseTicks = 64;
-    /** Total attempts a cell gets before it is marked failed. */
+    /** Total attempts a cell gets before it is marked failed.
+     *  Only execution failures count; lease-expiry reclaims are
+     *  free. */
     std::uint64_t maxRetries = 3;
     /** Initial idle-poll sleep (doubles up to 1 s) while waiting on
      *  other workers' live leases. */
     long pollMs = 50;
+    /** Wall-clock period of the background refresher that
+     *  re-asserts this worker's claim epoch while a cell executes,
+     *  keeping the lease fresh under other workers' heartbeat
+     *  bumps (0 disables refreshing — test seam). */
+    long refreshMs = 200;
     /** As RunnerOptions: per-cell event-ring size. */
     std::size_t traceCapacity = 0;
     /** As RunnerOptions: archived PLT profiles by workload. */
@@ -89,6 +100,8 @@ struct WorkerStats
     std::uint64_t lostLeases = 0; //!< results discarded (reclaimed)
     std::uint64_t polls = 0;      //!< idle waits on live leases
     std::uint64_t heartbeats = 0; //!< heartbeat bumps
+    std::uint64_t refreshes = 0;  //!< lease epochs re-asserted
+                                  //!< mid-execution
 };
 
 /**

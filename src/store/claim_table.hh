@@ -12,14 +12,20 @@
  *    was taken, the retry count, and (for failed cells) the last
  *    error text.
  *  - `claimhb/<fingerprint>` — a monotonically increasing logical
- *    heartbeat counter. Every worker write transaction bumps it, so
- *    it advances exactly when *someone* is making progress. Leases
- *    expire in heartbeat ticks, not wall time: a claim whose epoch
- *    lags the counter by more than the lease length belongs to a
- *    worker that has stopped committing (crashed, killed, hung) and
- *    may be reclaimed. When *nobody* commits the counter stands
- *    still, so leases never expire spuriously while the whole fleet
- *    is stalled on one slow cell.
+ *    heartbeat counter. Every worker claim, commit, and idle-poll
+ *    transaction bumps it, so it advances whenever any worker is
+ *    making progress *or waiting on someone else's lease* (idle
+ *    bumps are what let a crashed worker's last lease expire once
+ *    everything else is done). Leases expire in heartbeat ticks,
+ *    not wall time: a claim whose epoch lags the counter by more
+ *    than the lease length belongs to a worker that has stopped
+ *    participating and may be reclaimed. A live owner keeps its
+ *    lease fresh however long a cell takes — a background
+ *    refresher (driver/claim_executor) re-asserts the claim's
+ *    epoch while it executes — and reclaiming never charges a
+ *    retry, so even a spuriously expired lease (an owner alive but
+ *    stalled past its refresh period) costs only benign duplicate
+ *    execution, never a terminal failure.
  *
  * Records are canonical compact JSON so tools/check_store.py can
  * validate the keyspace without C++ help. Encoding is deterministic

@@ -1,10 +1,13 @@
 /** @file Tests for the distributed claim-loop executor: worker-
  *  count byte-invariance of the assembled document, cross-worker
  *  retry of failed cells up to the policy limit (terminal failure
- *  only on exhaustion), stale-lease reclamation, and the claim-
- *  aware assembly of exhausted failures. Concurrency scenarios run
- *  two shared-mode store handles in one process — flock(2) makes
- *  them contend exactly like two processes. */
+ *  only on exhaustion), stale-lease reclamation (free of retry
+ *  charge, including from a corrupt heartbeat counter), the
+ *  background lease refresher that keeps a slow cell's claim
+ *  fresh, and the claim-aware assembly of exhausted failures.
+ *  Concurrency scenarios run two shared-mode store handles in one
+ *  process — flock(2) makes them contend exactly like two
+ *  processes. */
 
 #include <gtest/gtest.h>
 
@@ -328,7 +331,9 @@ TEST_F(ClaimExecutorTest, ExpiredLeaseIsReclaimedAndReRun)
     const std::size_t stuck_index = 0;
 
     // A crashed worker's footprint: a live claim whose epoch is
-    // far behind the heartbeat.
+    // far behind the heartbeat. Its retry count already sits one
+    // below the limit, so a reclaim that charged a retry would
+    // terminally fail the cell.
     std::string stuck_key;
     {
         auto store = openShared();
@@ -340,6 +345,7 @@ TEST_F(ClaimExecutorTest, ExpiredLeaseIsReclaimedAndReRun)
         rec.owner = "ghost";
         rec.state = store::ClaimState::Claimed;
         rec.epoch = 1;
+        rec.retries = 2;
         table.put(tx, stuck_key, rec);
         tx.put(store::ClaimTable::heartbeatKey(kFingerprint),
                "100");
@@ -352,10 +358,12 @@ TEST_F(ClaimExecutorTest, ExpiredLeaseIsReclaimedAndReRun)
         WorkerOptions w;
         w.owner = "rescuer";
         w.leaseTicks = 8;  // 100 - 1 >> 8: expired
+        w.maxRetries = 3;
         w.cellRunner = fakeCell;
         WorkerStats stats = runSweepWorker(spec, cache, w);
         EXPECT_EQ(stats.committed, 4u);
         EXPECT_EQ(stats.reclaimed, 1u);
+        EXPECT_EQ(stats.exhausted, 0u);
     }
     {
         auto store = openShared();
@@ -364,9 +372,143 @@ TEST_F(ClaimExecutorTest, ExpiredLeaseIsReclaimedAndReRun)
         ASSERT_TRUE(rec.has_value());
         EXPECT_EQ(rec->state, store::ClaimState::Done);
         EXPECT_EQ(rec->owner, "rescuer");
-        // The abandoned attempt was charged one retry.
-        EXPECT_EQ(rec->retries, 1u);
+        // Reclaiming is free: only execution failures charge
+        // retries, so lease churn can never exhaust a cell.
+        EXPECT_EQ(rec->retries, 2u);
     }
+
+    RunnerOptions base;
+    base.cellRunner = fakeCell;
+    EXPECT_EQ(assembleJson(spec, path_, base),
+              referenceJson(spec, path_ + ".ref", base));
+}
+
+TEST_F(ClaimExecutorTest, CorruptHeartbeatHealsByFreeReclaim)
+{
+    SweepSpec spec = tinySpec();
+    std::vector<SweepCell> cells = expandSweep(spec);
+
+    // A corrupt heartbeat record parses as 0, so the bumped
+    // counter restarts at 1 — *below* every recorded epoch. The
+    // claim must read as infinitely old (not as fresh forever, and
+    // not underflow into a retry charge): the cell is reclaimed at
+    // no cost and the keyspace heals.
+    std::string stuck_key;
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        stuck_key = cache.cellKey(spec, cells[0], 0);
+        store::ClaimTable table(kFingerprint);
+        store::WriteTx tx = store->beginWrite();
+        store::ClaimRecord rec;
+        rec.owner = "ghost";
+        rec.state = store::ClaimState::Claimed;
+        rec.epoch = 50;
+        rec.retries = 2;  // one reclaim charge from terminal
+        table.put(tx, stuck_key, rec);
+        tx.put(store::ClaimTable::heartbeatKey(kFingerprint),
+               "not a number");
+        tx.commit();
+    }
+
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        WorkerOptions w;
+        w.owner = "healer";
+        w.leaseTicks = 8;
+        w.maxRetries = 3;
+        w.cellRunner = fakeCell;
+        WorkerStats stats = runSweepWorker(spec, cache, w);
+        EXPECT_EQ(stats.committed, 4u);
+        EXPECT_EQ(stats.reclaimed, 1u);
+        EXPECT_EQ(stats.exhausted, 0u);
+    }
+    {
+        auto store = openShared();
+        store::ClaimTable table(kFingerprint);
+        store::ReadTx read = store->beginRead();
+        auto rec = table.get(read, stuck_key);
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_EQ(rec->state, store::ClaimState::Done);
+        EXPECT_EQ(rec->owner, "healer");
+        EXPECT_EQ(rec->retries, 2u);
+        // The counter is a decimal clock again, ahead of every
+        // epoch (what check_store.py asserts).
+        EXPECT_GE(table.heartbeat(read), rec->epoch);
+    }
+
+    RunnerOptions base;
+    base.cellRunner = fakeCell;
+    EXPECT_EQ(assembleJson(spec, path_, base),
+              referenceJson(spec, path_ + ".ref", base));
+}
+
+TEST_F(ClaimExecutorTest, RefresherKeepsSlowCellLeaseFresh)
+{
+    SweepSpec spec = tinySpec();
+    std::vector<SweepCell> cells = expandSweep(spec);
+
+    // While cell 0 executes, a peer races the heartbeat far past
+    // the lease length, then waits for the owner's background
+    // refresher to pull the claim's epoch back within it. Without
+    // refreshing, the lease would sit expired for the whole
+    // execution (age ~12 >> leaseTicks 4) and never recover.
+    std::atomic<bool> refreshed{false};
+    WorkerStats stats;
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        std::string slow_key = cache.cellKey(spec, cells[0], 0);
+        WorkerOptions w;
+        w.owner = "tortoise";
+        w.leaseTicks = 4;
+        w.refreshMs = 10;
+        w.cellRunner = [&](const SweepSpec &s, const SweepCell &c,
+                           std::size_t tc) {
+            if (c.index == 0) {
+                auto peer = openShared();
+                store::ClaimTable table(kFingerprint);
+                for (int i = 0; i < 12; ++i) {
+                    store::WriteTx tx = peer->beginWrite();
+                    table.bumpHeartbeat(tx);
+                    tx.commit();
+                }
+                auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::seconds(10);
+                while (std::chrono::steady_clock::now() <
+                       deadline) {
+                    bool fresh = false;
+                    {
+                        // Scope the read tx tightly: in shared
+                        // mode it holds the store gate, which the
+                        // refresher needs to land its write.
+                        store::ReadTx read = peer->beginRead();
+                        auto rec = table.get(read, slow_key);
+                        std::uint64_t hb = table.heartbeat(read);
+                        fresh =
+                            rec &&
+                            rec->state ==
+                                store::ClaimState::Claimed &&
+                            rec->owner == "tortoise" &&
+                            hb - rec->epoch <= 4;
+                    }
+                    if (fresh) {
+                        refreshed = true;
+                        break;
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                }
+            }
+            return fakeCell(s, c, tc);
+        };
+        stats = runSweepWorker(spec, cache, w);
+    }
+    EXPECT_TRUE(refreshed.load());
+    EXPECT_GE(stats.refreshes, 1u);
+    EXPECT_EQ(stats.committed, 4u);
+    EXPECT_EQ(stats.lostLeases, 0u);
 
     RunnerOptions base;
     base.cellRunner = fakeCell;
