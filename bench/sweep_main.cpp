@@ -72,6 +72,12 @@ usage(int code)
           "OSPREDICT_SMOKE=1)\n"
           "  --no-timing    omit wall-clock fields (canonical, "
           "thread-count-invariant bytes)\n"
+          "  --backend {plt,learned}\n"
+          "                 prediction backend for every predictor "
+          "variant (default plt, the paper's clustering; learned = "
+          "online feature-vector model). Folds into cached-cell "
+          "identity; non-default choices are recorded in the "
+          "document's sweep.backends field\n"
           "  --trace PATH   enable per-cell event tracing and dump "
           "the rings as chrome://tracing JSON\n"
           "  --accuracy-report PATH\n"
@@ -212,6 +218,7 @@ main(int argc, char **argv)
     std::string store_path;
     std::string store_stats_path;
     std::string fingerprint = OSP_CODE_FINGERPRINT;
+    PredictorBackendKind backend = PredictorBackendKind::Plt;
     bool incremental = false;
     bool plt_save = false;
     bool plt_warm = false;
@@ -237,6 +244,13 @@ main(int argc, char **argv)
             // consumed by bench::init()
         } else if (arg == "--no-timing") {
             timing = false;
+        } else if (arg == "--backend" && i + 1 < argc) {
+            std::string bname = argv[++i];
+            if (!predictorBackendFromName(bname, backend)) {
+                std::cerr << "sweep: bad backend '" << bname
+                          << "' (want plt or learned)\n";
+                return usage(2);
+            }
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
@@ -351,6 +365,9 @@ main(int argc, char **argv)
     SweepSpec spec = makeNamedSweep(name, bench::smokeFactor(),
                                     bench::smokeMode());
     spec.baseSeed = seed;
+    // Applied before any fork: --jobs workers inherit the spec, so
+    // fleet, --worker and assembly all simulate the same backend.
+    setSweepBackend(spec, backend);
 
     if (worker_mode) {
         wopts.traceCapacity = trace_path.empty() ? 0 : 4096;

@@ -103,7 +103,7 @@ Accelerator::saveState(std::ostream &os) const
     for (int t = 0; t < numServiceTypes; ++t) {
         if (!predictors[t])
             continue;
-        auto snapshots = predictors[t]->table().snapshotAll();
+        auto snapshots = predictors[t]->snapshotTable();
         if (snapshots.empty())
             continue;
         os << "service " << t << " " << snapshots.size() << "\n";

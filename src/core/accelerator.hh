@@ -39,7 +39,11 @@ class Accelerator : public ServiceController
     bool
     wantsOpMix() const override
     {
-        return params_.useMixSignature;
+        // The learned backend consumes per-class mix ratios as
+        // model features regardless of the PLT mix-signature
+        // refinement flag.
+        return params_.useMixSignature ||
+               params_.backend == PredictorBackendKind::Learned;
     }
 
     /** Per-service predictor access (reports, tests). */

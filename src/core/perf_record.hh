@@ -28,6 +28,25 @@ struct Signature
     std::uint64_t loads = 0;
     std::uint64_t stores = 0;
     std::uint64_t branches = 0;
+    /**
+     * Whether the mix fields carry real measurements. An
+     * instruction-count-only signature (hasMix == false) is matched
+     * on the count alone even when mix matching is enabled —
+     * all-zero mix counts are indistinguishable from "not
+     * collected", and treating them as measurements would turn
+     * every count-only lookup into a spurious outlier.
+     */
+    bool hasMix = true;
+
+    /** Count-only constructor helper. */
+    static Signature
+    instsOnly(InstCount insts)
+    {
+        Signature s;
+        s.insts = insts;
+        s.hasMix = false;
+        return s;
+    }
 };
 
 /** One OS-service invocation's measured (or predicted) performance. */

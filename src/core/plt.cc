@@ -47,7 +47,7 @@ PerfLookupTable::match(const Signature &sig) const
     double best_dist = std::numeric_limits<double>::infinity();
     for (const auto &cluster : clusters) {
         if (cluster.matches(sig.insts) &&
-            (!useMix_ || cluster.matchesMix(sig))) {
+            (!useMix_ || !sig.hasMix || cluster.matchesMix(sig))) {
             double d = cluster.distance(sig.insts);
             if (d < best_dist) {
                 best_dist = d;

@@ -66,15 +66,18 @@ class PerfLookupTable
      * The best regular cluster whose range covers the signature
      * (closest centroid on overlap), or nullptr. With mix matching
      * enabled the cluster's mix ranges must cover the signature's
-     * mix as well.
+     * mix as well — unless the signature is count-only
+     * (sig.hasMix == false), which always matches on the count
+     * alone.
      */
     const ScaledCluster *match(const Signature &sig) const;
 
-    /** Instruction-count-only convenience overload. */
+    /** Instruction-count-only convenience overload: matches on the
+     *  count alone, even when mix matching is enabled. */
     const ScaledCluster *
     match(InstCount insts) const
     {
-        return match(Signature{insts, 0, 0, 0});
+        return match(Signature::instsOnly(insts));
     }
 
     /** The regular cluster with the closest centroid regardless of

@@ -1,0 +1,394 @@
+#include "predictor_backend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "service_predictor.hh"
+#include "util/logging.hh"
+
+namespace osp
+{
+
+const char *
+predictorBackendName(PredictorBackendKind kind)
+{
+    switch (kind) {
+      case PredictorBackendKind::Plt:
+        return "plt";
+      case PredictorBackendKind::Learned:
+        return "learned";
+    }
+    osp_panic("predictorBackendName: bad kind");
+}
+
+bool
+predictorBackendFromName(std::string_view name,
+                         PredictorBackendKind &out)
+{
+    if (name == "plt") {
+        out = PredictorBackendKind::Plt;
+        return true;
+    }
+    if (name == "learned") {
+        out = PredictorBackendKind::Learned;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<PredictorBackend>
+makePredictorBackend(const PredictorParams &params)
+{
+    switch (params.backend) {
+      case PredictorBackendKind::Plt:
+        return std::make_unique<PltBackend>(
+            params.clusterRange, params.emaAlpha,
+            params.useMixSignature, params.relearn);
+      case PredictorBackendKind::Learned:
+        return std::make_unique<LearnedBackend>(params.learned);
+    }
+    osp_panic("makePredictorBackend: bad kind");
+}
+
+// ---------------------------------------------------------------
+// PltBackend
+
+PltBackend::PltBackend(double range_frac, double ema_alpha,
+                       bool use_mix, const RelearnParams &relearn)
+    : plt_(range_frac, ema_alpha, use_mix),
+      policy_(RelearnPolicy::make(relearn))
+{
+}
+
+BackendLookup
+PltBackend::lookup(const Signature &sig) const
+{
+    BackendLookup out;
+    const ScaledCluster *cluster = plt_.match(sig);
+    out.matched = (cluster != nullptr);
+    if (!cluster)
+        cluster = plt_.closest(sig.insts);
+    if (!cluster)
+        return out;
+    // The index is resolved here, against the table as it stands at
+    // lookup time, and returned by value: callers hold an index that
+    // stays meaningful for the ledger even if a later drift reset or
+    // re-learning window grows (and reallocates) the cluster vector.
+    out.unit = static_cast<std::uint32_t>(
+        cluster - plt_.allClusters().data());
+    out.hasSource = true;
+    out.metrics = cluster->predict();
+    out.cyclesSpread = cluster->cyclesStats().stddev();
+    return out;
+}
+
+// ---------------------------------------------------------------
+// LearnedBackend
+
+LearnedBackend::LearnedBackend(const LearnedBackendParams &params)
+    : params_(params)
+{
+    if (params_.bucketsPerOctave == 0)
+        osp_fatal("LearnedBackend: bucketsPerOctave must be > 0");
+    if (params_.cpiMin <= 0.0 || params_.cpiMax <= params_.cpiMin)
+        osp_fatal("LearnedBackend: bad CPI clamp range");
+}
+
+std::uint32_t
+LearnedBackend::bucketOf(double insts) const
+{
+    if (insts < 1.0)
+        return 0;
+    double b = std::log2(insts + 1.0) *
+               static_cast<double>(params_.bucketsPerOctave);
+    // 64 bits of instruction count at quarter-octave resolution
+    // stays far below this ceiling; the clamp only guards NaN/inf.
+    double lim = 1 << 30;
+    return static_cast<std::uint32_t>(
+        std::clamp(std::floor(b), 0.0, lim));
+}
+
+void
+LearnedBackend::featuresFor(const Signature &sig,
+                            const Bucket *bucket,
+                            double (&x)[numFeatures]) const
+{
+    double insts = static_cast<double>(sig.insts);
+    auto ratio = [&](double num) {
+        if (insts <= 0.0)
+            return 0.0;
+        return std::clamp(num / insts, 0.0, 1.0);
+    };
+    x[0] = 1.0;
+    x[1] = std::log2(insts + 1.0) / 32.0;
+    if (sig.hasMix) {
+        x[2] = ratio(static_cast<double>(sig.loads));
+        x[3] = ratio(static_cast<double>(sig.stores));
+        x[4] = ratio(static_cast<double>(sig.branches));
+    } else if (bucket && bucket->loads.count() > 0) {
+        // Count-only lookup: substitute the bucket's historical mix.
+        double m = bucket->insts.mean();
+        auto bratio = [&](const RunningStats &s) {
+            return m > 0.0 ? std::clamp(s.mean() / m, 0.0, 1.0)
+                           : 0.0;
+        };
+        x[2] = bratio(bucket->loads);
+        x[3] = bratio(bucket->stores);
+        x[4] = bratio(bucket->branches);
+    } else {
+        x[2] = x[3] = x[4] = 0.0;
+    }
+    x[5] = emaInit_ ? emaCpi_ / 16.0 : 0.0;
+}
+
+double
+LearnedBackend::modelCpi(const double (&x)[numFeatures]) const
+{
+    double y = 0.0;
+    for (int i = 0; i < numFeatures; ++i)
+        y += w_[i] * x[i];
+    return std::clamp(y, params_.cpiMin, params_.cpiMax);
+}
+
+bool
+LearnedBackend::learn(const ServiceMetrics &m)
+{
+    Bucket &b =
+        buckets_[bucketOf(static_cast<double>(m.insts))];
+    bool fresh = (b.cycles.count() == 0);
+    b.insts.add(static_cast<double>(m.insts));
+    b.cycles.add(static_cast<double>(m.cycles));
+    b.ipc.add(m.ipc());
+    b.loads.add(static_cast<double>(m.loads));
+    b.stores.add(static_cast<double>(m.stores));
+    b.branches.add(static_cast<double>(m.branches));
+    b.l1iAcc.add(static_cast<double>(m.mem.l1iAccesses));
+    b.l1iMiss.add(static_cast<double>(m.mem.l1iMisses));
+    b.l1dAcc.add(static_cast<double>(m.mem.l1dAccesses));
+    b.l1dMiss.add(static_cast<double>(m.mem.l1dMisses));
+    b.l2Acc.add(static_cast<double>(m.mem.l2Accesses));
+    b.l2Miss.add(static_cast<double>(m.mem.l2Misses));
+
+    if (m.insts > 0) {
+        // One SGD step toward the observed CPI. Features are
+        // evaluated against the pre-update recent-history EMA, the
+        // same value a prediction issued just before this sample
+        // would have seen.
+        double y = static_cast<double>(m.cycles) /
+                   static_cast<double>(m.insts);
+        double x[numFeatures];
+        featuresFor(m.signature(), &b, x);
+        double err = 0.0;
+        for (int i = 0; i < numFeatures; ++i)
+            err += w_[i] * x[i];
+        err -= y;
+        // Clipped gradient: one wild sample (an interrupt storm
+        // inside a service) must not launch the weights to a region
+        // the clamp then hides for thousands of steps.
+        err = std::clamp(err, -64.0, 64.0);
+        double rate =
+            params_.learningRate /
+            (1.0 + static_cast<double>(sgdSteps_) /
+                       params_.rateDecay);
+        for (int i = 0; i < numFeatures; ++i)
+            w_[i] -= rate * err * x[i];
+        ++sgdSteps_;
+        emaCpi_ = emaInit_
+                      ? emaCpi_ + params_.historyAlpha * (y - emaCpi_)
+                      : y;
+        emaInit_ = true;
+    }
+    return fresh;
+}
+
+BackendLookup
+LearnedBackend::lookup(const Signature &sig) const
+{
+    BackendLookup out;
+    if (buckets_.empty())
+        return out;
+    std::uint32_t want =
+        bucketOf(static_cast<double>(sig.insts));
+    auto it = buckets_.find(want);
+    out.matched = (it != buckets_.end());
+    if (!out.matched) {
+        // Closest-bucket fallback (the Best-Match analogue). Ordered
+        // map iteration makes the tie-break (lower id) and therefore
+        // the whole prediction deterministic.
+        std::uint64_t best = ~std::uint64_t{0};
+        for (auto cand = buckets_.begin(); cand != buckets_.end();
+             ++cand) {
+            std::uint64_t d = cand->first > want
+                                  ? cand->first - want
+                                  : want - cand->first;
+            if (d < best) {
+                best = d;
+                it = cand;
+            }
+        }
+    }
+    const Bucket &b = it->second;
+    out.unit = it->first;
+    out.hasSource = true;
+    out.cyclesSpread = b.cycles.stddev();
+
+    double insts = static_cast<double>(sig.insts);
+    double x[numFeatures];
+    featuresFor(sig, &b, x);
+    double cpi = modelCpi(x);
+    auto round = [](double v) {
+        return v <= 0.0 ? std::uint64_t{0}
+                        : static_cast<std::uint64_t>(v + 0.5);
+    };
+    out.metrics.insts = round(b.insts.mean());
+    out.metrics.cycles = round(cpi * insts);
+    // Memory counters: the bucket's per-invocation means, scaled to
+    // this signature's instruction count.
+    double scale = b.insts.mean() > 0.0 && insts > 0.0
+                       ? insts / b.insts.mean()
+                       : 1.0;
+    out.metrics.mem.l1iAccesses = round(b.l1iAcc.mean() * scale);
+    out.metrics.mem.l1iMisses = round(b.l1iMiss.mean() * scale);
+    out.metrics.mem.l1dAccesses = round(b.l1dAcc.mean() * scale);
+    out.metrics.mem.l1dMisses = round(b.l1dMiss.mean() * scale);
+    out.metrics.mem.l2Accesses = round(b.l2Acc.mean() * scale);
+    out.metrics.mem.l2Misses = round(b.l2Miss.mean() * scale);
+    return out;
+}
+
+bool
+LearnedBackend::onOutlier(InstCount insts, std::uint64_t)
+{
+    std::uint64_t &n =
+        missCounts_[bucketOf(static_cast<double>(insts))];
+    ++n;
+    return n >= params_.outlierThreshold;
+}
+
+void
+LearnedBackend::decayUnit(std::uint32_t unit,
+                          std::uint64_t max_count)
+{
+    auto it = buckets_.find(unit);
+    if (it == buckets_.end())
+        return;
+    Bucket &b = it->second;
+    for (RunningStats *s :
+         {&b.insts, &b.cycles, &b.ipc, &b.loads, &b.stores,
+          &b.branches, &b.l1iAcc, &b.l1iMiss, &b.l1dAcc,
+          &b.l1dMiss, &b.l2Acc, &b.l2Miss})
+        s->clampWeight(max_count);
+    // Audits just disproved the model too: raising the step size
+    // back up (by rewinding the decay schedule) lets the fresh
+    // window actually move the weights.
+    sgdSteps_ = std::min(sgdSteps_, max_count);
+}
+
+std::vector<ClusterSnapshot>
+LearnedBackend::snapshot() const
+{
+    // Row 0 is the model row, flagged by count == 0 (real buckets
+    // always hold at least one sample): the 11 double fields carry
+    // the weight vector, the recent-history EMA and the SGD step
+    // counter, so the whole backend round-trips through the
+    // unchanged ospredict-profile v1 format.
+    std::vector<ClusterSnapshot> out;
+    out.reserve(buckets_.size() + 1);
+    ClusterSnapshot model;
+    model.count = 0;
+    model.instMean = w_[0];
+    model.instM2 = w_[1];
+    model.cyclesMean = w_[2];
+    model.cyclesM2 = w_[3];
+    model.ipcMean = w_[4];
+    model.l1iAccMean = w_[5];
+    model.l1iMissMean = emaCpi_;
+    model.l1dAccMean = static_cast<double>(sgdSteps_);
+    model.l1dMissMean = emaInit_ ? 1.0 : 0.0;
+    out.push_back(model);
+    for (const auto &[id, b] : buckets_) {
+        ClusterSnapshot s;
+        s.count = b.cycles.count();
+        s.instMean = b.insts.mean();
+        s.instM2 =
+            b.insts.variance() * static_cast<double>(s.count);
+        s.cyclesMean = b.cycles.mean();
+        s.cyclesM2 =
+            b.cycles.variance() * static_cast<double>(s.count);
+        s.ipcMean = b.ipc.mean();
+        s.l1iAccMean = b.l1iAcc.mean();
+        s.l1iMissMean = b.l1iMiss.mean();
+        s.l1dAccMean = b.l1dAcc.mean();
+        s.l1dMissMean = b.l1dMiss.mean();
+        s.l2AccMean = b.l2Acc.mean();
+        s.l2MissMean = b.l2Miss.mean();
+        out.push_back(s);
+    }
+    return out;
+}
+
+void
+LearnedBackend::restore(
+    const std::vector<ClusterSnapshot> &snapshots)
+{
+    buckets_.clear();
+    missCounts_.clear();
+    for (int i = 0; i < numFeatures; ++i)
+        w_[i] = 0.0;
+    sgdSteps_ = 0;
+    emaCpi_ = 0.0;
+    emaInit_ = false;
+    for (const auto &s : snapshots) {
+        if (s.count == 0) {
+            w_[0] = s.instMean;
+            w_[1] = s.instM2;
+            w_[2] = s.cyclesMean;
+            w_[3] = s.cyclesM2;
+            w_[4] = s.ipcMean;
+            w_[5] = s.l1iAccMean;
+            emaCpi_ = s.l1iMissMean;
+            sgdSteps_ = s.l1dAccMean <= 0.0
+                            ? 0
+                            : static_cast<std::uint64_t>(
+                                  s.l1dAccMean + 0.5);
+            emaInit_ = s.l1dMissMean > 0.5;
+            continue;
+        }
+        // Bucket membership is an interval in instruction count, so
+        // the member mean maps back into the bucket it came from. A
+        // plain PLT profile (no model row) restores as buckets with
+        // a cold model — learning then resumes from the buckets.
+        std::uint32_t id = bucketOf(s.instMean);
+        Bucket fresh;
+        Bucket &b =
+            buckets_.emplace(id, fresh).first->second;
+        auto mk = [&](double mean, double m2 = 0.0) {
+            return RunningStats::fromMoments(s.count, mean, m2,
+                                             mean, mean);
+        };
+        Bucket add;
+        add.insts = mk(s.instMean, s.instM2);
+        add.cycles = mk(s.cyclesMean, s.cyclesM2);
+        add.ipc = mk(s.ipcMean);
+        add.l1iAcc = mk(s.l1iAccMean);
+        add.l1iMiss = mk(s.l1iMissMean);
+        add.l1dAcc = mk(s.l1dAccMean);
+        add.l1dMiss = mk(s.l1dMissMean);
+        add.l2Acc = mk(s.l2AccMean);
+        add.l2Miss = mk(s.l2MissMean);
+        // Mix statistics are not serialized (as with the PLT);
+        // count-only lookups fall back to zero mix features until
+        // new samples arrive.
+        b.insts.merge(add.insts);
+        b.cycles.merge(add.cycles);
+        b.ipc.merge(add.ipc);
+        b.l1iAcc.merge(add.l1iAcc);
+        b.l1iMiss.merge(add.l1iMiss);
+        b.l1dAcc.merge(add.l1dAcc);
+        b.l1dMiss.merge(add.l1dMiss);
+        b.l2Acc.merge(add.l2Acc);
+        b.l2Miss.merge(add.l2Miss);
+    }
+}
+
+} // namespace osp

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Pluggable learning/prediction backends for ServicePredictor.
+ *
+ * The paper's PLT clustering (Sec. 4.3-4.5) is one point in a design
+ * space that related work fills with learned models. The lifecycle
+ * machinery around it — warm-up, learning windows, audit sampling,
+ * drift resets — is strategy-independent, so ServicePredictor keeps
+ * the state machine and delegates the actual learning and lookup to
+ * a PredictorBackend:
+ *
+ *  - PltBackend     the paper's scaled-cluster lookup table plus its
+ *                   outlier-entry re-learning strategies (default);
+ *  - LearnedBackend an online linear model over a feature vector of
+ *                   (signature, per-class instruction mix,
+ *                   recent-history CPI), trained incrementally from
+ *                   the same detailed/audit samples. Deterministic
+ *                   and thread-count-invariant: all state is
+ *                   per-service, updates happen in invocation order,
+ *                   and nothing draws randomness.
+ *
+ * Both backends snapshot/restore through the same ClusterSnapshot
+ * rows the "ospredict-profile v1" format serializes, so persistent
+ * warm starts (PltArchive, abl5) work regardless of backend.
+ */
+
+#ifndef OSP_CORE_PREDICTOR_BACKEND_HH
+#define OSP_CORE_PREDICTOR_BACKEND_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "obs/accuracy.hh"
+#include "plt.hh"
+#include "relearn.hh"
+
+namespace osp
+{
+
+/** Backend selector (PredictorParams::backend). */
+enum class PredictorBackendKind
+{
+    Plt,
+    Learned,
+};
+
+/** Display name ("plt", "learned"). */
+const char *predictorBackendName(PredictorBackendKind kind);
+
+/** Parse a display name; returns false on an unknown name. */
+bool predictorBackendFromName(std::string_view name,
+                              PredictorBackendKind &out);
+
+/** Hyperparameters of the online learned backend. */
+struct LearnedBackendParams
+{
+    /** Base SGD step size for the linear CPI model. */
+    double learningRate = 0.05;
+    /** Step-size decay scale: step_n = rate / (1 + n/rateDecay). */
+    double rateDecay = 256.0;
+    /** EMA weight of the recent-history CPI feature. */
+    double historyAlpha = 0.1;
+    /** Clamp range for predicted cycles-per-instruction; keeps a
+     *  cold or perturbed model from emitting absurd cycle counts. */
+    double cpiMin = 0.05;
+    double cpiMax = 1024.0;
+    /** Occurrences of the same unseen signature bucket before the
+     *  backend requests a re-learning window (Delayed-style). */
+    std::uint64_t outlierThreshold = 4;
+    /** Signature-bucket resolution: buckets per factor-of-two of
+     *  instruction count (4 = quarter-octave, ~19% wide). */
+    std::uint32_t bucketsPerOctave = 4;
+};
+
+/**
+ * Result of one backend lookup. `unit` identifies the backend's
+ * internal unit (PLT cluster index / learned signature bucket) that
+ * produced the metrics; it is resolved *inside* the lookup, before
+ * any subsequent table mutation can invalidate it, and is what the
+ * accuracy ledger books predictions and audit errors under.
+ */
+struct BackendLookup
+{
+    /** Predicted performance (meaningful only when hasSource). */
+    ServiceMetrics metrics;
+    /** Producing unit, or obs::accuracyNoCluster. */
+    std::uint32_t unit = obs::accuracyNoCluster;
+    /** Signature matched a known unit (false = outlier). */
+    bool matched = false;
+    /** Some unit produced metrics (closest-unit fallback counts). */
+    bool hasSource = false;
+    /** Std deviation of the source unit's observed cycles, for the
+     *  variance-aware audit bound. */
+    double cyclesSpread = 0.0;
+};
+
+/** See file comment. */
+class PredictorBackend
+{
+  public:
+    virtual ~PredictorBackend() = default;
+
+    virtual const char *name() const = 0;
+    virtual PredictorBackendKind kind() const = 0;
+
+    /** Fold one fully-simulated sample in. Returns true when the
+     *  sample created a new unit (cluster/bucket). */
+    virtual bool learn(const ServiceMetrics &metrics) = 0;
+
+    /** Predict from a signature (see BackendLookup). Const: a
+     *  lookup never changes future predictions. */
+    virtual BackendLookup lookup(const Signature &sig) const = 0;
+
+    /**
+     * Register one outlier occurrence (a lookup that matched no
+     * unit). Returns true to request a re-learning window; the
+     * caller then clears outlier state via clearOutlierState().
+     */
+    virtual bool onOutlier(InstCount insts,
+                           std::uint64_t invocation) = 0;
+
+    /** Drop accumulated outlier evidence (re-learning fired). */
+    virtual void clearOutlierState() = 0;
+
+    /** Clamp one unit's history weight to @p max_count samples
+     *  (drift reset); unknown units are ignored. */
+    virtual void decayUnit(std::uint32_t unit,
+                           std::uint64_t max_count) = 0;
+
+    virtual std::size_t numUnits() const = 0;
+    virtual std::size_t numOutlierEntries() const = 0;
+
+    /** Serialize the learned state as ClusterSnapshot rows (the
+     *  ospredict-profile v1 payload). */
+    virtual std::vector<ClusterSnapshot> snapshot() const = 0;
+
+    /** Rebuild from snapshot rows, replacing all learned state. */
+    virtual void
+    restore(const std::vector<ClusterSnapshot> &snapshots) = 0;
+
+    /** The underlying PLT, when this backend has one (introspection
+     *  for reports/benches; nullptr otherwise). */
+    virtual const PerfLookupTable *asPlt() const { return nullptr; }
+};
+
+/** The paper's PLT clustering + re-learning strategies. */
+class PltBackend final : public PredictorBackend
+{
+  public:
+    PltBackend(double range_frac, double ema_alpha, bool use_mix,
+               const RelearnParams &relearn);
+
+    const char *name() const override { return "plt"; }
+    PredictorBackendKind
+    kind() const override
+    {
+        return PredictorBackendKind::Plt;
+    }
+
+    bool
+    learn(const ServiceMetrics &metrics) override
+    {
+        return plt_.record(metrics);
+    }
+
+    BackendLookup lookup(const Signature &sig) const override;
+
+    bool
+    onOutlier(InstCount insts, std::uint64_t invocation) override
+    {
+        return policy_->onOutlier(plt_, insts, invocation);
+    }
+
+    void clearOutlierState() override { plt_.clearOutliers(); }
+
+    void
+    decayUnit(std::uint32_t unit, std::uint64_t max_count) override
+    {
+        plt_.decayCluster(unit, max_count);
+    }
+
+    std::size_t numUnits() const override
+    {
+        return plt_.numClusters();
+    }
+    std::size_t numOutlierEntries() const override
+    {
+        return plt_.numOutlierEntries();
+    }
+
+    std::vector<ClusterSnapshot> snapshot() const override
+    {
+        return plt_.snapshotAll();
+    }
+    void
+    restore(const std::vector<ClusterSnapshot> &snapshots) override
+    {
+        plt_.restore(snapshots);
+    }
+
+    const PerfLookupTable *asPlt() const override { return &plt_; }
+
+  private:
+    PerfLookupTable plt_;
+    std::unique_ptr<RelearnPolicy> policy_;
+};
+
+/**
+ * Online learned backend: signature buckets + a linear CPI model.
+ *
+ * Units are logarithmic instruction-count buckets
+ * (bucketsPerOctave per factor of two). Each bucket accumulates the
+ * same per-metric running statistics a scaled cluster does; cycle
+ * prediction, however, comes from a small linear model over
+ *
+ *   x = [1, log2(insts), loads/insts, stores/insts,
+ *        branches/insts, recent-CPI EMA]
+ *
+ * trained by decaying-rate SGD on every detailed/audit sample
+ * toward the observed CPI, then clamped to [cpiMin, cpiMax] and
+ * scaled by the signature's own instruction count. Memory-hierarchy
+ * counters are predicted from the bucket's per-invocation means,
+ * scaled to the signature. A lookup in an unseen bucket is an
+ * outlier; outlierThreshold occurrences of the same unseen bucket
+ * request a re-learning window.
+ */
+class LearnedBackend final : public PredictorBackend
+{
+  public:
+    explicit LearnedBackend(const LearnedBackendParams &params);
+
+    const char *name() const override { return "learned"; }
+    PredictorBackendKind
+    kind() const override
+    {
+        return PredictorBackendKind::Learned;
+    }
+
+    bool learn(const ServiceMetrics &metrics) override;
+    BackendLookup lookup(const Signature &sig) const override;
+    bool onOutlier(InstCount insts,
+                   std::uint64_t invocation) override;
+    void clearOutlierState() override { missCounts_.clear(); }
+    void decayUnit(std::uint32_t unit,
+                   std::uint64_t max_count) override;
+
+    std::size_t numUnits() const override
+    {
+        return buckets_.size();
+    }
+    std::size_t numOutlierEntries() const override
+    {
+        return missCounts_.size();
+    }
+
+    std::vector<ClusterSnapshot> snapshot() const override;
+    void
+    restore(const std::vector<ClusterSnapshot> &snapshots) override;
+
+    /** Model introspection (tests). */
+    std::uint64_t modelSteps() const { return sgdSteps_; }
+    double recentCpi() const { return emaCpi_; }
+
+    /** The signature bucket an instruction count falls into. */
+    std::uint32_t bucketOf(double insts) const;
+
+  private:
+    static constexpr int numFeatures = 6;
+
+    struct Bucket
+    {
+        RunningStats insts, cycles, ipc;
+        RunningStats loads, stores, branches;
+        RunningStats l1iAcc, l1iMiss, l1dAcc, l1dMiss, l2Acc,
+            l2Miss;
+    };
+
+    void featuresFor(const Signature &sig, const Bucket *bucket,
+                     double (&x)[numFeatures]) const;
+    double modelCpi(const double (&x)[numFeatures]) const;
+
+    LearnedBackendParams params_;
+    /** Ordered: iteration (closest-bucket fallback, snapshots) must
+     *  be deterministic. */
+    std::map<std::uint32_t, Bucket> buckets_;
+    double w_[numFeatures] = {0, 0, 0, 0, 0, 0};
+    std::uint64_t sgdSteps_ = 0;
+    double emaCpi_ = 0.0;
+    bool emaInit_ = false;
+    /** Unseen-bucket outlier occurrence counts (Delayed-style). */
+    std::map<std::uint32_t, std::uint64_t> missCounts_;
+};
+
+} // namespace osp
+
+#endif // OSP_CORE_PREDICTOR_BACKEND_HH

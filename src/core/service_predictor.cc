@@ -14,11 +14,20 @@ ServicePredictor::ServicePredictor(const PredictorParams &p)
       window(p.learningWindow
                  ? p.learningWindow
                  : learningWindowSize(p.pMin, p.doc)),
-      plt(p.clusterRange, p.emaAlpha, p.useMixSignature),
-      policy(RelearnPolicy::make(p.relearn))
+      backend_(makePredictorBackend(p))
 {
     if (params.warmupInvocations == 0)
         mode_ = Mode::Learning;
+}
+
+const PerfLookupTable &
+ServicePredictor::table() const
+{
+    const PerfLookupTable *plt = backend_->asPlt();
+    if (!plt)
+        osp_panic("ServicePredictor::table: backend '",
+                  backend_->name(), "' has no PLT");
+    return *plt;
 }
 
 void
@@ -88,7 +97,7 @@ ServicePredictor::auditDriftReset(const ServiceMetrics &metrics,
     // sample window could never move its mean off the stale value
     // the audits just disproved.
     if (cluster_idx != obs::accuracyNoCluster)
-        plt.decayCluster(cluster_idx, window);
+        backend_->decayUnit(cluster_idx, window);
     consecutiveAuditFailures = 0;
     ++stats_.driftResets;
     if (cDriftResets_)
@@ -107,11 +116,12 @@ ServicePredictor::auditDriftReset(const ServiceMetrics &metrics,
 void
 ServicePredictor::recordSample(const ServiceMetrics &metrics)
 {
-    bool fresh = plt.record(metrics);
+    bool fresh = backend_->learn(metrics);
     if (fresh && cClustersCreated_)
         cClustersCreated_->inc();
     if (gClusters_)
-        gClusters_->set(static_cast<double>(plt.numClusters()));
+        gClusters_->set(
+            static_cast<double>(backend_->numUnits()));
 }
 
 bool
@@ -190,26 +200,27 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
         ++stats_.audits;
         if (cAudits_)
             cAudits_->inc();
-        const ScaledCluster *cluster =
-            plt.match(metrics.signature());
-        if (!cluster)
-            cluster = plt.closest(metrics.insts);
+        // The lookup resolves the producing unit's index before
+        // anything below can mutate the table, so ledger
+        // attribution and the drift reset target stay pinned to
+        // the unit that actually made the prediction.
+        BackendLookup audit =
+            backend_->lookup(metrics.signature());
         bool failed = true;
         bool ciDrift = false;
         ServiceMetrics predictedMetrics;
-        if (cluster) {
+        if (audit.hasSource) {
             // Variance-aware check: a deviation only fails the
             // audit if it exceeds both the relative tolerance and
-            // three standard deviations of the cluster's own
+            // three standard deviations of the unit's own
             // historical spread — ordinary within-cluster noise
             // must not trigger drift resets.
-            predictedMetrics = cluster->predict();
+            predictedMetrics = audit.metrics;
             predictedMetrics.insts = metrics.insts;
             double predicted =
                 static_cast<double>(predictedMetrics.cycles);
             double actual = static_cast<double>(metrics.cycles);
-            double spread =
-                3.0 * cluster->cyclesStats().stddev();
+            double spread = 3.0 * audit.cyclesSpread;
             double bound = std::max(
                 params.auditTolerance * predicted, spread);
             failed = predicted > 0.0 &&
@@ -220,11 +231,10 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
                 // biased-but-noisy cluster can pass every single
                 // audit while its *mean* error is statistically
                 // unambiguous. Accumulate the signed relative
-                // error per cluster and trigger a reset when the
+                // error per unit and trigger a reset when the
                 // Student-t 95% CI on the mean lies entirely
                 // outside the tolerance band.
-                RunningStats &err =
-                    auditErr_[clusterIndex(cluster)];
+                RunningStats &err = auditErr_[audit.unit];
                 err.add((predicted - actual) / actual);
                 if (err.count() >= params.auditCiMinSamples) {
                     double ci = obs::accuracyCi95(err);
@@ -234,9 +244,9 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
                 }
             }
         }
-        if (telemetry_ && cluster) {
+        if (telemetry_ && audit.hasSource) {
             // Route the full predicted-vs-actual comparison into
-            // the accuracy ledger under the auditing cluster's
+            // the accuracy ledger under the auditing unit's
             // identity (observational only).
             obs::AuditSample sample;
             sample.predictedCycles =
@@ -250,8 +260,8 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
             sample.predictedIpc = predictedMetrics.ipc();
             sample.actualIpc = metrics.ipc();
             sample.failed = failed;
-            telemetry_->accuracy.noteAudit(
-                serviceIndex_, clusterIndex(cluster), sample);
+            telemetry_->accuracy.noteAudit(serviceIndex_,
+                                           audit.unit, sample);
         }
         if (failed) {
             // Drift evidence: do NOT fold the sample into the
@@ -266,7 +276,7 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
             if (consecutiveAuditFailures >=
                     params.auditTriggerCount ||
                 ciDrift)
-                auditDriftReset(metrics, clusterIndex(cluster));
+                auditDriftReset(metrics, audit.unit);
             return;
         }
         trace(obs::TraceEventKind::Audit, 1, 0);
@@ -275,7 +285,7 @@ ServicePredictor::recordDetailed(const ServiceMetrics &metrics)
             // Every individual audit passed, but the accumulated
             // mean error is significant: the slow-drift case the
             // consecutive-failure trigger cannot see.
-            auditDriftReset(metrics, clusterIndex(cluster));
+            auditDriftReset(metrics, audit.unit);
             return;
         }
         // A passing audit refreshes the matched cluster.
@@ -326,12 +336,26 @@ void
 ServicePredictor::restoreTable(
     const std::vector<ClusterSnapshot> &snapshots)
 {
-    plt.restore(snapshots);
+    backend_->restore(snapshots);
     enterMode(snapshots.empty() ? Mode::Warmup : Mode::Predicting);
     phaseCount = 0;
     warmupCpi.clear();
+    // A restored table is a new index epoch with no audit history:
+    // every accumulator measured the *previous* table, and an
+    // in-flight audit burst was scheduled against it too. Leaking
+    // any of it would let a warm-started run inherit drift evidence
+    // it never observed and spuriously drift-reset (or audit the
+    // first restored invocation against a half-finished burst).
+    sinceAudit = 0;
+    auditBurstLeft = 0;
+    auditPending = false;
+    auditWarming = false;
+    consecutiveAuditFailures = 0;
+    auditErr_.clear();
+    lastMatchedCluster_ = obs::accuracyNoCluster;
     if (gClusters_)
-        gClusters_->set(static_cast<double>(plt.numClusters()));
+        gClusters_->set(
+            static_cast<double>(backend_->numUnits()));
 }
 
 ServiceMetrics
@@ -345,8 +369,11 @@ ServicePredictor::predict(const Signature &signature,
     if (hPredictedInsts_)
         hPredictedInsts_->observe(signature.insts);
 
-    const ScaledCluster *cluster = plt.match(signature);
-    bool outlier = (cluster == nullptr);
+    // Prediction, unit identity and spread are all captured by the
+    // lookup itself: nothing downstream (outlier bookkeeping,
+    // re-learning transitions) can invalidate them.
+    BackendLookup r = backend_->lookup(signature);
+    bool outlier = !r.matched;
     if (was_outlier)
         *was_outlier = outlier;
 
@@ -355,30 +382,29 @@ ServicePredictor::predict(const Signature &signature,
         if (cOutliers_)
             cOutliers_->inc();
         trace(obs::TraceEventKind::Outlier, signature.insts,
-              plt.numOutlierEntries());
-        cluster = plt.closest(signature.insts);
-        if (policy->onOutlier(plt, signature.insts,
-                              invocation_index)) {
+              backend_->numOutlierEntries());
+        if (backend_->onOutlier(signature.insts,
+                                invocation_index)) {
             // Re-learning period: another full window of detailed
             // simulation for this service.
             ++stats_.relearnEvents;
             if (cRelearn_)
                 cRelearn_->inc();
             trace(obs::TraceEventKind::Relearn, 0, window);
-            plt.clearOutliers();
+            backend_->clearOutlierState();
             enterMode(Mode::Learning);
             phaseCount = 0;
         }
     } else {
-        trace(obs::TraceEventKind::ClusterMatch,
-              clusterIndex(cluster), signature.insts);
+        trace(obs::TraceEventKind::ClusterMatch, r.unit,
+              signature.insts);
     }
 
-    lastMatchedCluster_ = clusterIndex(cluster);
+    lastMatchedCluster_ = r.unit;
 
     ServiceMetrics prediction;
-    if (cluster)
-        prediction = cluster->predict();
+    if (r.hasSource)
+        prediction = r.metrics;
     prediction.insts = signature.insts;
     if (telemetry_) {
         // Book the predicted-cycle mass under the producing cluster
@@ -388,15 +414,6 @@ ServicePredictor::predict(const Signature &signature,
             outlier);
     }
     return prediction;
-}
-
-std::uint32_t
-ServicePredictor::clusterIndex(const ScaledCluster *cluster) const
-{
-    if (!cluster)
-        return obs::accuracyNoCluster;
-    return static_cast<std::uint32_t>(
-        cluster - plt.allClusters().data());
 }
 
 } // namespace osp

@@ -31,6 +31,7 @@
 
 #include "obs/telemetry.hh"
 #include "plt.hh"
+#include "predictor_backend.hh"
 #include "relearn.hh"
 
 namespace osp
@@ -141,7 +142,19 @@ struct PredictorParams
      */
     bool useMixSignature = false;
     RelearnParams relearn;
+    /**
+     * Learning/prediction strategy (see predictor_backend.hh):
+     * the paper's PLT clustering (default) or the online learned
+     * feature-vector model.
+     */
+    PredictorBackendKind backend = PredictorBackendKind::Plt;
+    /** Learned-backend hyperparameters (ignored by plt). */
+    LearnedBackendParams learned;
 };
+
+/** Build the backend selected by @p params. */
+std::unique_ptr<PredictorBackend>
+makePredictorBackend(const PredictorParams &params);
 
 /** See file comment. */
 class ServicePredictor
@@ -177,40 +190,60 @@ class ServicePredictor
                            std::uint64_t invocation_index,
                            bool *was_outlier = nullptr);
 
-    /** Instruction-count-only convenience overload. */
+    /** Instruction-count-only convenience overload: matched on the
+     *  count alone even under mix signatures (an all-zero mix is
+     *  "not collected", not a measurement). */
     ServiceMetrics
     predict(InstCount insts, std::uint64_t invocation_index,
             bool *was_outlier = nullptr)
     {
-        return predict(Signature{insts, 0, 0, 0}, invocation_index,
-                       was_outlier);
+        return predict(Signature::instsOnly(insts),
+                       invocation_index, was_outlier);
     }
 
     /** Effective learning-window size in use. */
     std::uint64_t learningWindow() const { return window; }
 
     /**
-     * Identity of the cluster that produced the most recent
-     * predict(): its index into table().allClusters(). Outlier
-     * predictions report the closest cluster actually used;
-     * obs::accuracyNoCluster when no cluster existed at all. This
-     * is what ties a prediction (and its audit outcome) back to a
-     * named PLT entry in the accuracy ledger's error budget.
+     * Identity of the backend unit (PLT cluster index / learned
+     * signature bucket) that produced the most recent predict().
+     * Outlier predictions report the closest unit actually used;
+     * obs::accuracyNoCluster when no unit existed at all. The index
+     * is resolved inside the backend at lookup time — before any
+     * drift reset or re-learning can mutate the table — so this is
+     * what ties a prediction (and its audit outcome) back to a
+     * named entry in the accuracy ledger's error budget. Note it
+     * describes the table as it stood at that lookup: a later
+     * restoreTable()/drift reset starts a new index epoch.
      */
     std::uint32_t lastMatchedCluster() const
     {
         return lastMatchedCluster_;
     }
 
-    const PerfLookupTable &table() const { return plt; }
+    /** The learning/prediction backend in use. */
+    const PredictorBackend &backend() const { return *backend_; }
+
+    /** The underlying PLT (panics unless the plt backend is
+     *  selected; reports/benches that inspect clusters). */
+    const PerfLookupTable &table() const;
+
+    /** Serializable learned state (profile persistence). */
+    std::vector<ClusterSnapshot> snapshotTable() const
+    {
+        return backend_->snapshot();
+    }
 
     /**
      * Install a previously learned table and jump straight to the
-     * prediction phase (cross-run reuse / warm start). Whether the
-     * stale table stays usable is up to the re-learning strategy
-     * and audits — see the abl5 bench, which uses this to test the
-     * paper's claim that offline profiles cannot capture run-to-run
-     * variation.
+     * prediction phase (cross-run reuse / warm start). All audit
+     * scheduling and drift-evidence state is cleared: the restored
+     * table starts with a clean slate, so a warm-started run can
+     * never inherit a prior table's drift accumulators and
+     * spuriously drift-reset. Whether the stale table stays usable
+     * is up to the re-learning strategy and audits — see the abl5
+     * bench, which uses this to test the paper's claim that offline
+     * profiles cannot capture run-to-run variation.
      */
     void restoreTable(const std::vector<ClusterSnapshot> &snapshots);
 
@@ -268,20 +301,17 @@ class ServicePredictor
 
     /** Sustained drift detected by an audit: re-enter a learning
      *  window (without clearing the table) seeded with @p metrics,
-     *  decaying the implicated cluster's history weight. */
+     *  decaying the implicated unit's history weight. */
     void auditDriftReset(const ServiceMetrics &metrics,
                          std::uint32_t cluster_idx);
 
-    /** Fold one detailed sample into the PLT, tracking growth. */
+    /** Fold one detailed sample into the backend, tracking
+     *  growth. */
     void recordSample(const ServiceMetrics &metrics);
-
-    /** Index of @p cluster in the PLT's cluster array. */
-    std::uint32_t clusterIndex(const ScaledCluster *cluster) const;
 
     PredictorParams params;
     std::uint64_t window;
-    PerfLookupTable plt;
-    std::unique_ptr<RelearnPolicy> policy;
+    std::unique_ptr<PredictorBackend> backend_;
 
     Mode mode_ = Mode::Warmup;
     std::uint64_t phaseCount = 0;  //!< invocations in current phase

@@ -1,0 +1,432 @@
+/** @file Tests for the pluggable predictor backends: the
+ *  PltBackend/LearnedBackend implementations of PredictorBackend,
+ *  the factory/name plumbing, and the predictor-state regressions
+ *  this layer fixed (count-only signatures under mix matching,
+ *  restoreTable leaking audit state, unit attribution surviving
+ *  cluster-vector reallocation). */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor_backend.hh"
+#include "core/service_predictor.hh"
+
+namespace osp
+{
+namespace
+{
+
+/** A sample with a realistic, discriminative instruction mix. */
+ServiceMetrics
+mixMetrics(InstCount insts, Cycles cycles)
+{
+    ServiceMetrics m;
+    m.insts = insts;
+    m.cycles = cycles;
+    m.loads = insts / 4;
+    m.stores = insts / 8;
+    m.branches = insts / 5;
+    m.mem.l1iAccesses = insts;
+    m.mem.l1iMisses = insts / 50;
+    m.mem.l1dAccesses = insts / 3;
+    m.mem.l1dMisses = insts / 60;
+    m.mem.l2Accesses = insts / 40;
+    m.mem.l2Misses = insts / 100;
+    return m;
+}
+
+TEST(PredictorBackendName, RoundTrip)
+{
+    EXPECT_STREQ(predictorBackendName(PredictorBackendKind::Plt),
+                 "plt");
+    EXPECT_STREQ(
+        predictorBackendName(PredictorBackendKind::Learned),
+        "learned");
+
+    PredictorBackendKind kind = PredictorBackendKind::Learned;
+    EXPECT_TRUE(predictorBackendFromName("plt", kind));
+    EXPECT_EQ(kind, PredictorBackendKind::Plt);
+    EXPECT_TRUE(predictorBackendFromName("learned", kind));
+    EXPECT_EQ(kind, PredictorBackendKind::Learned);
+    EXPECT_FALSE(predictorBackendFromName("nope", kind));
+    // A failed parse leaves the output untouched.
+    EXPECT_EQ(kind, PredictorBackendKind::Learned);
+}
+
+TEST(PredictorBackendFactory, MakesRequestedBackend)
+{
+    PredictorParams p;
+    auto plt = makePredictorBackend(p);
+    EXPECT_EQ(plt->kind(), PredictorBackendKind::Plt);
+    EXPECT_STREQ(plt->name(), "plt");
+    EXPECT_NE(plt->asPlt(), nullptr);
+
+    p.backend = PredictorBackendKind::Learned;
+    auto learned = makePredictorBackend(p);
+    EXPECT_EQ(learned->kind(), PredictorBackendKind::Learned);
+    EXPECT_STREQ(learned->name(), "learned");
+    EXPECT_EQ(learned->asPlt(), nullptr);
+}
+
+// Regression: a count-only signature (the instruction-count predict
+// overload) must match on the count alone even when mix matching is
+// enabled. The old code built Signature{insts, 0, 0, 0}, whose
+// all-zero mix failed matchesMix against every cluster with a real
+// mix — every count-only prediction became a spurious outlier.
+TEST(PltBackendMix, InstsOnlySignatureMatchesMixClusters)
+{
+    PltBackend b(0.05, 0.0, /*use_mix=*/true, RelearnParams{});
+    b.learn(mixMetrics(1000, 5000));
+
+    BackendLookup count_only =
+        b.lookup(Signature::instsOnly(1000));
+    EXPECT_TRUE(count_only.matched);
+    EXPECT_TRUE(count_only.hasSource);
+    EXPECT_EQ(count_only.unit, 0u);
+    EXPECT_EQ(count_only.metrics.cycles, 5000u);
+
+    // A *measured* all-zero mix is a real mismatch and must still
+    // be an outlier: hasMix is what distinguishes the two.
+    Signature zero_mix{1000, 0, 0, 0};
+    EXPECT_FALSE(b.lookup(zero_mix).matched);
+}
+
+TEST(ServicePredictorMix, CountOnlyPredictOverloadIsNotAnOutlier)
+{
+    PredictorParams p;
+    p.warmupInvocations = 0;
+    p.learningWindow = 2;
+    p.useMixSignature = true;
+    ServicePredictor pred(p);
+    pred.recordDetailed(mixMetrics(1000, 5000));
+    pred.recordDetailed(mixMetrics(1000, 5000));
+    ASSERT_FALSE(pred.wantsDetail());
+
+    bool outlier = true;
+    ServiceMetrics out = pred.predict(1000, 2, &outlier);
+    EXPECT_FALSE(outlier);
+    EXPECT_EQ(out.cycles, 5000u);
+    EXPECT_EQ(pred.stats().outliers, 0u);
+}
+
+// Regression: restoreTable() used to reset the mode and phase but
+// leak the audit machinery — a pending audit decision, an
+// in-flight re-warm burst, the consecutive-failure streak and the
+// per-unit CI accumulators all survived into the restored table's
+// new index epoch.
+TEST(ServicePredictorRestore, ClearsPendingAuditAndFailureStreak)
+{
+    PredictorParams p;
+    p.warmupInvocations = 0;
+    p.learningWindow = 1;
+    p.auditEvery = 1;
+    p.auditWarmup = 0;
+    p.auditTriggerCount = 2;
+    ServicePredictor pred(p);
+    pred.recordDetailed(mixMetrics(1000, 5000));
+    ASSERT_FALSE(pred.wantsDetail());
+
+    // One audit failure: streak at 1 of the 2 needed for a reset.
+    ASSERT_TRUE(pred.decideDetail());
+    pred.recordDetailed(mixMetrics(1000, 20000));
+    EXPECT_EQ(pred.stats().auditFailures, 1u);
+    EXPECT_EQ(pred.stats().driftResets, 0u);
+
+    // Second audit now pending...
+    ASSERT_TRUE(pred.decideDetail());
+    // ...when a warm start replaces the table.
+    pred.restoreTable(pred.snapshotTable());
+
+    // The next detailed sample must be an ordinary learning
+    // sample, not the leaked audit — and must not complete the
+    // leaked failure streak into a drift reset.
+    pred.recordDetailed(mixMetrics(1000, 20000));
+    EXPECT_EQ(pred.stats().audits, 1u);
+    EXPECT_EQ(pred.stats().auditFailures, 1u);
+    EXPECT_EQ(pred.stats().driftResets, 0u);
+
+    // The streak itself was cleared: one fresh failure is still
+    // one strike short of a reset.
+    ASSERT_TRUE(pred.decideDetail());
+    pred.recordDetailed(mixMetrics(1000, 90000));
+    EXPECT_EQ(pred.stats().auditFailures, 2u);
+    EXPECT_EQ(pred.stats().driftResets, 0u);
+}
+
+TEST(ServicePredictorRestore, ResetsAuditSchedule)
+{
+    PredictorParams p;
+    p.warmupInvocations = 0;
+    p.learningWindow = 1;
+    p.auditEvery = 2;
+    p.auditWarmup = 0;
+    ServicePredictor pred(p);
+    pred.recordDetailed(mixMetrics(1000, 5000));
+    ASSERT_FALSE(pred.wantsDetail());
+
+    // Half the audit period elapses...
+    ASSERT_FALSE(pred.decideDetail());
+    // ...then the table is replaced. The schedule must restart:
+    // the restored table gets a full period before its first
+    // audit, rather than inheriting the old countdown.
+    pred.restoreTable(pred.snapshotTable());
+    EXPECT_FALSE(pred.decideDetail());
+    EXPECT_TRUE(pred.decideDetail());
+}
+
+// Regression: the audited unit's index used to be derived by
+// pointer arithmetic against the cluster vector's base, computed
+// *after* operations that can reallocate it. The index is now
+// resolved inside the lookup itself, so attribution survives
+// arbitrary table growth between learning and auditing.
+TEST(ServicePredictorLedger, AuditAttributionSurvivesTableGrowth)
+{
+    obs::Telemetry tel;
+    PredictorParams p;
+    p.warmupInvocations = 0;
+    p.learningWindow = 1;
+    p.auditEvery = 1;
+    p.auditWarmup = 0;
+    ServicePredictor pred(p);
+    pred.attachTelemetry(&tel, "predictor.test", 1);
+    pred.recordDetailed(mixMetrics(1000, 5000));  // cluster 0
+    ASSERT_FALSE(pred.wantsDetail());
+
+    // Grow the table by dozens of distinct clusters (forced
+    // detailed runs while predicting), reallocating the vector
+    // several times over.
+    double insts = 4000.0;
+    for (int i = 0; i < 64; ++i) {
+        auto n = static_cast<InstCount>(insts);
+        pred.recordDetailed(mixMetrics(n, 5 * n));
+        insts *= 1.2;
+    }
+    ASSERT_EQ(pred.table().numClusters(), 65u);
+
+    // Audit the original cluster: the ledger must book it under
+    // unit 0, the index resolved at lookup time.
+    ASSERT_TRUE(pred.decideDetail());
+    pred.recordDetailed(mixMetrics(1000, 5000));
+    obs::AccuracySnapshot snap = tel.accuracy.snapshot();
+    bool found = false;
+    for (const obs::AccuracyEntry &e : snap.entries) {
+        if (e.audits == 0)
+            continue;
+        EXPECT_EQ(e.cluster, 0u);
+        EXPECT_EQ(e.auditFailures, 0u);
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LearnedBackendTest, LearnsAndConverges)
+{
+    LearnedBackend b(LearnedBackendParams{});
+    ServiceMetrics m = mixMetrics(1000, 5000);
+    for (int i = 0; i < 400; ++i)
+        b.learn(m);
+
+    EXPECT_EQ(b.numUnits(), 1u);
+    BackendLookup r = b.lookup(m.signature());
+    EXPECT_TRUE(r.matched);
+    EXPECT_TRUE(r.hasSource);
+    EXPECT_EQ(r.unit, b.bucketOf(1000));
+    // The SGD model converges to the observed CPI of 5.
+    EXPECT_NEAR(static_cast<double>(r.metrics.cycles), 5000.0,
+                0.15 * 5000.0);
+    // Memory counters come from the bucket's per-invocation means.
+    EXPECT_NEAR(static_cast<double>(r.metrics.mem.l2Misses),
+                static_cast<double>(m.mem.l2Misses), 1.0);
+    EXPECT_NEAR(static_cast<double>(r.metrics.mem.l1iAccesses),
+                static_cast<double>(m.mem.l1iAccesses), 1.0);
+}
+
+TEST(LearnedBackendTest, DeterministicAcrossInstances)
+{
+    LearnedBackend a((LearnedBackendParams()));
+    LearnedBackend b((LearnedBackendParams()));
+    double insts = 500.0;
+    for (int i = 0; i < 200; ++i) {
+        ServiceMetrics m =
+            mixMetrics(static_cast<InstCount>(insts),
+                       static_cast<Cycles>(insts) * (3 + i % 4));
+        a.learn(m);
+        b.learn(m);
+        insts *= 1.03;
+    }
+    EXPECT_EQ(a.numUnits(), b.numUnits());
+    EXPECT_EQ(a.modelSteps(), b.modelSteps());
+    EXPECT_EQ(a.recentCpi(), b.recentCpi());
+
+    BackendLookup ra = a.lookup(Signature::instsOnly(1000));
+    BackendLookup rb = b.lookup(Signature::instsOnly(1000));
+    EXPECT_EQ(ra.metrics.cycles, rb.metrics.cycles);
+    EXPECT_EQ(ra.unit, rb.unit);
+
+    std::vector<ClusterSnapshot> sa = a.snapshot();
+    std::vector<ClusterSnapshot> sb = b.snapshot();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].count, sb[i].count);
+        EXPECT_EQ(sa[i].instMean, sb[i].instMean);
+        EXPECT_EQ(sa[i].cyclesMean, sb[i].cyclesMean);
+        EXPECT_EQ(sa[i].cyclesM2, sb[i].cyclesM2);
+    }
+}
+
+TEST(LearnedBackendTest, UnseenBucketIsOutlierWithFallback)
+{
+    LearnedBackendParams params;
+    LearnedBackend b(params);
+    ServiceMetrics m = mixMetrics(1000, 5000);
+    for (int i = 0; i < 8; ++i)
+        b.learn(m);
+
+    // Far outside any learned bucket: an outlier, but the closest
+    // bucket still provides a prediction source.
+    BackendLookup r = b.lookup(Signature::instsOnly(1000000));
+    EXPECT_FALSE(r.matched);
+    EXPECT_TRUE(r.hasSource);
+    EXPECT_EQ(r.unit, b.bucketOf(1000));
+
+    // Delayed-style: the same unseen bucket must recur
+    // outlierThreshold times before a re-learning window fires.
+    for (std::uint64_t i = 1; i < params.outlierThreshold; ++i)
+        EXPECT_FALSE(b.onOutlier(1000000, i));
+    EXPECT_TRUE(b.onOutlier(1000000, params.outlierThreshold));
+    EXPECT_GT(b.numOutlierEntries(), 0u);
+    b.clearOutlierState();
+    EXPECT_EQ(b.numOutlierEntries(), 0u);
+}
+
+TEST(LearnedBackendTest, SnapshotRestoreRoundTrip)
+{
+    LearnedBackend a((LearnedBackendParams()));
+    for (int i = 0; i < 120; ++i) {
+        a.learn(mixMetrics(1000, 5000));
+        a.learn(mixMetrics(64000, 200000));
+    }
+    std::vector<ClusterSnapshot> snap = a.snapshot();
+    ASSERT_GE(snap.size(), 3u);  // model row + two buckets
+
+    LearnedBackend b((LearnedBackendParams()));
+    b.restore(snap);
+    EXPECT_EQ(b.numUnits(), a.numUnits());
+    EXPECT_EQ(b.modelSteps(), a.modelSteps());
+    EXPECT_EQ(b.recentCpi(), a.recentCpi());
+
+    // The restored model is a pure copy: predictions agree on
+    // matched and outlier-fallback probes. (Count-only probes are
+    // excluded by design: bucket mix statistics are not serialized,
+    // so their historical-mix substitution differs until new
+    // samples arrive — same contract as the PLT profile.)
+    for (InstCount insts :
+         {InstCount(1000), InstCount(64000), InstCount(3000000)}) {
+        Signature sig = mixMetrics(insts, 1).signature();
+        BackendLookup ra = a.lookup(sig);
+        BackendLookup rb = b.lookup(sig);
+        EXPECT_EQ(ra.metrics.cycles, rb.metrics.cycles) << insts;
+        EXPECT_EQ(ra.unit, rb.unit) << insts;
+        EXPECT_EQ(ra.matched, rb.matched) << insts;
+        EXPECT_DOUBLE_EQ(ra.cyclesSpread, rb.cyclesSpread)
+            << insts;
+    }
+
+    // Snapshot-of-restore idempotence (what makes the archived
+    // profile stable across save/load/save cycles).
+    std::vector<ClusterSnapshot> again = b.snapshot();
+    ASSERT_EQ(again.size(), snap.size());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(again[i].count, snap[i].count) << i;
+        EXPECT_EQ(again[i].instMean, snap[i].instMean) << i;
+        EXPECT_EQ(again[i].cyclesMean, snap[i].cyclesMean) << i;
+        EXPECT_DOUBLE_EQ(again[i].cyclesM2, snap[i].cyclesM2)
+            << i;
+        EXPECT_EQ(again[i].ipcMean, snap[i].ipcMean) << i;
+        EXPECT_EQ(again[i].l2MissMean, snap[i].l2MissMean) << i;
+    }
+}
+
+TEST(LearnedBackendTest, RestoreEmptyClearsEverything)
+{
+    LearnedBackend b((LearnedBackendParams()));
+    for (int i = 0; i < 50; ++i)
+        b.learn(mixMetrics(1000, 5000));
+    b.onOutlier(1000000, 1);
+    ASSERT_GT(b.numUnits(), 0u);
+
+    b.restore({});
+    EXPECT_EQ(b.numUnits(), 0u);
+    EXPECT_EQ(b.numOutlierEntries(), 0u);
+    EXPECT_EQ(b.modelSteps(), 0u);
+    BackendLookup r = b.lookup(Signature::instsOnly(1000));
+    EXPECT_FALSE(r.matched);
+    EXPECT_FALSE(r.hasSource);
+    EXPECT_EQ(r.unit, obs::accuracyNoCluster);
+}
+
+TEST(LearnedBackendTest, DecayUnitClampsHistoryWeight)
+{
+    LearnedBackend b((LearnedBackendParams()));
+    for (int i = 0; i < 100; ++i)
+        b.learn(mixMetrics(1000, 5000));
+    ASSERT_EQ(b.modelSteps(), 100u);
+
+    b.decayUnit(b.bucketOf(1000), 10);
+    EXPECT_EQ(b.modelSteps(), 10u);
+    std::vector<ClusterSnapshot> snap = b.snapshot();
+    bool found = false;
+    for (const ClusterSnapshot &row : snap) {
+        if (row.count == 0)
+            continue;  // model row
+        EXPECT_EQ(row.count, 10u);
+        found = true;
+    }
+    EXPECT_TRUE(found);
+
+    // Unknown units are ignored, not created.
+    std::size_t units = b.numUnits();
+    b.decayUnit(999999, 1);
+    EXPECT_EQ(b.numUnits(), units);
+}
+
+TEST(ServicePredictorLearned, LifecycleAndPrediction)
+{
+    PredictorParams p;
+    p.warmupInvocations = 0;
+    p.learningWindow = 50;
+    p.backend = PredictorBackendKind::Learned;
+    ServicePredictor pred(p);
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(pred.wantsDetail());
+        pred.recordDetailed(mixMetrics(1000, 5000));
+    }
+    ASSERT_FALSE(pred.wantsDetail());
+
+    bool outlier = true;
+    ServiceMetrics out =
+        pred.predict(mixMetrics(1000, 5000).signature(), 50,
+                     &outlier);
+    EXPECT_FALSE(outlier);
+    EXPECT_EQ(out.insts, 1000u);
+    EXPECT_NEAR(static_cast<double>(out.cycles), 5000.0,
+                0.25 * 5000.0);
+    EXPECT_NE(pred.lastMatchedCluster(), obs::accuracyNoCluster);
+    EXPECT_EQ(pred.backend().kind(),
+              PredictorBackendKind::Learned);
+}
+
+TEST(ServicePredictorLearned, EmptyModelPredictsZero)
+{
+    PredictorParams p;
+    p.warmupInvocations = 0;
+    p.learningWindow = 5;
+    p.backend = PredictorBackendKind::Learned;
+    ServicePredictor pred(p);
+    ServiceMetrics out = pred.predict(1234, 0);
+    EXPECT_EQ(out.cycles, 0u);
+    EXPECT_EQ(out.insts, 1234u);
+    EXPECT_EQ(pred.lastMatchedCluster(), obs::accuracyNoCluster);
+}
+
+} // namespace
+} // namespace osp

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Gate a sweep's accuracy section against a committed baseline.
 
-Usage: check_accuracy_baseline.py RESULTS_JSON BASELINE_JSON
+Usage: check_accuracy_baseline.py RESULTS_JSON BASELINE_JSON \
+           [--backend plt|learned]
 
-Structure is compared exactly (same sweep, same set of accuracy
-cells, audits present); numerics are compared with tolerances,
-because cluster formation and cycle sums shift slightly across
-compilers and optimisation levels (FP contraction), and the point
-of the gate is catching *accuracy regressions*, not bit drift:
+Structure is compared exactly (same sweep, same backend, same set
+of accuracy cells, audits present); numerics are compared with
+tolerances, because cluster formation and cycle sums shift slightly
+across compilers and optimisation levels (FP contraction), and the
+point of the gate is catching *accuracy regressions*, not bit
+drift:
 
   - prediction/audit counts must stay within `count_rtol` of the
     baseline (a collapse in prediction coverage or audit volume is
@@ -16,13 +18,26 @@ of the gate is catching *accuracy regressions*, not bit drift:
     error must stay within `err_atol` of the baseline values;
   - the oracle error must fall within the ledger's own reported
     95% CI whenever the baseline says it did (the repo's headline
-    cross-check).
+    cross-check);
+  - per-predictor summary rollups (mean/worst oracle cycle error
+    and mean coverage across every workload in the sweep) must
+    stay within `err_atol` of the baseline.
 
-Regenerate the baseline (after an intentional accuracy change):
+Each predictor backend gates against its own committed baseline:
+`--backend` (default plt) asserts the results document was produced
+by that backend before any numeric comparison, so a plt run can
+never green-light the learned baseline or vice versa.
+
+Regenerate a baseline (after an intentional accuracy change):
 
   ./bench/sweep fig08 --smoke --no-timing --out smoke.json
   ./tools/check_accuracy_baseline.py smoke.json \
       bench/baselines/accuracy_smoke.json --update
+  ./bench/sweep fig08 --smoke --no-timing --backend learned \
+      --out smoke-learned.json
+  ./tools/check_accuracy_baseline.py smoke-learned.json \
+      bench/baselines/accuracy_smoke_learned.json \
+      --backend learned --update
 """
 
 import argparse
@@ -43,8 +58,21 @@ def cell_key(cell):
             cell["l2_bytes"], cell["seed_index"])
 
 
-def distil(doc):
+def doc_backends(doc):
+    """The set of predictor backends that produced the document.
+
+    The sweep only emits a "backends" array when some variant uses
+    a non-default backend, so its absence means plt throughout.
+    """
+    return set(doc["sweep"].get("backends", ["plt"]))
+
+
+def distil(doc, backend):
     """Reduce a results document to the gated quantities."""
+    backends = doc_backends(doc)
+    if backends != {backend}:
+        fail(f"results produced by backend(s) "
+             f"{sorted(backends)}, expected [{backend!r}]")
     acc = doc.get("accuracy")
     if acc is None:
         fail("results document has no 'accuracy' section")
@@ -70,13 +98,27 @@ def distil(doc):
             if "within_ci" in oracle:
                 entry["within_ci"] = oracle["within_ci"]
         cells["/".join(map(str, cell_key(cell)))] = entry
+    # Per-predictor rollups cover every workload in the sweep, not
+    # just the cells that accumulated audit samples: a backend that
+    # silently degraded on a workload without audits still moves
+    # mean/worst oracle error here.
+    summary = {}
+    for pred in doc["summary"]["predictors"]:
+        summary[pred["predictor"]] = {
+            "cells": pred["cells"],
+            "mean_cycle_error": pred["mean_cycle_error"],
+            "worst_cycle_error": pred["worst_cycle_error"],
+            "mean_coverage": pred["mean_coverage"],
+        }
     return {
         "schema": "ospredict-accuracy-baseline-v1",
         "sweep": doc["sweep"]["name"],
         "smoke": doc["sweep"].get("smoke", False),
+        "backend": backend,
         "count_rtol": COUNT_RTOL,
         "err_atol": ERR_ATOL,
         "cells": cells,
+        "summary": summary,
     }
 
 
@@ -90,10 +132,14 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the results")
+    ap.add_argument("--backend", default="plt",
+                    choices=["plt", "learned"],
+                    help="predictor backend the results (and the "
+                         "baseline) must belong to")
     args = ap.parse_args()
 
     with open(args.results) as f:
-        got = distil(json.load(f))
+        got = distil(json.load(f), args.backend)
 
     if args.update:
         with open(args.baseline, "w") as f:
@@ -111,6 +157,10 @@ def main():
         fail(f"sweep mismatch: results {got['sweep']!r} "
              f"smoke={got['smoke']} vs baseline {want['sweep']!r} "
              f"smoke={want['smoke']}")
+    if want.get("backend", "plt") != args.backend:
+        fail(f"baseline belongs to backend "
+             f"{want.get('backend', 'plt')!r}, "
+             f"but --backend {args.backend} was requested")
 
     rtol = want.get("count_rtol", COUNT_RTOL)
     atol = want.get("err_atol", ERR_ATOL)
@@ -139,7 +189,29 @@ def main():
             fail(f"{key}: oracle error left the audit estimate's "
                  f"95% CI (baseline agreed)")
 
-    print(f"accuracy baseline: OK ({len(want['cells'])} cells, "
+    # Summary rollups (absent from baselines written before the
+    # backend dimension existed; regenerate with --update to arm).
+    want_summary = want.get("summary", {})
+    if want_summary:
+        if set(got["summary"]) != set(want_summary):
+            fail(f"predictor summary set changed: "
+                 f"results {sorted(got['summary'])} vs "
+                 f"baseline {sorted(want_summary)}")
+        for label, base in want_summary.items():
+            cur = got["summary"][label]
+            if cur["cells"] != base["cells"]:
+                fail(f"summary[{label}]: cell count "
+                     f"{cur['cells']} != baseline {base['cells']}")
+            for field in ("mean_cycle_error", "worst_cycle_error",
+                          "mean_coverage"):
+                if abs(cur[field] - base[field]) > atol:
+                    fail(f"summary[{label}]: {field} "
+                         f"{cur[field]:.4f} drifted from baseline "
+                         f"{base[field]:.4f} (atol {atol})")
+
+    print(f"accuracy baseline: OK [{args.backend}] "
+          f"({len(want['cells'])} cells, "
+          f"{len(want_summary)} predictor rollups, "
           f"count_rtol {rtol}, err_atol {atol})")
 
 
