@@ -35,6 +35,8 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include <sys/wait.h>
@@ -45,6 +47,7 @@
 #include "driver/cell_cache.hh"
 #include "driver/claim_executor.hh"
 #include "driver/experiments.hh"
+#include "driver/fleet.hh"
 #include "driver/sweep.hh"
 #include "store/plt_archive.hh"
 #include "util/hash.hh"
@@ -134,8 +137,32 @@ usage(int code)
           "                 lease-refresh period while a cell "
           "executes (default 200; 0 disables)\n"
           "  --kill-after-claim\n"
-          "                 crash-test seam: SIGKILL ourselves "
-          "after the first claim commits (--worker only)\n";
+          "                 crash-test seam: SIGKILL after the "
+          "first claim commits (--worker: ourselves; --jobs: the "
+          "first forked worker becomes the victim)\n"
+          "\n"
+          "fleet observability (all require --store; see "
+          "EXPERIMENTS.md \"Monitoring distributed sweeps\"):\n"
+          "  --monitor      poll the store read-only and render "
+          "live fleet status until the sweep completes (pass the "
+          "same --trace/--plt/--fingerprint flags as the fleet so "
+          "cell identities match)\n"
+          "  --monitor-interval MS\n"
+          "                 poll period (default 500)\n"
+          "  --monitor-max N\n"
+          "                 stop after N polls even if incomplete "
+          "(default 0 = until complete)\n"
+          "  --fleet-report PATH\n"
+          "                 write the deterministic "
+          "ospredict-fleet-v1 worker-telemetry report ('-' for "
+          "stdout)\n"
+          "  --fleet-prom PATH\n"
+          "                 write the same view as Prometheus text "
+          "exposition ('-' for stdout)\n"
+          "\n"
+          "with --jobs/--assemble, --trace writes the *merged* "
+          "timeline: every cell's lanes plus one lane per worker "
+          "pid\n";
     return code;
 }
 
@@ -202,6 +229,20 @@ runWorkerProcess(const osp::SweepSpec &spec,
     }
 }
 
+/** The sweep's cell keys in index order — the same identity every
+ *  worker computes, so fleet aggregation finds their results. */
+std::vector<std::string>
+cellKeysFor(const osp::SweepSpec &spec, osp::CellCache &cache,
+            std::size_t trace_capacity)
+{
+    std::vector<osp::SweepCell> cells = osp::expandSweep(spec);
+    std::vector<std::string> keys(cells.size());
+    for (const osp::SweepCell &cell : cells)
+        keys[cell.index] =
+            cache.cellKey(spec, cell, trace_capacity);
+    return keys;
+}
+
 } // namespace
 
 int
@@ -228,6 +269,11 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     bool worker_mode = false;
     bool assemble = false;
+    bool monitor = false;
+    long monitor_interval_ms = 500;
+    std::uint64_t monitor_max = 0;
+    std::string fleet_report_path;
+    std::string fleet_prom_path;
     long store_wait_ms = 0;
     WorkerOptions wopts;
     wopts.owner = "pid" + std::to_string(::getpid());
@@ -318,6 +364,17 @@ main(int argc, char **argv)
                 std::strtol(argv[++i], nullptr, 10);
         } else if (arg == "--kill-after-claim") {
             wopts.killAfterFirstClaim = true;
+        } else if (arg == "--monitor") {
+            monitor = true;
+        } else if (arg == "--monitor-interval" && i + 1 < argc) {
+            monitor_interval_ms =
+                std::strtol(argv[++i], nullptr, 10);
+        } else if (arg == "--monitor-max" && i + 1 < argc) {
+            monitor_max = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--fleet-report" && i + 1 < argc) {
+            fleet_report_path = argv[++i];
+        } else if (arg == "--fleet-prom" && i + 1 < argc) {
+            fleet_prom_path = argv[++i];
         } else if (arg == "--store-wait" && i + 1 < argc) {
             store_wait_ms = std::strtol(argv[++i], nullptr, 10);
         } else if (arg == "--seed" && i + 1 < argc) {
@@ -347,16 +404,19 @@ main(int argc, char **argv)
         return usage(2);
     }
     if (store_path.empty() &&
-        (jobs > 0 || worker_mode || assemble ||
+        (jobs > 0 || worker_mode || assemble || monitor ||
+         !fleet_report_path.empty() || !fleet_prom_path.empty() ||
          store_wait_ms > 0)) {
-        std::cerr << "sweep: --jobs/--worker/--assemble/"
-                     "--store-wait require --store\n";
+        std::cerr << "sweep: --jobs/--worker/--assemble/--monitor/"
+                     "--fleet-report/--fleet-prom/--store-wait "
+                     "require --store\n";
         return usage(2);
     }
-    if ((jobs > 0) + (worker_mode ? 1 : 0) + (assemble ? 1 : 0) >
+    if ((jobs > 0) + (worker_mode ? 1 : 0) + (assemble ? 1 : 0) +
+            (monitor ? 1 : 0) >
         1) {
-        std::cerr << "sweep: --jobs, --worker and --assemble are "
-                     "mutually exclusive\n";
+        std::cerr << "sweep: --jobs, --worker, --assemble and "
+                     "--monitor are mutually exclusive\n";
         return usage(2);
     }
     if (assemble)
@@ -374,6 +434,54 @@ main(int argc, char **argv)
         return runWorkerProcess(spec, store_path, fingerprint,
                                 plt_warm, wopts,
                                 store_stats_path);
+    }
+
+    if (monitor) {
+        // Each poll re-opens the store read-only: the open picks
+        // the newest valid meta page atomically, so every rendering
+        // is one crash-consistent snapshot of a live fleet, and the
+        // monitor never contends for the transaction gate.
+        std::size_t cap = trace_path.empty() ? 0 : 4096;
+        std::uint64_t polls = 0;
+        for (;;) {
+            bool complete = false;
+            try {
+                store::StoreOptions sopts;
+                sopts.readOnly = true;
+                std::unique_ptr<store::PageStore> ps =
+                    store::PageStore::open(store_path, sopts);
+                CellCache mcache(*ps, fingerprint);
+                if (plt_warm) {
+                    store::PltArchive archive(*ps);
+                    for (const std::string &w : spec.workloads) {
+                        std::optional<std::string> profile =
+                            archive.load(w);
+                        if (profile)
+                            mcache.setWarmProfileHash(
+                                w, stableHash64(*profile));
+                    }
+                }
+                FleetView view = readFleetView(
+                    *ps, fingerprint,
+                    cellKeysFor(spec, mcache, cap));
+                view.sweep = spec.name;
+                renderFleetStatus(std::cout, view,
+                                  wopts.leaseTicks);
+                warnFleetDrops(view);
+                complete = view.cells.outstanding() == 0;
+            } catch (const std::exception &e) {
+                std::cout << "monitor: " << e.what()
+                          << " (waiting)\n";
+            }
+            std::cout.flush();
+            ++polls;
+            if (complete)
+                return 0;
+            if (monitor_max && polls >= monitor_max)
+                return 0;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(monitor_interval_ms));
+        }
     }
 
     double fleet_seconds = 0.0;
@@ -394,7 +502,12 @@ main(int argc, char **argv)
                 WorkerOptions w = wopts;
                 w.owner = wopts.owner + "-w" +
                           std::to_string(k + 1);
-                w.killAfterFirstClaim = false;
+                // --kill-after-claim elects the first worker as
+                // the crash victim; the survivors reclaim its
+                // lease and CI asserts the victim's published
+                // fleet snapshot outlived it.
+                w.killAfterFirstClaim =
+                    wopts.killAfterFirstClaim && k == 0;
                 w.traceCapacity = trace_path.empty() ? 0 : 4096;
                 std::string stats_path =
                     store_stats_path.empty() ||
@@ -495,6 +608,22 @@ main(int argc, char **argv)
         writeResultsJson(os, result, jopts);
     }
 
+    // Aggregate the fleet keyspace once for every consumer below:
+    // the merged trace, --fleet-report and --fleet-prom all read
+    // the same view, and dropped-trace warnings are re-issued here
+    // with per-owner attribution (the in-process warning died with
+    // the worker).
+    std::optional<FleetView> fleet_view;
+    if (!store_path.empty() &&
+        (assemble || !fleet_report_path.empty() ||
+         !fleet_prom_path.empty())) {
+        fleet_view.emplace(readFleetView(
+            *pstore, fingerprint,
+            cellKeysFor(spec, *cache, opts.traceCapacity)));
+        fleet_view->sweep = spec.name;
+        warnFleetDrops(*fleet_view);
+    }
+
     if (!trace_path.empty()) {
         std::ofstream ts(trace_path);
         if (!ts) {
@@ -502,8 +631,48 @@ main(int argc, char **argv)
                       << "\n";
             return 1;
         }
-        writeChromeTrace(ts, result);
-        std::cerr << "sweep: trace -> " << trace_path << "\n";
+        if (fleet_view && !fleet_view->workers.empty()) {
+            writeMergedChromeTrace(ts, result, *fleet_view);
+            std::cerr << "sweep: merged trace ("
+                      << fleet_view->workers.size()
+                      << " worker lane(s)) -> " << trace_path
+                      << "\n";
+        } else {
+            writeChromeTrace(ts, result);
+            std::cerr << "sweep: trace -> " << trace_path << "\n";
+        }
+    }
+
+    if (!fleet_report_path.empty()) {
+        if (fleet_report_path == "-") {
+            writeFleetReport(std::cout, *fleet_view);
+        } else {
+            std::ofstream fs(fleet_report_path);
+            if (!fs) {
+                std::cerr << "sweep: cannot write "
+                          << fleet_report_path << "\n";
+                return 1;
+            }
+            writeFleetReport(fs, *fleet_view);
+            std::cerr << "sweep: fleet report -> "
+                      << fleet_report_path << "\n";
+        }
+    }
+
+    if (!fleet_prom_path.empty()) {
+        if (fleet_prom_path == "-") {
+            writePrometheusReport(std::cout, *fleet_view);
+        } else {
+            std::ofstream fs(fleet_prom_path);
+            if (!fs) {
+                std::cerr << "sweep: cannot write "
+                          << fleet_prom_path << "\n";
+                return 1;
+            }
+            writePrometheusReport(fs, *fleet_view);
+            std::cerr << "sweep: fleet prometheus -> "
+                      << fleet_prom_path << "\n";
+        }
     }
 
     if (!accuracy_path.empty()) {

@@ -256,6 +256,7 @@ CellCache::commitResults(
              std::string(cellPrefix) + fingerprint_ + "/", false},
             {"claim/", "claim/" + fingerprint_ + "/", false},
             {"claimhb/", "claimhb/" + fingerprint_, true},
+            {"fleet/", "fleet/" + fingerprint_ + "/", false},
         };
         store::ReadTx read = store_.beginRead();
         for (const Family &family : families) {
@@ -310,6 +311,7 @@ CellCache::statsToJson()
     doc.add("cache", std::move(counters));
 
     store::StoreInfo info = store_.info();
+    store::StoreProfile prof = store_.profile();
     JsonValue s = JsonValue::object();
     s.add("page_size", info.pageSize);
     s.add("txid", info.txid);
@@ -320,7 +322,39 @@ CellCache::statsToJson()
     s.add("root_run_pages", info.rootRunPages);
     s.add("keys", info.keys);
     s.add("file_bytes", info.fileBytes);
+    // Self-profiling totals: how long this handle actually spent
+    // blocked on the writer gate and committing (lockWaitMs only
+    // bounds the former; these record it).
+    s.add("lock_wait_us_total", prof.lockWaitUsTotal);
+    s.add("lock_acquisitions", prof.lockAcquisitions);
+    s.add("commit_count", prof.commitCount);
+    s.add("commit_us_total", prof.commitUsTotal);
+    s.add("pages_written_total", prof.pagesWrittenTotal);
     doc.add("store", std::move(s));
+
+    JsonValue hists = JsonValue::object();
+    auto hist = [](const obs::Histogram &h) {
+        JsonValue v = JsonValue::object();
+        v.add("count", h.count());
+        v.add("sum", h.sum());
+        JsonValue buckets = JsonValue::array();
+        for (std::size_t i = 0; i < obs::Histogram::numBuckets;
+             ++i) {
+            if (!h.bucket(i))
+                continue;
+            JsonValue b = JsonValue::array();
+            b.append(obs::Histogram::bucketLow(i));
+            b.append(h.bucket(i));
+            buckets.append(std::move(b));
+        }
+        v.add("buckets", std::move(buckets));
+        return v;
+    };
+    hists.add("lock_wait_us", hist(prof.lockWaitUs));
+    hists.add("commit_us", hist(prof.commitUs));
+    hists.add("commit_cow_pages", hist(prof.commitCowPages));
+    hists.add("commit_leaf_reads", hist(prof.commitLeafReads));
+    doc.add("store_profile", std::move(hists));
     return doc;
 }
 

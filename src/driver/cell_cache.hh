@@ -94,8 +94,8 @@ class CellCache
 
     /**
      * Persist executed cells in ONE transaction and drop every
-     * "cell/", "claim/" or "claimhb/" entry belonging to a
-     * different code fingerprint (counted as evictions). Failed
+     * "cell/", "claim/", "claimhb/" or "fleet/" entry belonging to
+     * a different code fingerprint (counted as evictions). Failed
      * cells are the caller's responsibility to exclude — a cached
      * failure would never be retried.
      */

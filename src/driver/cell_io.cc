@@ -1,5 +1,6 @@
 #include "cell_io.hh"
 
+#include "obs/snapshot_io.hh"
 #include "util/json.hh"
 
 namespace osp
@@ -153,96 +154,6 @@ statsFromJson(const JsonValue &v, ServicePredictor::Stats &s)
 }
 
 JsonValue
-metricsToJson(const obs::MetricsSnapshot &m)
-{
-    JsonValue v = JsonValue::object();
-    JsonValue counters = JsonValue::array();
-    for (const auto &c : m.counters) {
-        JsonValue e = JsonValue::array();
-        e.append(c.component);
-        e.append(c.name);
-        e.append(c.value);
-        counters.append(std::move(e));
-    }
-    v.add("counters", std::move(counters));
-    JsonValue gauges = JsonValue::array();
-    for (const auto &g : m.gauges) {
-        JsonValue e = JsonValue::array();
-        e.append(g.component);
-        e.append(g.name);
-        e.append(g.value);
-        gauges.append(std::move(e));
-    }
-    v.add("gauges", std::move(gauges));
-    JsonValue histograms = JsonValue::array();
-    for (const auto &h : m.histograms) {
-        JsonValue e = JsonValue::object();
-        e.add("component", h.component);
-        e.add("name", h.name);
-        e.add("count", h.count);
-        e.add("sum", h.sum);
-        JsonValue buckets = JsonValue::array();
-        for (const auto &[low, count] : h.buckets) {
-            JsonValue b = JsonValue::array();
-            b.append(low);
-            b.append(count);
-            buckets.append(std::move(b));
-        }
-        e.add("buckets", std::move(buckets));
-        histograms.append(std::move(e));
-    }
-    v.add("histograms", std::move(histograms));
-    return v;
-}
-
-bool
-metricsFromJson(const JsonValue &v, obs::MetricsSnapshot &m)
-{
-    if (!v.isObject())
-        return false;
-    const JsonValue *counters = v.find("counters");
-    const JsonValue *gauges = v.find("gauges");
-    const JsonValue *histograms = v.find("histograms");
-    if (!counters || !gauges || !histograms)
-        return false;
-    for (const JsonValue &e : counters->elements()) {
-        if (!e.isArray() || e.size() != 3)
-            return false;
-        obs::CounterEntry c;
-        c.component = e.at(0).asString();
-        c.name = e.at(1).asString();
-        c.value = e.at(2).asUint();
-        m.counters.push_back(std::move(c));
-    }
-    for (const JsonValue &e : gauges->elements()) {
-        if (!e.isArray() || e.size() != 3)
-            return false;
-        obs::GaugeEntry g;
-        g.component = e.at(0).asString();
-        g.name = e.at(1).asString();
-        g.value = e.at(2).asDouble();
-        m.gauges.push_back(std::move(g));
-    }
-    for (const JsonValue &e : histograms->elements()) {
-        if (!e.isObject())
-            return false;
-        obs::HistogramEntry h;
-        h.component = field(e, "component").asString();
-        h.name = field(e, "name").asString();
-        h.count = field(e, "count").asUint();
-        h.sum = field(e, "sum").asUint();
-        for (const JsonValue &b : field(e, "buckets").elements()) {
-            if (!b.isArray() || b.size() != 2)
-                return false;
-            h.buckets.emplace_back(b.at(0).asUint(),
-                                   b.at(1).asUint());
-        }
-        m.histograms.push_back(std::move(h));
-    }
-    return true;
-}
-
-JsonValue
 accuracyToJson(const obs::AccuracySnapshot &a)
 {
     JsonValue v = JsonValue::object();
@@ -347,7 +258,7 @@ encodeCellResult(const CellResult &r)
     doc.add("totals", totalsToJson(r.totals));
     if (r.hasStats)
         doc.add("stats", statsToJson(r.stats));
-    doc.add("telemetry", metricsToJson(r.telemetry));
+    doc.add("telemetry", obs::metricsSnapshotToJson(r.telemetry));
 
     JsonValue trace_info = JsonValue::array();
     trace_info.append(
@@ -424,7 +335,7 @@ try {
             return std::nullopt;
         r.hasStats = true;
     }
-    if (!metricsFromJson(*telemetry, r.telemetry))
+    if (!obs::metricsSnapshotFromJson(*telemetry, r.telemetry))
         return std::nullopt;
     if (!trace_info->isArray() || trace_info->size() != 3)
         return std::nullopt;

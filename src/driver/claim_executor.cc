@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <csignal>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -14,6 +15,7 @@
 
 #include "cell_cache.hh"
 #include "cell_io.hh"
+#include "fleet.hh"
 #include "store/claim_table.hh"
 
 namespace osp
@@ -149,12 +151,25 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
         }
     }
 
+    // The fleet publisher rides the transactions this loop was
+    // making anyway, so a snapshot becomes visible exactly when the
+    // claim-table mutation it describes does — including the very
+    // first claim, which is why a --kill-after-claim victim's
+    // version-1 snapshot survives its SIGKILL.
+    std::unique_ptr<FleetPublisher> fleet;
+    if (options.publishFleet)
+        fleet = std::make_unique<FleetPublisher>(
+            cache.fingerprint(), options.owner,
+            options.fleetEventCapacity);
+
     long poll_ms = options.pollMs;
     bool first_claim = true;
     for (;;) {
         // --- claim transaction --------------------------------
         ClaimOutcome outcome;
+        bool exiting = false;
         {
+            std::uint64_t tx_t0 = fleet ? fleet->nowUs() : 0;
             store::WriteTx tx = store.beginWrite();
             // Bump even when this pass claims nothing: once every
             // other cell is done, idle polls are the only thing
@@ -220,15 +235,35 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
                 table.put(tx, key, next);
                 outcome.cellIndex = cell.index;
             }
+            // Stats move *inside* the transaction so the snapshot
+            // published with it already reflects this pass.
+            exiting = !outcome.cellIndex && outcome.outstanding == 0;
+            if (outcome.cellIndex) {
+                ++stats.claimed;
+                if (outcome.reclaimedExpired)
+                    ++stats.reclaimed;
+            } else if (!exiting) {
+                ++stats.polls;
+            }
+            if (fleet) {
+                if (outcome.cellIndex)
+                    fleet->noteEvent(outcome.reclaimedExpired
+                                         ? FleetEventKind::Reclaimed
+                                         : FleetEventKind::Claimed,
+                                     *outcome.cellIndex);
+                else if (exiting)
+                    fleet->noteEvent(FleetEventKind::Exited);
+                else
+                    fleet->noteEvent(FleetEventKind::Poll);
+                fleet->publish(tx, store, stats, hb, exiting);
+            }
             tx.commit();
+            if (fleet)
+                fleet->observeClaimTx(fleet->nowUs() - tx_t0);
         }
 
-        if (outcome.cellIndex) {
-            ++stats.claimed;
-            if (outcome.reclaimedExpired)
-                ++stats.reclaimed;
+        if (outcome.cellIndex)
             poll_ms = options.pollMs;
-        }
         if (first_claim && outcome.cellIndex &&
             options.killAfterFirstClaim) {
             // Crash seam: die holding exactly one live lease.
@@ -237,11 +272,11 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
         first_claim = false;
 
         if (!outcome.cellIndex) {
-            if (outcome.outstanding == 0)
+            if (exiting)
                 return stats;  // sweep complete (or terminal)
             // Everything left is leased by live workers: wait for
-            // them to finish, fail, or expire.
-            ++stats.polls;
+            // them to finish, fail, or expire (the poll was already
+            // counted, and published, inside the transaction).
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(poll_ms));
             poll_ms = std::min<long>(poll_ms * 2, 1000);
@@ -254,6 +289,7 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
         CellResult result;
         bool failed = false;
         std::string error;
+        std::uint64_t exec_t0 = fleet ? fleet->nowUs() : 0;
         {
             LeaseRefresher refresher(store, table, key,
                                      options.owner,
@@ -276,11 +312,19 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
             }
             stats.refreshes += refresher.stop();
         }
+        if (fleet && !failed) {
+            std::uint64_t wall = fleet->nowUs() - exec_t0;
+            fleet->noteCellWall(cell.index, wall);
+            fleet->noteTraceDrops(result.traceInfo.dropped);
+            fleet->noteEvent(FleetEventKind::Executed, cell.index,
+                             wall, exec_t0);
+        }
 
         // --- commit transaction -------------------------------
         {
+            std::uint64_t tx_t0 = fleet ? fleet->nowUs() : 0;
             store::WriteTx tx = store.beginWrite();
-            table.bumpHeartbeat(tx);
+            std::uint64_t hb = table.bumpHeartbeat(tx);
             ++stats.heartbeats;
             auto rec = table.get(tx, key);
             if (!rec ||
@@ -289,7 +333,14 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
                 // Someone reclaimed our expired lease while we ran;
                 // their (identical, deterministic) result wins.
                 ++stats.lostLeases;
+                if (fleet) {
+                    fleet->noteEvent(FleetEventKind::LostLease,
+                                     cell.index);
+                    fleet->publish(tx, store, stats, hb, false);
+                }
                 tx.commit();
+                if (fleet)
+                    fleet->observeCommitTx(fleet->nowUs() - tx_t0);
                 continue;
             }
             store::ClaimRecord next = *rec;
@@ -299,19 +350,32 @@ runSweepWorker(const SweepSpec &spec, CellCache &cache,
                 next.state = store::ClaimState::Done;
                 next.error.clear();
                 ++stats.committed;
+                if (fleet)
+                    fleet->noteEvent(FleetEventKind::Committed,
+                                     cell.index);
             } else {
                 next.retries = rec->retries + 1;
                 next.error = error;
                 if (next.retries >= options.maxRetries) {
                     next.state = store::ClaimState::Failed;
                     ++stats.exhausted;
+                    if (fleet)
+                        fleet->noteEvent(FleetEventKind::Failed,
+                                         cell.index);
                 } else {
                     next.state = store::ClaimState::Retry;
                     ++stats.retriesRecorded;
+                    if (fleet)
+                        fleet->noteEvent(FleetEventKind::Retry,
+                                         cell.index);
                 }
             }
             table.put(tx, key, next);
+            if (fleet)
+                fleet->publish(tx, store, stats, hb, false);
             tx.commit();
+            if (fleet)
+                fleet->observeCommitTx(fleet->nowUs() - tx_t0);
         }
     }
 }

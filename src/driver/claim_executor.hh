@@ -86,6 +86,17 @@ struct WorkerOptions
      * CI gets a victim that dies holding exactly one live lease.
      */
     bool killAfterFirstClaim = false;
+    /**
+     * Publish fleet/<fingerprint>/<owner> telemetry snapshots
+     * (driver/fleet.hh) by piggybacking on every claim and commit
+     * transaction. Costs one extra key write per transaction the
+     * worker was making anyway; disable for single-process tests
+     * that assert exact store contents.
+     */
+    bool publishFleet = true;
+    /** Lifecycle-event ring size in the published snapshots (oldest
+     *  dropped beyond this; 0 keeps none). */
+    std::size_t fleetEventCapacity = 256;
 };
 
 /** What one worker did, for the per-worker stats document. */

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * The fleet observability plane: store-backed worker telemetry for
+ * distributed sweeps.
+ *
+ * A `--jobs N` fleet is otherwise a black box — each worker's
+ * telemetry dies with its process and live progress is invisible.
+ * This layer gives every worker a single overwritten key
+ *
+ *     fleet/<fingerprint>/<owner>
+ *
+ * holding a versioned "ospredict-worker-v1" snapshot: its claim-loop
+ * stats, mergeable metrics (claim/commit transaction latency, cell
+ * wall times, the store's self-profiling histograms), per-cell wall
+ * times, dropped-trace accounting, and a bounded ring of lifecycle
+ * events. Snapshots are staged by FleetPublisher into the worker's
+ * *existing* claim/commit transactions, so they ride the shared-mode
+ * transaction gate: a snapshot is either fully committed or absent,
+ * never torn, and any process can read the latest committed state
+ * mid-run through an ordinary snapshot ReadTx (the `sweep --monitor`
+ * loop does exactly that from a read-only open).
+ *
+ * On the read side, readFleetView() aggregates the keyspace into a
+ * FleetView — cells by state, workers in owner order, metrics merged
+ * across workers — from which flow the human monitor rendering, the
+ * deterministic "ospredict-fleet-v1" JSON report, the
+ * Prometheus-style text export, and the merged chrome://tracing
+ * timeline with one lane per worker pid.
+ *
+ * Nothing here touches results.json: fleet keys live outside the
+ * cell keyspace and outside the cell identity hash, so the sweep's
+ * byte-identity contract is unaffected.
+ */
+
+#ifndef OSP_DRIVER_FLEET_HH
+#define OSP_DRIVER_FLEET_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "claim_executor.hh"
+#include "obs/metrics.hh"
+#include "store/page_store.hh"
+#include "sweep.hh"
+#include "util/json.hh"
+
+namespace osp
+{
+
+inline constexpr std::string_view workerSnapshotSchema =
+    "ospredict-worker-v1";
+inline constexpr std::string_view fleetReportSchema =
+    "ospredict-fleet-v1";
+
+/** Structured lifecycle events a worker publishes (bounded ring). */
+enum class FleetEventKind : std::uint8_t
+{
+    Claimed,    //!< won a claim transaction
+    Reclaimed,  //!< the claim took over an expired lease
+    Executed,   //!< a cell run finished (tUs = start, durUs = wall)
+    Committed,  //!< result committed (done claim)
+    Retry,      //!< execution threw; retry claim recorded
+    Failed,     //!< retries exhausted; terminal failed claim
+    LostLease,  //!< result discarded, lease reclaimed under us
+    Poll,       //!< idle poll while other leases are live
+    Exited,     //!< worker finished (nothing left to claim)
+};
+
+inline constexpr std::size_t numFleetEventKinds = 9;
+
+/** Wire/display name ("claimed", "reclaimed", ...). */
+const char *fleetEventKindName(FleetEventKind kind);
+
+/** One lifecycle event. Times are real microseconds — fleet data is
+ *  observability, deliberately outside the determinism contract. */
+struct FleetEvent
+{
+    /** No cell attached to this event (polls, exit). */
+    static constexpr std::uint64_t noCell = UINT64_MAX;
+
+    std::uint64_t tUs = 0;  //!< µs since worker start (steady clock)
+    FleetEventKind kind = FleetEventKind::Claimed;
+    std::uint64_t cell = noCell;  //!< cell index in expansion order
+    std::uint64_t durUs = 0;      //!< Executed: wall µs of the run
+};
+
+/** One worker's published state (the fleet/<fp>/<owner> value). */
+struct WorkerSnapshot
+{
+    std::string owner;
+    std::uint64_t pid = 0;
+    std::uint64_t version = 0;  //!< publish counter, 1-based
+    std::uint64_t epoch = 0;    //!< heartbeat at publish time
+    bool exited = false;        //!< final snapshot of a clean exit
+    std::uint64_t startUnixUs = 0;  //!< system clock at worker start
+    std::uint64_t uptimeUs = 0;     //!< steady µs start -> publish
+    WorkerStats stats;
+    /** Per-worker dropped-trace accounting: executed cells whose
+     *  event ring overflowed, and the events they lost. Carried here
+     *  so assemble/monitor can re-warn with owner attribution (the
+     *  in-process warning dies with the worker). */
+    std::uint64_t ringsWithDrops = 0;
+    std::uint64_t totalDropped = 0;
+    /** (cell index, wall µs) per executed cell, execution order. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cellWalls;
+    std::vector<FleetEvent> events;  //!< newest eventCapacity kept
+    std::uint64_t eventsDropped = 0;
+    /** Mergeable instruments: the claim loop's histograms plus the
+     *  store's self-profile folded in under component "store". */
+    obs::MetricsSnapshot metrics;
+};
+
+/** `fleet/<fingerprint>/<owner>`. */
+std::string fleetKey(const std::string &fingerprint,
+                     const std::string &owner);
+
+/** Canonical compact-JSON encoding ("ospredict-worker-v1"). */
+std::string encodeWorkerSnapshot(const WorkerSnapshot &snap);
+
+/** Strict decode; nullopt on any malformed structure. */
+std::optional<WorkerSnapshot>
+decodeWorkerSnapshot(std::string_view text);
+
+/**
+ * The worker-side accumulator and publisher. One per claim loop;
+ * not thread-safe (the lease refresher deliberately does not
+ * publish). note*() calls record what happened between
+ * transactions; publish() stages the next snapshot version into a
+ * transaction the caller is about to commit, so a snapshot becomes
+ * visible exactly when the claim-table mutation it describes does.
+ */
+class FleetPublisher
+{
+  public:
+    FleetPublisher(std::string fingerprint, std::string owner,
+                   std::size_t event_capacity = 256);
+
+    /** µs since construction (the event clock). */
+    std::uint64_t nowUs() const;
+
+    /** Append an event, dropping the oldest beyond capacity. */
+    void noteEvent(FleetEventKind kind,
+                   std::uint64_t cell = FleetEvent::noCell,
+                   std::uint64_t dur_us = 0,
+                   std::uint64_t t_us = UINT64_MAX);
+
+    /** Record one executed cell's wall time. */
+    void noteCellWall(std::uint64_t cell_index,
+                      std::uint64_t wall_us);
+
+    /** Record one executed cell whose event ring overflowed. */
+    void noteTraceDrops(std::uint64_t dropped);
+
+    /** Claim/commit transaction latency histograms. */
+    void observeClaimTx(std::uint64_t us);
+    void observeCommitTx(std::uint64_t us);
+
+    /**
+     * Stage fleet/<fp>/<owner> := the next snapshot version into
+     * @p tx. @p store supplies the self-profile to fold in;
+     * @p epoch is the heartbeat this transaction observed.
+     */
+    void publish(store::WriteTx &tx, store::PageStore &store,
+                 const WorkerStats &stats, std::uint64_t epoch,
+                 bool exited);
+
+    std::uint64_t version() const { return version_; }
+
+  private:
+    std::string fingerprint_;
+    std::string owner_;
+    std::size_t eventCapacity_;
+    std::uint64_t pid_;
+    std::uint64_t startUnixUs_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t version_ = 0;
+    std::uint64_t ringsWithDrops_ = 0;
+    std::uint64_t totalDropped_ = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cellWalls_;
+    std::vector<FleetEvent> events_;
+    std::uint64_t eventsDropped_ = 0;
+    obs::Registry registry_;
+};
+
+/** Cells of the sweep bucketed by their store/claim state. */
+struct FleetCellCounts
+{
+    std::uint64_t total = 0;
+    std::uint64_t done = 0;       //!< committed result (or done claim)
+    std::uint64_t failed = 0;     //!< terminal failed claim
+    std::uint64_t claimed = 0;    //!< live lease held
+    std::uint64_t retry = 0;      //!< awaiting another claimant
+    std::uint64_t unclaimed = 0;  //!< never claimed
+
+    std::uint64_t
+    outstanding() const
+    {
+        return total - done - failed;
+    }
+};
+
+/** One consistent aggregation of the fleet keyspace. */
+struct FleetView
+{
+    std::string sweep;  //!< spec name (caller-provided label)
+    std::string fingerprint;
+    std::uint64_t heartbeat = 0;
+    FleetCellCounts cells;
+    std::vector<WorkerSnapshot> workers;  //!< owner (key) order
+    WorkerStats totals;                   //!< summed worker stats
+    std::uint64_t ringsWithDrops = 0;     //!< summed drop accounting
+    std::uint64_t totalDropped = 0;
+    obs::MetricsSnapshot merged;  //!< metrics merged across workers
+};
+
+/**
+ * Read one consistent snapshot of the fleet state: cell states for
+ * @p cell_keys (content hashes in cell-index order) plus every
+ * decoded worker snapshot, all through a single ReadTx. Works on
+ * any open mode, including read-only monitors of a live store.
+ */
+FleetView readFleetView(store::PageStore &store,
+                        const std::string &fingerprint,
+                        const std::vector<std::string> &cell_keys);
+
+/**
+ * The deterministic "ospredict-fleet-v1" report: derived purely
+ * from the view (no clocks), workers in owner order — the same
+ * store bytes always produce the same report bytes.
+ */
+JsonValue fleetReportToJson(const FleetView &view);
+
+/** fleetReportToJson() pretty-printed, trailing newline. */
+void writeFleetReport(std::ostream &os, const FleetView &view);
+
+/** Prometheus text exposition of the same view (counters, gauges
+ *  and cumulative-bucket histograms under the ospredict_ prefix). */
+void writePrometheusReport(std::ostream &os, const FleetView &view);
+
+/**
+ * Human monitor rendering: one status block — cells by state,
+ * per-worker health (live/stale/exited by heartbeat lag vs
+ * @p lease_ticks), throughput and a crude ETA from the per-cell
+ * wall-time history.
+ */
+void renderFleetStatus(std::ostream &os, const FleetView &view,
+                       std::uint64_t lease_ticks);
+
+/** Re-warn about workers whose cells dropped trace events, with
+ *  per-owner attribution (see WorkerSnapshot::ringsWithDrops). */
+void warnFleetDrops(const FleetView &view);
+
+/**
+ * The merged chrome://tracing timeline: every cell's retained trace
+ * (identical lanes to writeChromeTrace — pid = cell index, ts =
+ * retired instructions) plus one process lane per worker pid whose
+ * lifecycle events are laid out in real microseconds since the Unix
+ * epoch. The two clock domains are disjoint by construction and
+ * labelled in otherData.
+ */
+void writeMergedChromeTrace(std::ostream &os,
+                            const SweepResult &result,
+                            const FleetView &view);
+
+} // namespace osp
+
+#endif // OSP_DRIVER_FLEET_HH

@@ -750,18 +750,16 @@ writeResultsJson(std::ostream &os, const SweepResult &result,
 }
 
 void
-writeChromeTrace(std::ostream &os, const SweepResult &result)
+appendCellTraceEvents(JsonValue &events, const SweepResult &result)
 {
-    warnDroppedEvents(result, "chrome trace");
-    // chrome://tracing "JSON Array Format" with the standard
-    // traceEvents wrapper. Interval-shaped events (service
-    // detailed/predicted) become complete ("X") slices whose ts is
-    // the retired-instruction count and dur the interval's cycles;
-    // everything else becomes an instant ("i") event. One process
-    // per sweep cell, one thread per service type.
-    JsonValue doc = JsonValue::object();
-    JsonValue events = JsonValue::array();
-
+    // chrome://tracing "JSON Array Format" events. Interval-shaped
+    // events (service detailed/predicted) become complete ("X")
+    // slices whose ts is the retired-instruction count and dur the
+    // interval's cycles; everything else becomes an instant ("i")
+    // event. One process per sweep cell, one thread per service
+    // type. Shared between writeChromeTrace and the fleet-merged
+    // trace (driver/fleet.cc), which must keep the cell lanes
+    // byte-identical to the single-process ones.
     for (const CellResult &r : result.cells) {
         if (r.failed)
             continue;
@@ -810,6 +808,15 @@ writeChromeTrace(std::ostream &os, const SweepResult &result)
             events.append(std::move(e));
         }
     }
+}
+
+void
+writeChromeTrace(std::ostream &os, const SweepResult &result)
+{
+    warnDroppedEvents(result, "chrome trace");
+    JsonValue doc = JsonValue::object();
+    JsonValue events = JsonValue::array();
+    appendCellTraceEvents(events, result);
 
     doc.add("traceEvents", std::move(events));
     doc.add("displayTimeUnit", "ns");

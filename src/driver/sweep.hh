@@ -354,6 +354,13 @@ void writeAccuracyReport(std::ostream &os,
  */
 void writeChromeTrace(std::ostream &os, const SweepResult &result);
 
+/** writeChromeTrace's event list without the document wrapper:
+ *  append every cell's lanes to @p events. Shared with the
+ *  fleet-merged trace (driver/fleet.hh), whose cell lanes must stay
+ *  byte-identical to the single-process ones. */
+void appendCellTraceEvents(JsonValue &events,
+                           const SweepResult &result);
+
 } // namespace osp
 
 #endif // OSP_DRIVER_SWEEP_HH

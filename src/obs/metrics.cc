@@ -64,20 +64,27 @@ Registry::snapshot() const
     for (const auto &[key, g] : gauges_)
         snap.gauges.push_back({key.first, key.second, g.value()});
     snap.histograms.reserve(histograms_.size());
-    for (const auto &[key, h] : histograms_) {
-        HistogramEntry e;
-        e.component = key.first;
-        e.name = key.second;
-        e.count = h.count();
-        e.sum = h.sum();
-        for (std::size_t i = 0; i < Histogram::numBuckets; ++i) {
-            if (h.bucket(i))
-                e.buckets.emplace_back(Histogram::bucketLow(i),
-                                       h.bucket(i));
-        }
-        snap.histograms.push_back(std::move(e));
-    }
+    for (const auto &[key, h] : histograms_)
+        snap.histograms.push_back(
+            histogramEntry(key.first, key.second, h));
     return snap;
+}
+
+HistogramEntry
+histogramEntry(std::string component, std::string name,
+               const Histogram &h)
+{
+    HistogramEntry e;
+    e.component = std::move(component);
+    e.name = std::move(name);
+    e.count = h.count();
+    e.sum = h.sum();
+    for (std::size_t i = 0; i < Histogram::numBuckets; ++i) {
+        if (h.bucket(i))
+            e.buckets.emplace_back(Histogram::bucketLow(i),
+                                   h.bucket(i));
+    }
+    return e;
 }
 
 std::uint64_t
@@ -89,6 +96,111 @@ MetricsSnapshot::counterValue(std::string_view component,
             return c.value;
     }
     return 0;
+}
+
+const HistogramEntry *
+MetricsSnapshot::findHistogram(std::string_view component,
+                               std::string_view name) const
+{
+    for (const auto &h : histograms) {
+        if (h.component == component && h.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/** Order entries the way Registry::snapshot emits them. */
+template <typename Entry>
+int
+compareKeys(const Entry &a, const Entry &b)
+{
+    if (int c = a.component.compare(b.component))
+        return c;
+    return a.name.compare(b.name);
+}
+
+/** Merge two (component, name)-sorted entry vectors; matching keys
+ *  are combined with @p combine, the rest copied through in order. */
+template <typename Entry, typename Combine>
+std::vector<Entry>
+mergeSorted(std::vector<Entry> a, const std::vector<Entry> &b,
+            Combine combine)
+{
+    std::vector<Entry> out;
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        int c = compareKeys(a[i], b[j]);
+        if (c < 0) {
+            out.push_back(std::move(a[i++]));
+        } else if (c > 0) {
+            out.push_back(b[j++]);
+        } else {
+            combine(a[i], b[j]);
+            out.push_back(std::move(a[i]));
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.size(); ++i)
+        out.push_back(std::move(a[i]));
+    for (; j < b.size(); ++j)
+        out.push_back(b[j]);
+    return out;
+}
+
+/** Merge sorted (low, count) bucket lists, summing matching lows. */
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+mergeBuckets(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &a,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &b)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i].first < b[j].first) {
+            out.push_back(a[i++]);
+        } else if (a[i].first > b[j].first) {
+            out.push_back(b[j++]);
+        } else {
+            out.emplace_back(a[i].first,
+                             a[i].second + b[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.size(); ++i)
+        out.push_back(a[i]);
+    for (; j < b.size(); ++j)
+        out.push_back(b[j]);
+    return out;
+}
+
+} // namespace
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    counters = mergeSorted(std::move(counters), other.counters,
+                           [](CounterEntry &a, const CounterEntry &b) {
+                               a.value += b.value;
+                           });
+    gauges = mergeSorted(std::move(gauges), other.gauges,
+                         [](GaugeEntry &a, const GaugeEntry &b) {
+                             if (b.value > a.value)
+                                 a.value = b.value;
+                         });
+    histograms = mergeSorted(
+        std::move(histograms), other.histograms,
+        [](HistogramEntry &a, const HistogramEntry &b) {
+            a.count += b.count;
+            a.sum += b.sum;
+            a.buckets = mergeBuckets(a.buckets, b.buckets);
+        });
 }
 
 } // namespace osp::obs

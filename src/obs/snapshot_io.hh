@@ -1,0 +1,32 @@
+/**
+ * @file
+ * JSON codec for MetricsSnapshot, shared by every on-disk telemetry
+ * encoding (ospredict-cell-v1 cache values, ospredict-worker-v1 fleet
+ * snapshots).
+ *
+ * The format is part of the cell cache's byte-identity contract:
+ * counters and gauges as compact [component, name, value] arrays,
+ * histograms as keyed objects with occupied buckets listed as
+ * [low, count] pairs. Changing a single byte here invalidates every
+ * cached cell, so additions must be new keys, never reshapes.
+ */
+
+#ifndef OSP_OBS_SNAPSHOT_IO_HH
+#define OSP_OBS_SNAPSHOT_IO_HH
+
+#include "obs/metrics.hh"
+#include "util/json.hh"
+
+namespace osp::obs
+{
+
+/** Encode a snapshot; inverse of metricsSnapshotFromJson. */
+JsonValue metricsSnapshotToJson(const MetricsSnapshot &m);
+
+/** Decode into @p m (appending to its vectors); false on any
+ *  malformed structure, leaving @p m partially filled. */
+bool metricsSnapshotFromJson(const JsonValue &v, MetricsSnapshot &m);
+
+} // namespace osp::obs
+
+#endif // OSP_OBS_SNAPSHOT_IO_HH

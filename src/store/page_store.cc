@@ -1,6 +1,7 @@
 #include "page_store.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -12,6 +13,17 @@ namespace osp::store
 
 namespace
 {
+
+/** Microseconds elapsed since @p t0 (self-profiling only; wall time
+ *  never feeds any deterministic output). */
+std::uint64_t
+elapsedUs(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
 
 // All on-disk integers are little-endian, independent of the host.
 
@@ -324,6 +336,7 @@ PageStore::open(const std::string &path, const StoreOptions &options)
         store->gate_ = std::make_unique<FileLock>(path + ".lock");
         long wait = options.shared ? options.txLockWaitMs
                                    : options.lockWaitMs;
+        auto lock_t0 = std::chrono::steady_clock::now();
         if (!store->gate_->tryLock(
                 options.shared ? "shared worker" : "exclusive",
                 wait)) {
@@ -335,6 +348,7 @@ PageStore::open(const std::string &path, const StoreOptions &options)
                                 : " [" + holder + "]") +
                 "; close it, or wait for it with --store-wait");
         }
+        store->recordLockWait(elapsedUs(lock_t0));
     }
 
     bool exists = false;
@@ -472,6 +486,7 @@ PageStore::loadFreelist()
 void
 PageStore::acquireTxGate()
 {
+    auto lock_t0 = std::chrono::steady_clock::now();
     {
         std::unique_lock<std::mutex> lock(gateMu_);
         if (gateHeld_ &&
@@ -498,6 +513,7 @@ PageStore::acquireTxGate()
             (holder.empty() ? std::string()
                             : " [held by " + holder + "]"));
     }
+    recordLockWait(elapsedUs(lock_t0));
 }
 
 void
@@ -882,6 +898,7 @@ PageStore::promotePending()
 void
 PageStore::commitTx(WriteTx &tx)
 {
+    auto commit_t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(stateMu_);
     const std::uint32_t P = meta_.pageSize;
 
@@ -1137,11 +1154,42 @@ PageStore::commitTx(WriteTx &tx)
         meta_ = m;
         if (!freed.empty())
             pending_.emplace(m.txid, std::move(freed));
+        recordCommit(elapsedUs(commit_t0), writes.size(),
+                     tx.leaves_.size());
     } catch (...) {
         free_ = std::move(free_backup);
         allocHigh_ = alloc_backup;
         throw;
     }
+}
+
+void
+PageStore::recordLockWait(std::uint64_t us)
+{
+    std::lock_guard<std::mutex> lock(profileMu_);
+    ++profile_.lockAcquisitions;
+    profile_.lockWaitUsTotal += us;
+    profile_.lockWaitUs.observe(us);
+}
+
+void
+PageStore::recordCommit(std::uint64_t us, std::uint64_t cow_pages,
+                        std::uint64_t leaf_reads)
+{
+    std::lock_guard<std::mutex> lock(profileMu_);
+    ++profile_.commitCount;
+    profile_.commitUsTotal += us;
+    profile_.pagesWrittenTotal += cow_pages;
+    profile_.commitUs.observe(us);
+    profile_.commitCowPages.observe(cow_pages);
+    profile_.commitLeafReads.observe(leaf_reads);
+}
+
+StoreProfile
+PageStore::profile() const
+{
+    std::lock_guard<std::mutex> lock(profileMu_);
+    return profile_;
 }
 
 StoreInfo

@@ -83,6 +83,7 @@
 #include <vector>
 
 #include "mmap_file.hh"
+#include "obs/metrics.hh"
 
 namespace osp::store
 {
@@ -138,6 +139,29 @@ struct StoreInfo
     std::uint64_t rootRunPages = 0;
     std::uint64_t keys = 0;
     std::uint64_t fileBytes = 0;
+};
+
+/**
+ * Cumulative self-profiling counters for one store handle. The store
+ * is the claim executor's scaling bottleneck, so contention must be
+ * measurable rather than guessed: every flock/gate acquisition
+ * records how long it actually blocked (StoreOptions::lockWaitMs
+ * only bounds the wait), and every commit records its wall time and
+ * page traffic. Process-local — each handle profiles its own view of
+ * the shared file; fleet-wide pictures come from merging the
+ * per-worker exports (obs::MetricsSnapshot::merge).
+ */
+struct StoreProfile
+{
+    std::uint64_t lockAcquisitions = 0;  //!< successful gate/flock takes
+    std::uint64_t lockWaitUsTotal = 0;   //!< total µs blocked on them
+    std::uint64_t commitCount = 0;
+    std::uint64_t commitUsTotal = 0;
+    std::uint64_t pagesWrittenTotal = 0;  //!< COW pages across commits
+    obs::Histogram lockWaitUs;       //!< µs blocked per acquisition
+    obs::Histogram commitUs;         //!< µs per commit
+    obs::Histogram commitCowPages;   //!< pages written per commit
+    obs::Histogram commitLeafReads;  //!< B+tree leaves decoded per commit
 };
 
 class PageStore;
@@ -313,6 +337,9 @@ class PageStore
 
     StoreInfo info();
 
+    /** Copy of the self-profiling state (thread-safe). */
+    StoreProfile profile() const;
+
     const std::string &path() const { return file_->path(); }
     std::uint32_t pageSize() const { return meta_.pageSize; }
     bool shared() const { return shared_; }
@@ -373,6 +400,11 @@ class PageStore
     /** The committing half of WriteTx::commit(). */
     void commitTx(WriteTx &tx);
 
+    /** Self-profiling recorders (thread-safe; see StoreProfile). */
+    void recordLockWait(std::uint64_t us);
+    void recordCommit(std::uint64_t us, std::uint64_t cow_pages,
+                      std::uint64_t leaf_reads);
+
     std::unique_ptr<MmapFile> file_;
     Meta meta_;                     //!< last committed meta
     std::vector<std::uint64_t> free_;
@@ -383,6 +415,8 @@ class PageStore
 
     std::mutex stateMu_;   //!< meta_/free_/pending_/readers_/view
     std::mutex writerMu_;  //!< serializes write transactions
+    mutable std::mutex profileMu_;  //!< guards profile_
+    StoreProfile profile_;
     FailPoint failPoint_ = FailPoint::None;
 
     /** The sidecar writer gate ("<path>.lock"). Exclusive mode

@@ -1,0 +1,506 @@
+/** @file Tests for the fleet observability plane (driver/fleet.hh):
+ *  the ospredict-worker-v1 snapshot codec and its strict decoder,
+ *  the publisher's bounded event ring, end-to-end publication from
+ *  a real claim-loop worker (version/heartbeat invariants, clean
+ *  final snapshots), per-owner dropped-trace attribution, the
+ *  determinism of the ospredict-fleet-v1 report, the Prometheus
+ *  text exposition, and the merged chrome://tracing timeline's
+ *  worker lanes. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/cell_cache.hh"
+#include "driver/claim_executor.hh"
+#include "driver/fleet.hh"
+#include "driver/sweep.hh"
+#include "store/claim_table.hh"
+#include "store/page_store.hh"
+#include "util/json.hh"
+
+namespace osp
+{
+namespace
+{
+
+constexpr const char *kFingerprint = "fleettestfp";
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("osp_fleet_" +
+                  std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()) +
+                  ".db"))
+                    .string();
+        removeFiles();
+    }
+
+    void TearDown() override { removeFiles(); }
+
+    void
+    removeFiles()
+    {
+        std::filesystem::remove(path_);
+        std::filesystem::remove(path_ + ".lock");
+    }
+
+    std::unique_ptr<store::PageStore>
+    openShared()
+    {
+        store::StoreOptions o;
+        o.shared = true;
+        return store::PageStore::open(path_, o);
+    }
+
+    /** Cell content hashes in cell-index order, as the CLI's
+     *  monitor/report paths compute them. */
+    std::vector<std::string>
+    cellKeys(const SweepSpec &spec, CellCache &cache,
+             std::size_t trace_capacity = 0)
+    {
+        std::vector<std::string> keys;
+        for (const SweepCell &cell : expandSweep(spec))
+            keys.push_back(
+                cache.cellKey(spec, cell, trace_capacity));
+        return keys;
+    }
+
+    std::string path_;
+};
+
+/** As the claim-executor tests: a deterministic stand-in for
+ *  runCell() that is a pure function of the cell coordinates. */
+CellResult
+fakeCell(const SweepSpec &, const SweepCell &cell, std::size_t)
+{
+    CellResult r;
+    r.cell = cell;
+    r.totals.appInsts = 1000 + cell.seed % 257;
+    r.totals.appCycles = 3000 + cell.seed % 1031;
+    r.totals.osInsts = 100 + cell.l2Bytes % 89;
+    r.totals.osSimCycles = 500 + cell.seedIndex * 7;
+    r.totals.osInvocations = 4 + cell.index;
+    r.totals.osSimulated = 4 + cell.index;
+    return r;
+}
+
+/** Four cells: (Full + Accelerated) x 2 seeds of one workload. */
+SweepSpec
+tinySpec()
+{
+    SweepSpec spec;
+    spec.name = "fleet-tiny";
+    spec.workloads = {"du"};
+    spec.modes = {RunMode::Full, RunMode::Accelerated};
+    spec.predictors = {{"default", PredictorParams{}}};
+    spec.numSeeds = 2;
+    spec.scale = 0.05;
+    return spec;
+}
+
+WorkerSnapshot
+sampleSnapshot()
+{
+    WorkerSnapshot snap;
+    snap.owner = "w1";
+    snap.pid = 4242;
+    snap.version = 7;
+    snap.epoch = 31;
+    snap.exited = true;
+    snap.startUnixUs = 1700000000000000ULL;
+    snap.uptimeUs = 123456;
+    snap.stats.claimed = 3;
+    snap.stats.executed = 3;
+    snap.stats.committed = 2;
+    snap.stats.retriesRecorded = 1;
+    snap.stats.heartbeats = 9;
+    snap.ringsWithDrops = 1;
+    snap.totalDropped = 17;
+    snap.cellWalls = {{0, 1500}, {2, 900}};
+    snap.events.push_back(
+        {10, FleetEventKind::Claimed, 0, 0});
+    snap.events.push_back(
+        {1510, FleetEventKind::Executed, 0, 1500});
+    snap.events.push_back(
+        {1600, FleetEventKind::Exited, FleetEvent::noCell, 0});
+    snap.eventsDropped = 2;
+    obs::Registry reg;
+    reg.histogram("claim_loop", "cell_wall_us").observe(1500);
+    snap.metrics = reg.snapshot();
+    return snap;
+}
+
+TEST(FleetCodec, SnapshotRoundTripsByteStable)
+{
+    WorkerSnapshot snap = sampleSnapshot();
+    std::string bytes = encodeWorkerSnapshot(snap);
+
+    std::optional<WorkerSnapshot> back =
+        decodeWorkerSnapshot(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(encodeWorkerSnapshot(*back), bytes);
+
+    EXPECT_EQ(back->owner, "w1");
+    EXPECT_EQ(back->pid, 4242u);
+    EXPECT_EQ(back->version, 7u);
+    EXPECT_EQ(back->epoch, 31u);
+    EXPECT_TRUE(back->exited);
+    EXPECT_EQ(back->stats.committed, 2u);
+    EXPECT_EQ(back->ringsWithDrops, 1u);
+    EXPECT_EQ(back->totalDropped, 17u);
+    ASSERT_EQ(back->cellWalls.size(), 2u);
+    EXPECT_EQ(back->cellWalls[1].second, 900u);
+    ASSERT_EQ(back->events.size(), 3u);
+    EXPECT_EQ(back->events[1].kind, FleetEventKind::Executed);
+    EXPECT_EQ(back->events[1].durUs, 1500u);
+    EXPECT_EQ(back->events[2].cell, FleetEvent::noCell);
+    EXPECT_EQ(back->eventsDropped, 2u);
+    EXPECT_EQ(
+        back->metrics.findHistogram("claim_loop", "cell_wall_us")
+            ->count,
+        1u);
+}
+
+TEST(FleetCodec, DecodeRejectsMalformedSnapshots)
+{
+    const std::string good = encodeWorkerSnapshot(sampleSnapshot());
+    ASSERT_TRUE(decodeWorkerSnapshot(good).has_value());
+
+    // Not JSON at all, and valid JSON of the wrong shape.
+    EXPECT_FALSE(decodeWorkerSnapshot("not json").has_value());
+    EXPECT_FALSE(decodeWorkerSnapshot("[1,2]").has_value());
+
+    // Wrong schema tag.
+    std::string wrong_schema = good;
+    wrong_schema.replace(wrong_schema.find("ospredict-worker-v1"),
+                         std::string("ospredict-worker-v1").size(),
+                         "ospredict-worker-v9");
+    EXPECT_FALSE(decodeWorkerSnapshot(wrong_schema).has_value());
+
+    // Unknown lifecycle phase.
+    std::string bad_phase = good;
+    bad_phase.replace(bad_phase.find("\"exited\""),
+                      std::string("\"exited\"").size(),
+                      "\"zombie\"");
+    EXPECT_FALSE(decodeWorkerSnapshot(bad_phase).has_value());
+
+    // A required field missing entirely.
+    std::string no_owner = good;
+    no_owner.replace(no_owner.find("\"owner\""),
+                     std::string("\"owner\"").size(), "\"ownr\"");
+    EXPECT_FALSE(decodeWorkerSnapshot(no_owner).has_value());
+
+    // An event tuple with an out-of-range kind.
+    WorkerSnapshot bad_kind = sampleSnapshot();
+    bad_kind.events[0].kind =
+        static_cast<FleetEventKind>(numFleetEventKinds);
+    EXPECT_FALSE(
+        decodeWorkerSnapshot(encodeWorkerSnapshot(bad_kind))
+            .has_value());
+}
+
+TEST(FleetCodec, EventKindNamesAreStable)
+{
+    EXPECT_STREQ(fleetEventKindName(FleetEventKind::Claimed),
+                 "claimed");
+    EXPECT_STREQ(fleetEventKindName(FleetEventKind::Reclaimed),
+                 "reclaimed");
+    EXPECT_STREQ(fleetEventKindName(FleetEventKind::LostLease),
+                 "lost_lease");
+    EXPECT_STREQ(fleetEventKindName(FleetEventKind::Exited),
+                 "exited");
+}
+
+TEST_F(FleetTest, PublisherRingDropsOldestAndVersionsAdvance)
+{
+    auto store = openShared();
+    FleetPublisher pub(kFingerprint, "ringer", 2);
+    pub.noteEvent(FleetEventKind::Claimed, 0, 0, 10);
+    pub.noteEvent(FleetEventKind::Executed, 0, 5, 20);
+    pub.noteEvent(FleetEventKind::Committed, 0, 0, 30);
+
+    {
+        store::WriteTx tx = store->beginWrite();
+        pub.publish(tx, *store, WorkerStats{}, 5, false);
+        tx.commit();
+    }
+    EXPECT_EQ(pub.version(), 1u);
+
+    std::optional<std::string> raw = store->beginRead().get(
+        fleetKey(kFingerprint, "ringer"));
+    ASSERT_TRUE(raw.has_value());
+    std::optional<WorkerSnapshot> snap = decodeWorkerSnapshot(*raw);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->version, 1u);
+    EXPECT_EQ(snap->epoch, 5u);
+    EXPECT_FALSE(snap->exited);
+    // Capacity 2: the oldest event fell off the ring.
+    ASSERT_EQ(snap->events.size(), 2u);
+    EXPECT_EQ(snap->events[0].kind, FleetEventKind::Executed);
+    EXPECT_EQ(snap->events[1].kind, FleetEventKind::Committed);
+    EXPECT_EQ(snap->eventsDropped, 1u);
+
+    // A later publish overwrites the same key with the next
+    // version; the final snapshot records the clean exit.
+    {
+        store::WriteTx tx = store->beginWrite();
+        pub.publish(tx, *store, WorkerStats{}, 6, true);
+        tx.commit();
+    }
+    raw = store->beginRead().get(fleetKey(kFingerprint, "ringer"));
+    ASSERT_TRUE(raw.has_value());
+    snap = decodeWorkerSnapshot(*raw);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->version, 2u);
+    EXPECT_TRUE(snap->exited);
+}
+
+TEST_F(FleetTest, WorkerRunPublishesConsistentFinalSnapshot)
+{
+    SweepSpec spec = tinySpec();
+    WorkerStats stats;
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        WorkerOptions w;
+        w.owner = "solo";
+        w.cellRunner = fakeCell;
+        stats = runSweepWorker(spec, cache, w);
+    }
+
+    auto store = openShared();
+    CellCache cache(*store, kFingerprint);
+    FleetView view =
+        readFleetView(*store, kFingerprint, cellKeys(spec, cache));
+
+    EXPECT_EQ(view.fingerprint, kFingerprint);
+    EXPECT_EQ(view.cells.total, 4u);
+    EXPECT_EQ(view.cells.done, 4u);
+    EXPECT_EQ(view.cells.outstanding(), 0u);
+
+    ASSERT_EQ(view.workers.size(), 1u);
+    const WorkerSnapshot &w = view.workers[0];
+    EXPECT_EQ(w.owner, "solo");
+    EXPECT_TRUE(w.exited);
+    // Publish-protocol invariants (what check_store.py asserts):
+    // every snapshot rides a transaction that bumps the heartbeat
+    // exactly once, so neither counter can outrun it.
+    EXPECT_GE(w.version, 1u);
+    EXPECT_LE(w.version, view.heartbeat);
+    EXPECT_LE(w.epoch, view.heartbeat);
+    // The published stats are the stats the worker returned.
+    EXPECT_EQ(w.stats.claimed, stats.claimed);
+    EXPECT_EQ(w.stats.committed, 4u);
+    EXPECT_EQ(w.stats.executed, 4u);
+    EXPECT_EQ(view.totals.committed, 4u);
+    // One wall-time entry per executed cell.
+    EXPECT_EQ(w.cellWalls.size(), 4u);
+    EXPECT_EQ(w.eventsDropped, 0u);
+
+    // Merged metrics carry the claim loop's instruments and the
+    // store's self-profile.
+    const obs::HistogramEntry *walls =
+        view.merged.findHistogram("claim_loop", "cell_wall_us");
+    ASSERT_NE(walls, nullptr);
+    EXPECT_EQ(walls->count, 4u);
+    EXPECT_GT(view.merged.counterValue("store", "commit_count"),
+              0u);
+}
+
+TEST_F(FleetTest, DroppedTraceEventsAreAttributedToOwner)
+{
+    SweepSpec spec = tinySpec();
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        WorkerOptions w;
+        w.owner = "droppy";
+        w.cellRunner = [](const SweepSpec &s, const SweepCell &c,
+                          std::size_t tc) {
+            CellResult r = fakeCell(s, c, tc);
+            r.traceInfo.dropped = 5;
+            return r;
+        };
+        runSweepWorker(spec, cache, w);
+    }
+
+    auto store = openShared();
+    CellCache cache(*store, kFingerprint);
+    FleetView view =
+        readFleetView(*store, kFingerprint, cellKeys(spec, cache));
+    ASSERT_EQ(view.workers.size(), 1u);
+    EXPECT_EQ(view.workers[0].ringsWithDrops, 4u);
+    EXPECT_EQ(view.workers[0].totalDropped, 20u);
+    EXPECT_EQ(view.ringsWithDrops, 4u);
+    EXPECT_EQ(view.totalDropped, 20u);
+
+    // The attribution survives into the report document.
+    JsonValue report = fleetReportToJson(view);
+    const JsonValue *totals = report.find("totals");
+    ASSERT_NE(totals, nullptr);
+    EXPECT_EQ(totals->find("total_dropped")->asUint(), 20u);
+}
+
+TEST_F(FleetTest, ReportIsDeterministicAndWellFormed)
+{
+    SweepSpec spec = tinySpec();
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        WorkerOptions w;
+        w.owner = "rep";
+        w.cellRunner = fakeCell;
+        runSweepWorker(spec, cache, w);
+    }
+
+    auto store = openShared();
+    CellCache cache(*store, kFingerprint);
+    std::vector<std::string> keys = cellKeys(spec, cache);
+
+    FleetView a = readFleetView(*store, kFingerprint, keys);
+    a.sweep = spec.name;
+    FleetView b = readFleetView(*store, kFingerprint, keys);
+    b.sweep = spec.name;
+    // Same store bytes, same report bytes.
+    std::ostringstream ra, rb;
+    writeFleetReport(ra, a);
+    writeFleetReport(rb, b);
+    EXPECT_EQ(ra.str(), rb.str());
+
+    JsonValue doc = fleetReportToJson(a);
+    EXPECT_EQ(doc.find("schema")->asString(), fleetReportSchema);
+    EXPECT_EQ(doc.find("sweep")->asString(), "fleet-tiny");
+    const JsonValue *cells = doc.find("cells");
+    ASSERT_NE(cells, nullptr);
+    // The states partition the expansion.
+    EXPECT_EQ(cells->find("done")->asUint() +
+                  cells->find("failed")->asUint() +
+                  cells->find("claimed")->asUint() +
+                  cells->find("retry")->asUint() +
+                  cells->find("unclaimed")->asUint(),
+              cells->find("total")->asUint());
+    const JsonValue *workers = doc.find("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_EQ(workers->size(), 1u);
+    const JsonValue &w = workers->at(0);
+    EXPECT_EQ(w.find("owner")->asString(), "rep");
+    EXPECT_EQ(w.find("phase")->asString(), "exited");
+    EXPECT_EQ(w.find("cells_executed")->asUint(), 4u);
+    EXPECT_EQ(w.find("heartbeat_lag")->asUint(),
+              a.heartbeat - a.workers[0].epoch);
+}
+
+TEST_F(FleetTest, PrometheusExportIsWellFormed)
+{
+    SweepSpec spec = tinySpec();
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        WorkerOptions w;
+        w.owner = "prom";
+        w.cellRunner = fakeCell;
+        runSweepWorker(spec, cache, w);
+    }
+
+    auto store = openShared();
+    CellCache cache(*store, kFingerprint);
+    FleetView view =
+        readFleetView(*store, kFingerprint, cellKeys(spec, cache));
+    view.sweep = spec.name;
+    std::ostringstream os;
+    writePrometheusReport(os, view);
+    const std::string text = os.str();
+
+    EXPECT_NE(text.find("# TYPE ospredict_fleet_cells gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("ospredict_fleet_cells{sweep=\"fleet-tiny"
+                        "\",state=\"done\"} 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("ospredict_worker_committed_total"
+                        "{owner=\"prom\"} 4"),
+              std::string::npos);
+    // A clean exit reads as down.
+    EXPECT_NE(text.find("ospredict_worker_up{owner=\"prom\"} 0"),
+              std::string::npos);
+    // Histograms expose cumulative buckets ending at +Inf with a
+    // sum/count pair.
+    EXPECT_NE(text.find("ospredict_claim_loop_cell_wall_us_bucket"
+                        "{le=\"+Inf\"} 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("ospredict_claim_loop_cell_wall_us_count 4"),
+              std::string::npos);
+}
+
+TEST_F(FleetTest, MergedTraceCarriesWorkerLanes)
+{
+    SweepSpec spec = tinySpec();
+    {
+        auto store = openShared();
+        CellCache cache(*store, kFingerprint);
+        WorkerOptions w;
+        w.owner = "tracer";
+        w.cellRunner = fakeCell;
+        runSweepWorker(spec, cache, w);
+    }
+
+    auto store = openShared();
+    CellCache cache(*store, kFingerprint);
+    // Assemble the results document from the claim-covered store,
+    // exactly as `sweep --assemble --trace` would.
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.cache = &cache;
+    opts.incremental = true;
+    opts.claimAware = true;
+    opts.cellRunner = fakeCell;
+    SweepResult result = runSweep(spec, opts);
+    FleetView view =
+        readFleetView(*store, kFingerprint, cellKeys(spec, cache));
+    view.sweep = spec.name;
+
+    std::ostringstream os;
+    writeMergedChromeTrace(os, result, view);
+    bool ok = false;
+    JsonValue doc = JsonValue::parse(os.str(), &ok);
+    ASSERT_TRUE(ok);
+
+    // One process_name lane per worker, on the worker's real pid,
+    // plus per-event owner attribution.
+    std::size_t worker_lanes = 0;
+    std::size_t worker_events = 0;
+    for (const JsonValue &e :
+         doc.find("traceEvents")->elements()) {
+        const JsonValue *name = e.find("name");
+        const JsonValue *args = e.find("args");
+        if (name && name->asString() == "process_name" && args &&
+            args->find("name")->asString() == "worker tracer") {
+            ++worker_lanes;
+            EXPECT_EQ(e.find("pid")->asUint(),
+                      view.workers[0].pid);
+        }
+        if (args && args->find("owner") &&
+            args->find("owner")->asString() == "tracer")
+            ++worker_events;
+    }
+    EXPECT_EQ(worker_lanes, 1u);
+    // At least claim/execute/commit per cell plus the exit marker.
+    EXPECT_GE(worker_events, 13u);
+    // The clock-domain note survives for trace viewers.
+    const JsonValue *other = doc.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->find("workers")->asUint(), 1u);
+}
+
+} // namespace
+} // namespace osp

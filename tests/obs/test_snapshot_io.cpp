@@ -1,0 +1,171 @@
+/** @file Tests for the shared metrics-snapshot codec
+ *  (obs/snapshot_io.hh) and the cross-worker merge semantics of
+ *  MetricsSnapshot: byte-stable round-trips (the format is part of
+ *  the cell cache's byte-identity contract), strict decode of
+ *  malformed documents, counter summing, gauge high-water,
+ *  histogram bucket merging, and order preservation under merge. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/snapshot_io.hh"
+#include "util/json.hh"
+
+namespace osp::obs
+{
+namespace
+{
+
+MetricsSnapshot
+sampleSnapshot()
+{
+    Registry reg;
+    reg.counter("cache", "hits").inc(7);
+    reg.counter("predictor", "transitions").inc(3);
+    reg.gauge("plt", "occupancy").set(0.75);
+    Histogram &h = reg.histogram("intervals", "length");
+    h.observe(0);
+    h.observe(1);
+    h.observe(5);
+    h.observe(5);
+    h.observe(1000);
+    return reg.snapshot();
+}
+
+TEST(SnapshotIo, RoundTripIsByteStable)
+{
+    MetricsSnapshot snap = sampleSnapshot();
+    JsonValue doc = metricsSnapshotToJson(snap);
+    std::string bytes = doc.dump(-1);
+
+    MetricsSnapshot back;
+    bool ok = false;
+    ASSERT_TRUE(metricsSnapshotFromJson(
+        JsonValue::parse(bytes, &ok), back));
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(metricsSnapshotToJson(back).dump(-1), bytes);
+
+    ASSERT_EQ(back.counters.size(), 2u);
+    EXPECT_EQ(back.counterValue("cache", "hits"), 7u);
+    ASSERT_EQ(back.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(back.gauges[0].value, 0.75);
+    const HistogramEntry *h =
+        back.findHistogram("intervals", "length");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 5u);
+    EXPECT_EQ(h->sum, 1011u);
+}
+
+TEST(SnapshotIo, EmptySnapshotRoundTrips)
+{
+    MetricsSnapshot empty;
+    JsonValue doc = metricsSnapshotToJson(empty);
+    MetricsSnapshot back;
+    ASSERT_TRUE(metricsSnapshotFromJson(doc, back));
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(SnapshotIo, MalformedDocumentsDecodeFalse)
+{
+    const char *bad[] = {
+        // Counters entry is not a triple.
+        R"({"counters":[["c","n"]],"gauges":[],"histograms":[]})",
+        // Histogram missing its count field.
+        R"({"counters":[],"gauges":[],"histograms":[)"
+        R"({"component":"c","name":"n","sum":0,"buckets":[]}]})",
+        // Bucket pair is a scalar.
+        R"({"counters":[],"gauges":[],"histograms":[)"
+        R"({"component":"c","name":"n","count":1,"sum":1,)"
+        R"("buckets":[1]}]})",
+        // Not an object at all.
+        R"([1,2,3])",
+    };
+    for (const char *text : bad) {
+        bool ok = false;
+        JsonValue doc = JsonValue::parse(text, &ok);
+        ASSERT_TRUE(ok) << text;
+        MetricsSnapshot out;
+        EXPECT_FALSE(metricsSnapshotFromJson(doc, out)) << text;
+    }
+}
+
+TEST(SnapshotMerge, CountersSumAndOneSidedCopy)
+{
+    Registry a;
+    a.counter("cache", "hits").inc(5);
+    a.counter("cache", "misses").inc(2);
+    Registry b;
+    b.counter("cache", "hits").inc(3);
+    b.counter("store", "commits").inc(9);
+
+    MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.counterValue("cache", "hits"), 8u);
+    EXPECT_EQ(merged.counterValue("cache", "misses"), 2u);
+    EXPECT_EQ(merged.counterValue("store", "commits"), 9u);
+    ASSERT_EQ(merged.counters.size(), 3u);
+    // Sorted (component, name) order is preserved.
+    EXPECT_EQ(merged.counters[0].name, "hits");
+    EXPECT_EQ(merged.counters[1].name, "misses");
+    EXPECT_EQ(merged.counters[2].component, "store");
+}
+
+TEST(SnapshotMerge, GaugesKeepHighWater)
+{
+    Registry a;
+    a.gauge("plt", "occupancy").set(0.25);
+    Registry b;
+    b.gauge("plt", "occupancy").set(0.75);
+
+    MetricsSnapshot lowFirst = a.snapshot();
+    lowFirst.merge(b.snapshot());
+    MetricsSnapshot highFirst = b.snapshot();
+    highFirst.merge(a.snapshot());
+    ASSERT_EQ(lowFirst.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(lowFirst.gauges[0].value, 0.75);
+    // High-water is the order-independent reduction.
+    EXPECT_DOUBLE_EQ(highFirst.gauges[0].value, 0.75);
+}
+
+TEST(SnapshotMerge, HistogramsMergeBucketLists)
+{
+    Registry a;
+    Histogram &ha = a.histogram("claim_loop", "cell_wall_us");
+    ha.observe(0);
+    ha.observe(3);  // bucket low 2
+    Registry b;
+    Histogram &hb = b.histogram("claim_loop", "cell_wall_us");
+    hb.observe(2);   // bucket low 2
+    hb.observe(70);  // bucket low 64
+
+    MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    const HistogramEntry *h =
+        merged.findHistogram("claim_loop", "cell_wall_us");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 4u);
+    EXPECT_EQ(h->sum, 75u);
+    // (0,1), (2,2), (64,1): matching lows added, others spliced in
+    // ascending order.
+    ASSERT_EQ(h->buckets.size(), 3u);
+    EXPECT_EQ(h->buckets[0], (std::pair<std::uint64_t,
+                                        std::uint64_t>{0, 1}));
+    EXPECT_EQ(h->buckets[1], (std::pair<std::uint64_t,
+                                        std::uint64_t>{2, 2}));
+    EXPECT_EQ(h->buckets[2], (std::pair<std::uint64_t,
+                                        std::uint64_t>{64, 1}));
+}
+
+TEST(SnapshotMerge, MergeIntoEmptyCopiesEverything)
+{
+    MetricsSnapshot merged;
+    MetricsSnapshot src = sampleSnapshot();
+    merged.merge(src);
+    EXPECT_EQ(metricsSnapshotToJson(merged).dump(-1),
+              metricsSnapshotToJson(src).dump(-1));
+}
+
+} // namespace
+} // namespace osp::obs

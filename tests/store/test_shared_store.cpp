@@ -2,7 +2,11 @@
  *  open-lifetime writer gate (clear double-open diagnostics, the
  *  --store-wait path, lockless read-only opens) and shared worker
  *  mode (per-transaction gating, cross-handle visibility through
- *  refresh, nested-transaction rejection, gate timeouts).
+ *  refresh, nested-transaction rejection, gate timeouts), and the
+ *  snapshot isolation the fleet telemetry plane leans on: a reader
+ *  concurrent with a publishing writer sees the old or the new
+ *  fleet snapshot, never a torn one, and a commit killed at the
+ *  meta-write fail point leaves the previous snapshot intact.
  *
  *  flock(2) locks belong to the open file description, so two
  *  PageStore handles in one process contend exactly like two
@@ -11,11 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <thread>
 
+#include "driver/fleet.hh"
+#include "store/claim_table.hh"
 #include "store/page_store.hh"
 
 namespace osp::store
@@ -208,6 +216,145 @@ TEST_F(SharedStoreTest, TransactionGateTimesOutWithHolderHint)
         after.commit();
     }
     EXPECT_EQ(a->beginRead().get("k"), "v");
+}
+
+/** Build a minimal fleet snapshot whose version and epoch both
+ *  equal @p n — the pairing the torn-read check below leans on. */
+osp::WorkerSnapshot
+pairedSnapshot(std::uint64_t n)
+{
+    osp::WorkerSnapshot snap;
+    snap.owner = "w";
+    snap.pid = 1;
+    snap.version = n;
+    snap.epoch = n;
+    snap.stats.claimed = n;
+    return snap;
+}
+
+TEST_F(SharedStoreTest, FleetSnapshotReadersSeeOldOrNewNeverTorn)
+{
+    // The monitor's crash-consistency contract: a fleet snapshot
+    // and the heartbeat it was published against are committed in
+    // one transaction, so any reader must observe them as a pair —
+    // decodable, version == heartbeat, versions never going
+    // backwards — no matter how its reads interleave with the
+    // writer's commits.
+    constexpr const char *fp = "tornfp";
+    const std::string key = osp::fleetKey(fp, "w");
+    const std::string hb_key = ClaimTable::heartbeatKey(fp);
+    constexpr std::uint64_t rounds = 40;
+
+    auto writer = PageStore::open(path_, sharedOptions());
+    auto reader = PageStore::open(path_, sharedOptions());
+
+    std::atomic<bool> done{false};
+    std::thread publisher([&] {
+        for (std::uint64_t i = 1; i <= rounds; ++i) {
+            WriteTx tx = writer->beginWrite();
+            tx.put(key, osp::encodeWorkerSnapshot(
+                            pairedSnapshot(i)));
+            tx.put(hb_key, std::to_string(i));
+            tx.commit();
+        }
+        done = true;
+    });
+
+    std::uint64_t last_seen = 0;
+    while (!done) {
+        std::optional<std::string> raw;
+        std::optional<std::string> hb;
+        {
+            ReadTx read = reader->beginRead();
+            raw = read.get(key);
+            hb = read.get(hb_key);
+        }
+        if (!raw) {
+            // Nothing published yet; the heartbeat can't have
+            // committed without the snapshot either.
+            EXPECT_FALSE(hb.has_value());
+            continue;
+        }
+        auto snap = osp::decodeWorkerSnapshot(*raw);
+        ASSERT_TRUE(snap.has_value()) << "torn snapshot bytes";
+        ASSERT_TRUE(hb.has_value());
+        // The pair is atomic and time never runs backwards.
+        EXPECT_EQ(std::to_string(snap->version), *hb);
+        EXPECT_GE(snap->version, last_seen);
+        last_seen = snap->version;
+    }
+    publisher.join();
+
+    // After the writer is done the final pair is durable.
+    ReadTx read = reader->beginRead();
+    auto snap = osp::decodeWorkerSnapshot(*read.get(key));
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->version, rounds);
+    EXPECT_EQ(read.get(hb_key), std::to_string(rounds));
+}
+
+TEST_F(SharedStoreTest, FailedCommitPreservesPreviousFleetSnapshot)
+{
+    // Kill-point companion to the page-store crash tests: a commit
+    // that dies before the meta write must leave the previously
+    // committed fleet snapshot (and its heartbeat) intact, both for
+    // this handle and for a fresh read-only open — which is what a
+    // monitor polling across a worker crash sees.
+    constexpr const char *fp = "killfp";
+    const std::string key = osp::fleetKey(fp, "w");
+    const std::string hb_key = ClaimTable::heartbeatKey(fp);
+
+    auto store = PageStore::open(path_, sharedOptions());
+    {
+        WriteTx tx = store->beginWrite();
+        tx.put(key,
+               osp::encodeWorkerSnapshot(pairedSnapshot(1)));
+        tx.put(hb_key, "1");
+        tx.commit();
+    }
+
+    store->setFailPoint(PageStore::FailPoint::BeforeMetaWrite);
+    {
+        WriteTx tx = store->beginWrite();
+        tx.put(key,
+               osp::encodeWorkerSnapshot(pairedSnapshot(2)));
+        tx.put(hb_key, "2");
+        EXPECT_THROW(tx.commit(), std::runtime_error);
+    }
+    store->setFailPoint(PageStore::FailPoint::None);
+
+    // In-process state rolled back to version 1...
+    {
+        ReadTx read = store->beginRead();
+        auto snap = osp::decodeWorkerSnapshot(*read.get(key));
+        ASSERT_TRUE(snap.has_value());
+        EXPECT_EQ(snap->version, 1u);
+        EXPECT_EQ(read.get(hb_key), "1");
+    }
+    // ...and so did the durable state a monitor would open.
+    {
+        StoreOptions ro;
+        ro.readOnly = true;
+        auto monitor = PageStore::open(path_, ro);
+        auto snap = osp::decodeWorkerSnapshot(
+            *monitor->beginRead().get(key));
+        ASSERT_TRUE(snap.has_value());
+        EXPECT_EQ(snap->version, 1u);
+    }
+
+    // The store keeps working on the old tree: the next publish
+    // lands normally.
+    {
+        WriteTx tx = store->beginWrite();
+        tx.put(key,
+               osp::encodeWorkerSnapshot(pairedSnapshot(2)));
+        tx.put(hb_key, "2");
+        tx.commit();
+    }
+    auto snap =
+        osp::decodeWorkerSnapshot(*store->beginRead().get(key));
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->version, 2u);
 }
 
 } // namespace

@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""Validator for ``sweep --fleet-report`` / ``--fleet-prom`` output.
+
+Checks an ``ospredict-fleet-v1`` document (the store-backed worker
+telemetry aggregation of src/driver/fleet.hh) for structural and
+arithmetic consistency, and optionally the matching Prometheus text
+exposition:
+
+  * schema tag, required fields and field types
+  * cell counts: the per-state buckets partition the total, and
+    ``outstanding`` equals total - done - failed
+  * every worker: owner/pid/phase/version/epoch present and sane
+    (version a positive integer, phase running|exited, cell wall
+    totals consistent with the executed-cell count)
+  * fleet totals are exactly the column sums of the per-worker
+    stats, including the dropped-trace-event attribution
+  * merged metrics are in sorted (component, name) order and every
+    histogram's bucket counts sum to its count
+  * the Prometheus file (--prom): every sample line parses, every
+    metric is TYPE-declared before its first sample, histogram
+    bucket series are cumulative and close with le="+Inf" == count
+
+CI assertions for the kill-a-worker scenario:
+
+  --expect-workers N   exactly N worker snapshots
+  --expect-dead OWNER  OWNER's snapshot exists, is still in phase
+                       "running" (a SIGKILLed worker never publishes
+                       its exited snapshot) and shows at least one
+                       claim — the victim's partial progress must be
+                       visible and attributed
+  --min-reclaimed N    the fleet reclaimed at least N leases (the
+                       survivors must have taken over the victim's)
+
+Exit status 0 when everything holds; 1 with a diagnostic otherwise.
+
+Usage:
+  tools/check_fleet_report.py REPORT.json [--prom FILE]
+      [--expect-workers N] [--expect-dead OWNER] [--min-reclaimed N]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA = "ospredict-fleet-v1"
+
+STAT_FIELDS = ("claimed", "executed", "committed", "reclaimed",
+               "retries_recorded", "exhausted", "lost_leases",
+               "polls", "heartbeats", "refreshes")
+CELL_STATES = ("done", "failed", "claimed", "retry", "unclaimed")
+
+
+class Bad(Exception):
+    pass
+
+
+def need(obj, key, kind, what):
+    if not isinstance(obj, dict) or key not in obj:
+        raise Bad(f"{what}: missing field {key!r}")
+    value = obj[key]
+    if kind is int and isinstance(value, bool):
+        raise Bad(f"{what}.{key}: got a bool, want {kind.__name__}")
+    if not isinstance(value, kind):
+        raise Bad(f"{what}.{key}: got {type(value).__name__}, "
+                  f"want {kind.__name__}")
+    return value
+
+
+def check_stats(stats, what):
+    for field in STAT_FIELDS:
+        if need(stats, field, int, what) < 0:
+            raise Bad(f"{what}.{field} is negative")
+
+
+def check_metrics(metrics, what):
+    """Sorted-order and histogram-arithmetic checks on one
+    telemetry section (the compact snapshot codec of
+    src/obs/snapshot_io.hh)."""
+    for section, shape in (("counters", list), ("gauges", list),
+                           ("histograms", list)):
+        need(metrics, section, shape, what)
+    for section in ("counters", "gauges"):
+        keys = []
+        for entry in metrics[section]:
+            if not isinstance(entry, list) or len(entry) != 3:
+                raise Bad(f"{what}.{section}: entry {entry!r} is "
+                          "not a [component, name, value] triple")
+            keys.append((entry[0], entry[1]))
+        if keys != sorted(keys):
+            raise Bad(f"{what}.{section} is not in sorted "
+                      "(component, name) order")
+    keys = []
+    for h in metrics["histograms"]:
+        comp = need(h, "component", str, f"{what}.histograms")
+        name = need(h, "name", str, f"{what}.histograms")
+        count = need(h, "count", int, f"{what}.histograms")
+        need(h, "sum", int, f"{what}.histograms")
+        buckets = need(h, "buckets", list, f"{what}.histograms")
+        keys.append((comp, name))
+        total = 0
+        prev_low = -1
+        for b in buckets:
+            if not isinstance(b, list) or len(b) != 2:
+                raise Bad(f"{what} histogram {comp}/{name}: bucket "
+                          f"{b!r} is not a [low, count] pair")
+            low, n = b
+            if low <= prev_low:
+                raise Bad(f"{what} histogram {comp}/{name}: bucket "
+                          "lows not strictly ascending")
+            prev_low = low
+            total += n
+        if total != count:
+            raise Bad(f"{what} histogram {comp}/{name}: buckets "
+                      f"sum to {total}, count says {count}")
+    if keys != sorted(keys):
+        raise Bad(f"{what}.histograms is not in sorted "
+                  "(component, name) order")
+
+
+def check_report(doc, args):
+    if need(doc, "schema", str, "report") != SCHEMA:
+        raise Bad(f"schema is {doc['schema']!r}, want {SCHEMA!r}")
+    need(doc, "fingerprint", str, "report")
+    heartbeat = need(doc, "heartbeat", int, "report")
+
+    cells = need(doc, "cells", dict, "report")
+    total = need(cells, "total", int, "cells")
+    by_state = {s: need(cells, s, int, "cells") for s in CELL_STATES}
+    if sum(by_state.values()) != total:
+        raise Bad(f"cell states sum to {sum(by_state.values())}, "
+                  f"total says {total}")
+    outstanding = need(cells, "outstanding", int, "cells")
+    want = total - by_state["done"] - by_state["failed"]
+    if outstanding != want:
+        raise Bad(f"outstanding is {outstanding}, want {want}")
+
+    totals = need(doc, "totals", dict, "report")
+    check_stats(totals, "totals")
+    need(totals, "rings_with_drops", int, "totals")
+    need(totals, "total_dropped", int, "totals")
+
+    workers = need(doc, "workers", list, "report")
+    sums = {field: 0 for field in STAT_FIELDS}
+    drop_sums = {"rings_with_drops": 0, "total_dropped": 0}
+    owners = set()
+    for w in workers:
+        owner = need(w, "owner", str, "worker")
+        what = f"worker {owner}"
+        if owner in owners:
+            raise Bad(f"{what} appears twice")
+        owners.add(owner)
+        need(w, "pid", int, what)
+        if need(w, "version", int, what) < 1:
+            raise Bad(f"{what}: version must be >= 1")
+        epoch = need(w, "epoch", int, what)
+        if epoch > heartbeat:
+            raise Bad(f"{what}: epoch {epoch} is ahead of the "
+                      f"heartbeat {heartbeat}")
+        phase = need(w, "phase", str, what)
+        if phase not in ("running", "exited"):
+            raise Bad(f"{what}: phase {phase!r}")
+        lag = need(w, "heartbeat_lag", int, what)
+        if lag != heartbeat - epoch:
+            raise Bad(f"{what}: heartbeat_lag {lag}, want "
+                      f"{heartbeat - epoch}")
+        stats = need(w, "stats", dict, what)
+        check_stats(stats, what)
+        for field in STAT_FIELDS:
+            sums[field] += stats[field]
+        for field in drop_sums:
+            drop_sums[field] += need(w, field, int, what)
+        executed_cells = need(w, "cells_executed", int, what)
+        if executed_cells != stats["executed"]:
+            raise Bad(f"{what}: cells_executed {executed_cells} "
+                      f"mismatches stats.executed "
+                      f"{stats['executed']}")
+        need(w, "cell_wall_us_total", int, what)
+        need(w, "events", int, what)
+        need(w, "events_dropped", int, what)
+    for field in STAT_FIELDS:
+        if totals[field] != sums[field]:
+            raise Bad(f"totals.{field} is {totals[field]}, worker "
+                      f"sum is {sums[field]}")
+    for field, total_drops in drop_sums.items():
+        if totals[field] != total_drops:
+            raise Bad(f"totals.{field} is {totals[field]}, worker "
+                      f"sum is {total_drops}")
+
+    check_metrics(need(doc, "metrics", dict, "report"), "metrics")
+
+    if (args.expect_workers is not None
+            and len(workers) != args.expect_workers):
+        raise Bad(f"{len(workers)} worker snapshot(s), expected "
+                  f"{args.expect_workers}")
+    if args.expect_dead is not None:
+        dead = next((w for w in workers
+                     if w["owner"] == args.expect_dead), None)
+        if dead is None:
+            raise Bad(f"no snapshot for expected-dead worker "
+                      f"{args.expect_dead!r} (its last published "
+                      "transaction must survive the kill)")
+        if dead["phase"] != "running":
+            raise Bad(f"dead worker {args.expect_dead!r} published "
+                      "an exited snapshot — it was not killed "
+                      "mid-run")
+        if dead["stats"]["claimed"] < 1:
+            raise Bad(f"dead worker {args.expect_dead!r} shows no "
+                      "claims; its partial progress was lost")
+    if (args.min_reclaimed is not None
+            and totals["reclaimed"] < args.min_reclaimed):
+        raise Bad(f"fleet reclaimed {totals['reclaimed']} "
+                  f"lease(s), expected >= {args.min_reclaimed}")
+    return workers
+
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{([^}]*)\})?'
+    r' (-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|[+-]Inf|NaN)$')
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def check_prom(text):
+    """Prometheus text-exposition lint: sample framing, TYPE-before-
+    sample, cumulative histogram bucket series ending at +Inf."""
+    typed = {}
+    sampled = 0
+    # metric -> list of (le, value) for *_bucket series without
+    # distinguishing label sets (the exporter emits one series per
+    # histogram, so this is exact for our output).
+    buckets = {}
+    counts = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram"):
+                raise Bad(f"prom line {lineno}: malformed TYPE")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            raise Bad(f"prom line {lineno}: unparsable sample "
+                      f"{line!r}")
+        name, labels, value = m.groups()
+        base = re.sub(r'_(bucket|sum|count)$', '', name)
+        if base not in typed and name not in typed:
+            raise Bad(f"prom line {lineno}: sample {name} has no "
+                      "preceding # TYPE")
+        for label in (labels.split(",") if labels else []):
+            if not LABEL_RE.match(label):
+                raise Bad(f"prom line {lineno}: malformed label "
+                          f"{label!r}")
+        sampled += 1
+        if name.endswith("_bucket"):
+            le = dict(l.split("=", 1) for l in
+                      labels.split(","))["le"].strip('"')
+            buckets.setdefault(base, []).append((le, float(value)))
+        elif name.endswith("_count") and typed.get(base) == \
+                "histogram":
+            counts[base] = float(value)
+    for base, series in buckets.items():
+        if series[-1][0] != "+Inf":
+            raise Bad(f"prom histogram {base}: bucket series does "
+                      "not end at le=\"+Inf\"")
+        values = [v for _, v in series]
+        if values != sorted(values):
+            raise Bad(f"prom histogram {base}: bucket values are "
+                      "not cumulative")
+        if base in counts and values[-1] != counts[base]:
+            raise Bad(f"prom histogram {base}: +Inf bucket "
+                      f"{values[-1]} mismatches _count "
+                      f"{counts[base]}")
+    if sampled == 0:
+        raise Bad("prom file has no samples")
+    return sampled
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Validate an ospredict-fleet-v1 report.")
+    ap.add_argument("report", help="fleet report JSON path")
+    ap.add_argument("--prom", default=None,
+                    help="also validate this Prometheus text file")
+    ap.add_argument("--expect-workers", type=int, default=None)
+    ap.add_argument("--expect-dead", default=None,
+                    help="owner id of a worker killed mid-run")
+    ap.add_argument("--min-reclaimed", type=int, default=None)
+    args = ap.parse_args()
+
+    try:
+        with open(args.report) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_fleet_report: {e}", file=sys.stderr)
+        return 1
+
+    try:
+        workers = check_report(doc, args)
+        samples = 0
+        if args.prom is not None:
+            with open(args.prom) as f:
+                samples = check_prom(f.read())
+    except Bad as e:
+        print(f"check_fleet_report: {args.report}: {e}",
+              file=sys.stderr)
+        return 1
+    except OSError as e:
+        print(f"check_fleet_report: {e}", file=sys.stderr)
+        return 1
+
+    summary = ", ".join(
+        f"{w['owner']}[{w['phase']},v{w['version']}]"
+        for w in workers)
+    print(f"{args.report}: OK — {len(workers)} worker(s): "
+          f"{summary}"
+          + (f"; prom: {samples} samples" if samples else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,14 @@ without linking the simulator:
     writes both atomically), no owner may hold two live claims at
     once (workers claim one cell per transaction), and no claim may
     be newer than its fingerprint's ``claimhb/<fp>`` heartbeat
+  * the fleet telemetry keyspace (src/driver/fleet.hh) is
+    cross-checked: every ``fleet/<fp>/<owner>`` value must be a
+    valid ``ospredict-worker-v1`` snapshot whose owner field matches
+    the key path, whose publish version is a positive integer, and
+    whose version and epoch do not exceed the fingerprint's
+    heartbeat (every publish rides a transaction that bumps the
+    heartbeat exactly once, so version <= heartbeat is an invariant
+    of the publish protocol, not a coincidence)
 
 Exit status 0 means the store is healthy (a report is printed,
 ``--json`` for machine-readable form); any corruption exits 1 with
@@ -164,7 +172,8 @@ def walk_tree(data: bytes, meta: Meta):
     reachable = {0, 1}
     stats = {"leaf_pages": 0, "overflow_pages": 0,
              "root_run_pages": 0, "keys": 0, "value_bytes": 0}
-    coord = {"claims": {}, "heartbeats": {}, "cell_keys": set()}
+    coord = {"claims": {}, "heartbeats": {}, "cell_keys": set(),
+             "fleet": {}}
     if meta.root == 0:
         return stats, reachable, coord
 
@@ -217,7 +226,8 @@ def walk_tree(data: bytes, meta: Meta):
                 raise Corrupt(f"keys out of order at leaf {leaf}")
             prev_key = key
             value = None
-            want_value = key.startswith((b"claim/", b"claimhb/"))
+            want_value = key.startswith(
+                (b"claim/", b"claimhb/", b"fleet/"))
             if is_overflow:
                 (ov,) = struct.unpack_from(
                     "<Q", data, base + pos + 9 + ksize)
@@ -251,6 +261,9 @@ def walk_tree(data: bytes, meta: Meta):
             elif key.startswith(b"cell/"):
                 coord["cell_keys"].add(key.decode("utf-8",
                                                   "replace"))
+            elif key.startswith(b"fleet/"):
+                coord["fleet"][key.decode("utf-8",
+                                          "replace")] = value
             stats["keys"] += 1
             stats["value_bytes"] += vsize
             pos += rec
@@ -348,6 +361,58 @@ def check_claims(coord: dict, no_orphans: bool) -> dict:
     return counts
 
 
+WORKER_SCHEMA = "ospredict-worker-v1"
+
+
+def check_fleet(coord: dict) -> int:
+    """Validate the fleet/<fp>/<owner> telemetry keyspace (see
+    module docstring); returns the worker-snapshot count."""
+    heartbeats = {}
+    for key, raw in coord["heartbeats"].items():
+        heartbeats[key[len("claimhb/"):]] = int(raw.decode("ascii"))
+
+    for key, raw in sorted(coord["fleet"].items()):
+        fp, _, owner = key[len("fleet/"):].partition("/")
+        if not owner:
+            raise Corrupt(f"fleet key {key} lacks an owner")
+        try:
+            snap = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise Corrupt(f"fleet snapshot {key} is not valid JSON")
+        if not isinstance(snap, dict):
+            raise Corrupt(f"fleet snapshot {key} is not an object")
+        if snap.get("schema") != WORKER_SCHEMA:
+            raise Corrupt(f"fleet snapshot {key} schema is "
+                          f"{snap.get('schema')!r}, want "
+                          f"{WORKER_SCHEMA!r}")
+        if snap.get("owner") != owner:
+            raise Corrupt(f"fleet snapshot {key} owner "
+                          f"{snap.get('owner')!r} mismatches its "
+                          "key path")
+        version = snap.get("version")
+        if not isinstance(version, int) or version < 1:
+            raise Corrupt(f"fleet snapshot {key} version "
+                          f"{version!r} is not a positive integer")
+        epoch = snap.get("epoch")
+        if not isinstance(epoch, int) or epoch < 0:
+            raise Corrupt(f"fleet snapshot {key} epoch {epoch!r} "
+                          "is not a non-negative integer")
+        hb = heartbeats.get(fp)
+        if hb is None:
+            raise Corrupt(f"fleet snapshot {key} has no heartbeat "
+                          f"claimhb/{fp}")
+        # Every publish rides a transaction that bumps the
+        # heartbeat exactly once, so neither counter can be ahead
+        # of the clock they advance.
+        if version > hb:
+            raise Corrupt(f"fleet snapshot {key} version {version} "
+                          f"is ahead of heartbeat {hb}")
+        if epoch > hb:
+            raise Corrupt(f"fleet snapshot {key} epoch {epoch} is "
+                          f"ahead of heartbeat {hb}")
+    return len(coord["fleet"])
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description="Validate an ospredict page-store file.")
@@ -374,6 +439,7 @@ def main() -> int:
         free_count, freelist_run_pages = check_freelist(
             data, meta, reachable)
         claim_counts = check_claims(coord, args.no_orphans)
+        fleet_workers = check_fleet(coord)
     except Corrupt as e:
         print(f"check_store: {args.store}: CORRUPT: {e}",
               file=sys.stderr)
@@ -391,6 +457,7 @@ def main() -> int:
         "freelist_run_pages": freelist_run_pages,
         **stats,
         "claims": claim_counts,
+        "fleet_workers": fleet_workers,
     }
     if args.expect_keys is not None and stats["keys"] != args.expect_keys:
         print(f"check_store: {args.store}: expected "
@@ -410,7 +477,9 @@ def main() -> int:
               f"{stats['overflow_pages']} overflow, "
               f"{free_count} free), "
               f"{valid_slots}/2 meta slots valid"
-              + (f"; claims: {claims}" if claims else ""))
+              + (f"; claims: {claims}" if claims else "")
+              + (f"; fleet: {fleet_workers} worker(s)"
+                 if fleet_workers else ""))
     return 0
 
 
