@@ -81,6 +81,14 @@ usage(int code)
           "online feature-vector model). Folds into cached-cell "
           "identity; non-default choices are recorded in the "
           "document's sweep.backends field\n"
+          "  --sample intervals=N,strata=K,rate=R[,alloc=A]\n"
+          "                 enable stratified interval sampling: "
+          "adds a sampled cell per Full baseline and a "
+          "sampled-accel cell per Accelerated one (N = interval "
+          "length in app instructions, K = strata, R = sampled "
+          "fraction in (0,1], A = proportional|neyman). Folds into "
+          "cached-cell identity; results gain the "
+          "ospredict-sample-v1 section\n"
           "  --trace PATH   enable per-cell event tracing and dump "
           "the rings as chrome://tracing JSON\n"
           "  --accuracy-report PATH\n"
@@ -164,6 +172,57 @@ usage(int code)
           "timeline: every cell's lanes plus one lane per worker "
           "pid\n";
     return code;
+}
+
+/** Parse "intervals=N,strata=K,rate=R[,alloc=A]" (any subset, any
+ *  order; unset knobs keep their defaults). */
+bool
+parseSampleSpec(const std::string &text, osp::SampleParams &out)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return false;
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (val.empty())
+            return false;
+        if (key == "intervals") {
+            out.intervalLen =
+                std::strtoull(val.c_str(), nullptr, 10);
+            if (out.intervalLen == 0)
+                return false;
+        } else if (key == "strata") {
+            out.strata = static_cast<std::uint32_t>(
+                std::strtoul(val.c_str(), nullptr, 10));
+            if (out.strata == 0)
+                return false;
+        } else if (key == "rate") {
+            out.rate = std::strtod(val.c_str(), nullptr);
+            if (!(out.rate > 0.0) || out.rate > 1.0)
+                return false;
+        } else if (key == "alloc") {
+            if (val == "proportional") {
+                out.allocation =
+                    osp::StratifyParams::Allocation::Proportional;
+            } else if (val == "neyman") {
+                out.allocation =
+                    osp::StratifyParams::Allocation::Neyman;
+            } else {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    out.enabled = true;
+    return true;
 }
 
 /**
@@ -260,6 +319,7 @@ main(int argc, char **argv)
     std::string store_stats_path;
     std::string fingerprint = OSP_CODE_FINGERPRINT;
     PredictorBackendKind backend = PredictorBackendKind::Plt;
+    SampleParams sample;
     bool incremental = false;
     bool plt_save = false;
     bool plt_warm = false;
@@ -295,6 +355,14 @@ main(int argc, char **argv)
             if (!predictorBackendFromName(bname, backend)) {
                 std::cerr << "sweep: bad backend '" << bname
                           << "' (want plt or learned)\n";
+                return usage(2);
+            }
+        } else if (arg == "--sample" && i + 1 < argc) {
+            std::string sdesc = argv[++i];
+            if (!parseSampleSpec(sdesc, sample)) {
+                std::cerr << "sweep: bad --sample spec '" << sdesc
+                          << "' (want intervals=N,strata=K,rate=R"
+                             "[,alloc=proportional|neyman])\n";
                 return usage(2);
             }
         } else if (arg == "--threads" && i + 1 < argc) {
@@ -428,6 +496,10 @@ main(int argc, char **argv)
     // Applied before any fork: --jobs workers inherit the spec, so
     // fleet, --worker and assembly all simulate the same backend.
     setSweepBackend(spec, backend);
+    // Likewise pre-fork, so every execution path (including cell
+    // identity hashing) sees the same sampled modes and knobs.
+    if (sample.enabled)
+        applySweepSampling(spec, sample);
 
     if (worker_mode) {
         wopts.traceCapacity = trace_path.empty() ? 0 : 4096;

@@ -142,7 +142,8 @@ CellCache::cellKey(const SweepSpec &spec, const SweepCell &cell,
     ctx.add("seed_index", cell.seedIndex);
     ctx.add("seed", cell.seed);
     ctx.add("machine", machineContext(spec.baseConfig));
-    if (cell.mode == RunMode::Accelerated) {
+    if (cell.mode == RunMode::Accelerated ||
+        cell.mode == RunMode::SampledAccel) {
         ctx.add("predictor_index",
                 static_cast<std::uint64_t>(cell.predictorIndex));
         ctx.add("predictor",
@@ -156,6 +157,17 @@ CellCache::cellKey(const SweepSpec &spec, const SweepCell &cell,
         auto it = warmProfileHash_.find(cell.workload);
         if (it != warmProfileHash_.end())
             ctx.add("warm_profile_hash", it->second);
+    }
+    // Sampling knobs join the identity only for sampled cells, so
+    // every pre-sampling key (and cached value) stays valid.
+    if (isSampledMode(cell.mode)) {
+        JsonValue s = JsonValue::object();
+        s.add("interval_len", spec.sample.intervalLen);
+        s.add("strata", spec.sample.strata);
+        s.add("rate", spec.sample.rate);
+        s.add("allocation",
+              static_cast<std::uint64_t>(spec.sample.allocation));
+        ctx.add("sample", std::move(s));
     }
     return StableHash().str(ctx.dump(-1)).hex();
 }

@@ -283,6 +283,39 @@ encodeCellResult(const CellResult &r)
 
     if (!r.pltProfile.empty())
         doc.add("plt_profile", r.pltProfile);
+
+    // Sampled cells carry their measured/estimated sample section
+    // (oracle comparisons are aggregator-derived and deliberately
+    // absent: a cached cell must not depend on other cells).
+    if (r.sample.present) {
+        const CellSampleSection &s = r.sample;
+        JsonValue sv = JsonValue::object();
+        sv.add("interval_len", s.intervalLen);
+        sv.add("num_intervals", s.numIntervals);
+        sv.add("num_strata", s.numStrata);
+        sv.add("sampled_intervals", s.sampledIntervals);
+        sv.add("tail_insts", s.tailInsts);
+        sv.add("tail_cycles", s.tailCycles);
+        sv.add("detailed_app_insts", s.detailedAppInsts);
+        sv.add("ff_app_insts", s.ffAppInsts);
+        sv.add("est_app_cycles", s.estAppCycles);
+        sv.add("est_total_cycles", s.estTotalCycles);
+        sv.add("ci95_half", s.ciHalfWidth);
+        sv.add("df", s.df);
+        sv.add("has_ci", s.hasCi);
+        sv.add("detailed_fraction", s.detailedFraction);
+        JsonValue strata = JsonValue::array();
+        for (const StratumEstimate &h : s.strata) {
+            JsonValue row = JsonValue::array();
+            row.append(h.population);
+            row.append(h.sampled);
+            row.append(h.mean);
+            row.append(h.sampleVar);
+            strata.append(std::move(row));
+        }
+        sv.add("strata", std::move(strata));
+        doc.add("sample", std::move(sv));
+    }
     return doc.dump(-1);
 }
 
@@ -360,6 +393,50 @@ try {
     }
     if (const JsonValue *profile = doc.find("plt_profile"))
         r.pltProfile = profile->asString();
+
+    // A sampled-mode cell without its sample section is a payload
+    // from a stale schema: reject it (decoding to a miss) rather
+    // than assembling a document with a silently absent estimate.
+    const JsonValue *sample = doc.find("sample");
+    if (isSampledMode(r.cell.mode) &&
+        (!sample || !sample->isObject()))
+        return std::nullopt;
+    if (sample && sample->isObject()) {
+        CellSampleSection &s = r.sample;
+        s.present = true;
+        s.intervalLen = field(*sample, "interval_len").asUint();
+        s.numIntervals = field(*sample, "num_intervals").asUint();
+        s.numStrata = field(*sample, "num_strata").asUint();
+        s.sampledIntervals =
+            field(*sample, "sampled_intervals").asUint();
+        s.tailInsts = field(*sample, "tail_insts").asUint();
+        s.tailCycles = field(*sample, "tail_cycles").asUint();
+        s.detailedAppInsts =
+            field(*sample, "detailed_app_insts").asUint();
+        s.ffAppInsts = field(*sample, "ff_app_insts").asUint();
+        s.estAppCycles =
+            field(*sample, "est_app_cycles").asDouble();
+        s.estTotalCycles =
+            field(*sample, "est_total_cycles").asDouble();
+        s.ciHalfWidth = field(*sample, "ci95_half").asDouble();
+        s.df = field(*sample, "df").asUint();
+        s.hasCi = field(*sample, "has_ci").asBool();
+        s.detailedFraction =
+            field(*sample, "detailed_fraction").asDouble();
+        const JsonValue &strata = field(*sample, "strata");
+        if (!strata.isArray())
+            return std::nullopt;
+        for (const JsonValue &row : strata.elements()) {
+            if (!row.isArray() || row.size() != 4)
+                return std::nullopt;
+            StratumEstimate h;
+            h.population = row.at(0).asUint();
+            h.sampled = row.at(1).asUint();
+            h.mean = row.at(2).asDouble();
+            h.sampleVar = row.at(3).asDouble();
+            r.sample.strata.push_back(h);
+        }
+    }
     return r;
 } catch (const BadDocument &) {
     return std::nullopt;

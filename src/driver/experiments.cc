@@ -90,11 +90,49 @@ table2Sweep(double scale_mult)
     return spec;
 }
 
+SweepSpec
+fig13Sweep(double scale_mult)
+{
+    // The composition experiment needs the predictor to mature
+    // inside the run (otherwise the "combined" corner degenerates
+    // to sampling alone), so its smoke shrink is floored well above
+    // the generic 1/20: coverage, not wall clock, is the binding
+    // constraint here.
+    double eff = scale_mult < experimentSampleMinScaleMult
+                     ? experimentSampleMinScaleMult
+                     : scale_mult;
+    SweepSpec spec =
+        baseSpec("fig13", experimentAccuracyScale * eff);
+    spec.modes = {RunMode::Full, RunMode::Accelerated};
+    // The learning window tracks the work volume like the interval
+    // length does: a shrunk run carries proportionally fewer
+    // service invocations, so the paper's window of 100 would
+    // never fill.
+    PredictorParams pred = experimentPredictor();
+    pred.learningWindow = static_cast<std::uint32_t>(
+        pred.learningWindow * eff);
+    if (pred.learningWindow < 10)
+        pred.learningWindow = 10;
+    spec.predictors = {{"statistical", pred}};
+    SampleParams sample;
+    // Interval length tracks the work volume so shrunk runs still
+    // produce enough full intervals per stratum to estimate
+    // within-stratum variance.
+    sample.intervalLen =
+        static_cast<InstCount>(experimentSampleIntervalLen * eff);
+    if (sample.intervalLen < 200)
+        sample.intervalLen = 200;
+    sample.strata = experimentSampleStrata;
+    sample.rate = experimentSampleRate;
+    applySweepSampling(spec, sample);
+    return spec;
+}
+
 const std::vector<std::string> &
 namedSweeps()
 {
     static const std::vector<std::string> names = {
-        "fig08", "fig10", "fig11", "table2",
+        "fig08", "fig10", "fig11", "table2", "fig13",
     };
     return names;
 }
@@ -112,6 +150,8 @@ makeNamedSweep(const std::string &name, double scale_mult,
         spec = fig11Sweep(scale_mult);
     else if (name == "table2")
         spec = table2Sweep(scale_mult);
+    else if (name == "fig13")
+        spec = fig13Sweep(scale_mult);
     else
         osp_panic("unknown sweep ", name.c_str());
     spec.smoke = smoke;

@@ -32,6 +32,17 @@ inline constexpr double experimentAccuracyScale = 2.0;
 /** Work-volume scale for characterization/shape experiments. */
 inline constexpr double experimentShapeScale = 1.0;
 
+/** Sampling parameters for the Fig. 13 composition experiment.
+ *  The interval length is quoted at scale 1.0 and shrinks with the
+ *  sweep's work scale so interval counts stay comparable. */
+inline constexpr std::uint64_t experimentSampleIntervalLen = 20000;
+inline constexpr std::uint32_t experimentSampleStrata = 4;
+inline constexpr double experimentSampleRate = 0.15;
+/** Floor on fig13's scale multiplier: below this the predictor
+ *  cannot mature inside the run and the composed corner collapses
+ *  to sampling alone (smoke passes 1/20; fig13 runs at 1/4). */
+inline constexpr double experimentSampleMinScaleMult = 0.25;
+
 /** The paper's predictor configuration (Sec. 4.3-4.4 defaults:
  *  pmin 3%, DoC 95% -> window 100), with a chosen strategy. */
 PredictorParams
@@ -59,6 +70,15 @@ SweepSpec fig11Sweep(double scale_mult = 1.0);
 /** Table 2: full-detail baseline vs accelerated run per workload
  *  (Eq. 10 inputs and wall-clock numerator/denominator). */
 SweepSpec table2Sweep(double scale_mult = 1.0);
+
+/**
+ * Figure 13 (extension): stratified interval sampling composed with
+ * OS-service prediction. Per workload: full-detail oracle, the
+ * predictor-only run, the sample-only run and the combined run, so
+ * the composed shrink of detailed-simulation work can be measured
+ * against its two ingredients. 20 cells.
+ */
+SweepSpec fig13Sweep(double scale_mult = 1.0);
 
 /** Names accepted by makeNamedSweep(), in display order. */
 const std::vector<std::string> &namedSweeps();

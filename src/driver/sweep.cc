@@ -24,8 +24,17 @@ runModeName(RunMode mode)
       case RunMode::Full: return "full";
       case RunMode::AppOnly: return "app-only";
       case RunMode::Accelerated: return "accelerated";
+      case RunMode::Sampled: return "sampled";
+      case RunMode::SampledAccel: return "sampled-accel";
     }
     return "?";
+}
+
+bool
+isSampledMode(RunMode mode)
+{
+    return mode == RunMode::Sampled ||
+           mode == RunMode::SampledAccel;
 }
 
 std::uint64_t
@@ -48,7 +57,8 @@ namespace
 bool
 needsPredictor(RunMode mode)
 {
-    return mode == RunMode::Accelerated;
+    return mode == RunMode::Accelerated ||
+           mode == RunMode::SampledAccel;
 }
 
 void
@@ -73,6 +83,23 @@ validateSpec(const SweepSpec &spec)
             osp_panic("SweepSpec: Accelerated mode requires at "
                       "least one predictor variant and pollution "
                       "policy");
+        if (isSampledMode(m)) {
+            if (!spec.sample.enabled)
+                osp_panic("SweepSpec: sampled modes require "
+                          "sample.enabled");
+            if (spec.sample.intervalLen == 0)
+                osp_panic("SweepSpec: sample.intervalLen must be "
+                          ">= 1");
+            if (spec.sample.strata == 0)
+                osp_panic("SweepSpec: sample.strata must be >= 1");
+            if (!(spec.sample.rate > 0.0) ||
+                spec.sample.rate > 1.0)
+                osp_panic("SweepSpec: sample.rate must be in "
+                          "(0, 1]");
+            if (!isDetailed(spec.baseConfig.level))
+                osp_panic("SweepSpec: sampled modes require a "
+                          "detailed base level");
+        }
     }
     if (spec.scale <= 0.0)
         osp_panic("SweepSpec: scale must be positive");
@@ -85,6 +112,24 @@ setSweepBackend(SweepSpec &spec, PredictorBackendKind kind)
 {
     for (PredictorVariant &p : spec.predictors)
         p.params.backend = kind;
+}
+
+void
+applySweepSampling(SweepSpec &spec, const SampleParams &params)
+{
+    spec.sample = params;
+    spec.sample.enabled = true;
+    auto has = [&](RunMode m) {
+        return std::find(spec.modes.begin(), spec.modes.end(), m) !=
+               spec.modes.end();
+    };
+    bool full = has(RunMode::Full);
+    bool accel =
+        has(RunMode::Accelerated) && !spec.predictors.empty();
+    if (full && !has(RunMode::Sampled))
+        spec.modes.push_back(RunMode::Sampled);
+    if (accel && !has(RunMode::SampledAccel))
+        spec.modes.push_back(RunMode::SampledAccel);
 }
 
 std::vector<SweepCell>
@@ -126,6 +171,142 @@ expandSweep(const SweepSpec &spec)
     return cells;
 }
 
+namespace
+{
+
+/**
+ * The two-phase stratified-sampling cell body. Phase 1 profiles
+ * fixed-length app-instruction intervals in pure emulation; the
+ * stratifier clusters them and draws a seeded sample; Phase 2
+ * re-runs the workload at the configured detail level with only the
+ * sampled intervals (plus the partial tail) on the timing engine,
+ * fast-forwarding the rest with functional warming. Kernel time is
+ * never sampled: SampledAccel predicts it exactly as Accelerated
+ * does, Sampled simulates it in detail everywhere.
+ */
+void
+runSampledCell(const SweepSpec &spec, const SweepCell &cell,
+               MachineConfig cfg, obs::Telemetry &telemetry,
+               const std::string *warm_profile, CellResult &result)
+{
+    const SampleParams &sp = spec.sample;
+
+    // Phase 1. A separate machine with the same seed: instruction
+    // streams are mode-invariant across detail levels, so interval
+    // boundaries observed here transfer to Phase 2 exactly. No
+    // controller is attached — an Emulate-level pass must not feed
+    // predictor or audit state (see Machine::runServiceT).
+    IntervalProfiler profiler(sp.intervalLen);
+    {
+        MachineConfig p1 = cfg;
+        p1.level = DetailLevel::Emulate;
+        auto machine = makeMachine(cell.workload, p1, spec.scale);
+        machine->setIntervalProfiler(&profiler);
+        machine->run();
+    }
+
+    // Stratify and draw. The draw is seeded by the cell seed, so
+    // replications (seed indices) sample independent interval sets
+    // while comparable cells share one.
+    StratifyParams stp;
+    stp.strata = sp.strata;
+    stp.rate = sp.rate;
+    stp.allocation = sp.allocation;
+    stp.seed = cell.seed;
+    StrataAssignment strata =
+        stratifyIntervals(profiler.featureMatrix(), stp);
+    std::vector<std::uint64_t> picks =
+        drawStratifiedSample(strata, stp, profiler.costProxy());
+
+    SamplePlan plan;
+    plan.intervalLen = sp.intervalLen;
+    plan.fullIntervals = profiler.fullIntervals();
+    plan.sampledMask.assign(
+        static_cast<std::size_t>(plan.fullIntervals), 0);
+    for (std::uint64_t idx : picks)
+        plan.sampledMask[static_cast<std::size_t>(idx)] = 1;
+
+    // Phase 2.
+    auto machine = makeMachine(cell.workload, cfg, spec.scale);
+    machine->setSamplePlan(&plan);
+    machine->setTelemetry(&telemetry);
+    Accelerator accel(
+        cell.mode == RunMode::SampledAccel
+            ? spec.predictors[cell.predictorIndex].params
+            : PredictorParams{});
+    if (cell.mode == RunMode::SampledAccel) {
+        accel.setTelemetry(&telemetry);
+        if (warm_profile) {
+            std::istringstream is(*warm_profile);
+            if (!accel.loadState(is))
+                warn("cell ", cell.workload,
+                     ": archived PLT profile rejected; learning "
+                     "online");
+        }
+        machine->setController(&accel);
+    }
+    result.totals = machine->run();
+    if (cell.mode == RunMode::SampledAccel) {
+        result.stats = accel.aggregateStats();
+        result.hasStats = true;
+        std::ostringstream profile;
+        accel.saveState(profile);
+        result.pltProfile = profile.str();
+    }
+
+    // Expand the per-stratum means to a whole-run estimate. The
+    // tail (and any partial last interval) was simulated in detail,
+    // so it enters as a measured constant, not an extrapolation.
+    std::vector<std::uint64_t> idxs;
+    std::vector<double> vals;
+    Cycles tail_cycles = 0;
+    InstCount tail_insts = 0;
+    InstCount detailed_app = 0;
+    for (const IntervalSample &s : machine->sampleLog()) {
+        detailed_app += s.appInsts;
+        if (s.index < plan.fullIntervals) {
+            idxs.push_back(s.index);
+            vals.push_back(static_cast<double>(s.appCycles));
+        } else {
+            tail_cycles += s.appCycles;
+            tail_insts += s.appInsts;
+        }
+    }
+    StratifiedEstimate est =
+        estimateStratifiedTotal(strata, idxs, vals);
+
+    CellSampleSection &sec = result.sample;
+    sec.present = true;
+    sec.intervalLen = sp.intervalLen;
+    sec.numIntervals = plan.fullIntervals;
+    sec.numStrata = strata.numStrata;
+    sec.sampledIntervals = idxs.size();
+    sec.tailInsts = tail_insts;
+    sec.tailCycles = tail_cycles;
+    sec.detailedAppInsts = detailed_app;
+    sec.ffAppInsts = result.totals.appInsts - detailed_app;
+    sec.estAppCycles =
+        est.total + static_cast<double>(tail_cycles);
+    sec.estTotalCycles =
+        sec.estAppCycles +
+        static_cast<double>(result.totals.osSimCycles +
+                            result.totals.osPredCycles);
+    sec.ciHalfWidth = est.ci95Half;
+    sec.df = est.df;
+    sec.hasCi = est.hasCi;
+    InstCount total_insts = result.totals.totalInsts();
+    InstCount detailed_insts =
+        detailed_app + (result.totals.osInsts -
+                        result.totals.osPredInsts);
+    sec.detailedFraction =
+        total_insts ? static_cast<double>(detailed_insts) /
+                          static_cast<double>(total_insts)
+                    : 0.0;
+    sec.strata = est.strata;
+}
+
+} // namespace
+
 CellResult
 runCell(const SweepSpec &spec, const SweepCell &cell,
         std::size_t trace_capacity,
@@ -144,7 +325,13 @@ runCell(const SweepSpec &spec, const SweepCell &cell,
     obs::Telemetry telemetry(trace_capacity);
 
     auto start = std::chrono::steady_clock::now();
-    if (cell.mode == RunMode::Accelerated) {
+    if (isSampledMode(cell.mode)) {
+        if (cell.mode == RunMode::SampledAccel)
+            cfg.pollutionPolicy =
+                spec.pollution[cell.pollutionIndex];
+        runSampledCell(spec, cell, cfg, telemetry, warm_profile,
+                       result);
+    } else if (cell.mode == RunMode::Accelerated) {
         cfg.pollutionPolicy = spec.pollution[cell.pollutionIndex];
         auto machine = makeMachine(cell.workload, cfg, spec.scale);
         Accelerator accel(
@@ -205,8 +392,13 @@ aggregate(SweepResult &result)
                 base.cell.l2Bytes != r.cell.l2Bytes ||
                 base.cell.seedIndex != r.cell.seedIndex)
                 continue;
+            // Sampled cells are judged on their *estimate*: their
+            // measured cycle count only covers the sampled
+            // intervals.
             double measured =
-                static_cast<double>(r.totals.totalCycles());
+                r.sample.present
+                    ? r.sample.estTotalCycles
+                    : static_cast<double>(r.totals.totalCycles());
             double reference =
                 static_cast<double>(base.totals.totalCycles());
             r.cycleError = absError(measured, reference);
@@ -215,6 +407,42 @@ aggregate(SweepResult &result)
                     ? (measured - reference) / reference
                     : 0.0;
             r.hasBaseline = true;
+            if (r.sample.present) {
+                r.sample.hasOracle = true;
+                r.sample.oracleError = r.cycleError;
+            }
+            break;
+        }
+        // The CI quantifies sampling noise on the estimated
+        // quantity — application cycles — so the bracket claim is
+        // judged on that quantity against the *unsampled twin* of
+        // the cell (Sampled vs Full, SampledAccel vs Accelerated):
+        // the twin shares the prediction-error and OS-reproduction
+        // budgets, which the stratified estimator neither sees nor
+        // claims to bound.
+        if (!r.sample.present)
+            continue;
+        RunMode twin_mode = r.cell.mode == RunMode::SampledAccel
+                                ? RunMode::Accelerated
+                                : RunMode::Full;
+        for (const CellResult &twin : result.cells) {
+            if (twin.cell.mode != twin_mode || twin.failed ||
+                twin.cell.workload != r.cell.workload ||
+                twin.cell.l2Bytes != r.cell.l2Bytes ||
+                twin.cell.seedIndex != r.cell.seedIndex)
+                continue;
+            if (twin_mode == RunMode::Accelerated &&
+                (twin.cell.predictorIndex !=
+                     r.cell.predictorIndex ||
+                 twin.cell.pollutionIndex !=
+                     r.cell.pollutionIndex))
+                continue;
+            r.sample.hasOracle = true;
+            r.sample.withinCi =
+                std::abs(r.sample.estAppCycles -
+                         static_cast<double>(
+                             twin.totals.appCycles)) <=
+                r.sample.ciHalfWidth;
             break;
         }
     }
@@ -501,7 +729,7 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
                    static_cast<std::uint64_t>(r.cell.index));
         config.add("workload", r.cell.workload);
         config.add("mode", runModeName(r.cell.mode));
-        if (r.cell.mode == RunMode::Accelerated) {
+        if (needsPredictor(r.cell.mode)) {
             config.add(
                 "predictor",
                 spec.predictors[r.cell.predictorIndex].label);
@@ -591,7 +819,7 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
 
         JsonValue acells = JsonValue::array();
         for (const CellResult &r : result.cells) {
-            if (r.failed || r.cell.mode != RunMode::Accelerated ||
+            if (r.failed || !needsPredictor(r.cell.mode) ||
                 r.accuracy.empty())
                 continue;
 
@@ -670,6 +898,74 @@ sweepToJson(const SweepResult &result, const JsonOptions &options)
         }
         accuracy.add("services", std::move(svc));
         doc.add("accuracy", std::move(accuracy));
+    }
+
+    // Stratified-sampling section: per-cell estimates, confidence
+    // intervals and detailed-work accounting. Emitted only when the
+    // sweep ran sampled cells, so every pre-sampling document keeps
+    // its exact byte layout. Built in cell-index order from
+    // deterministic per-cell data, so the section inherits the
+    // document's thread-count byte-invariance.
+    {
+        bool any_sample = false;
+        for (const CellResult &r : result.cells)
+            any_sample |= !r.failed && r.sample.present;
+        if (any_sample) {
+            JsonValue sample = JsonValue::object();
+            sample.add("schema", "ospredict-sample-v1");
+            JsonValue params = JsonValue::object();
+            params.add("interval_len", spec.sample.intervalLen);
+            params.add("strata", spec.sample.strata);
+            params.add("rate", spec.sample.rate);
+            params.add("allocation",
+                       allocationName(spec.sample.allocation));
+            sample.add("params", std::move(params));
+
+            JsonValue scells = JsonValue::array();
+            for (const CellResult &r : result.cells) {
+                if (r.failed || !r.sample.present)
+                    continue;
+                const CellSampleSection &s = r.sample;
+                JsonValue cell = JsonValue::object();
+                cell.add("index",
+                         static_cast<std::uint64_t>(r.cell.index));
+                cell.add("workload", r.cell.workload);
+                cell.add("mode", runModeName(r.cell.mode));
+                cell.add("seed_index", r.cell.seedIndex);
+                cell.add("num_intervals", s.numIntervals);
+                cell.add("num_strata", s.numStrata);
+                cell.add("sampled_intervals", s.sampledIntervals);
+                cell.add("tail_insts", s.tailInsts);
+                cell.add("tail_cycles", s.tailCycles);
+                cell.add("detailed_app_insts", s.detailedAppInsts);
+                cell.add("ff_app_insts", s.ffAppInsts);
+                cell.add("est_app_cycles", s.estAppCycles);
+                cell.add("est_total_cycles", s.estTotalCycles);
+                cell.add("ci95_half", s.ciHalfWidth);
+                cell.add("df", s.df);
+                cell.add("has_ci", s.hasCi);
+                cell.add("detailed_fraction", s.detailedFraction);
+                JsonValue strata = JsonValue::array();
+                for (const StratumEstimate &h : s.strata) {
+                    JsonValue row = JsonValue::array();
+                    row.append(h.population);
+                    row.append(h.sampled);
+                    row.append(h.mean);
+                    row.append(h.sampleVar);
+                    strata.append(std::move(row));
+                }
+                cell.add("strata", std::move(strata));
+                if (s.hasOracle) {
+                    JsonValue oracle = JsonValue::object();
+                    oracle.add("abs_err", s.oracleError);
+                    oracle.add("within_ci", s.withinCi);
+                    cell.add("oracle", std::move(oracle));
+                }
+                scells.append(std::move(cell));
+            }
+            sample.add("cells", std::move(scells));
+            doc.add("sample", std::move(sample));
+        }
     }
 
     // Canonical store section: only data invariant across thread

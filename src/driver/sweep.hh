@@ -33,6 +33,7 @@
 #include "core/service_predictor.hh"
 #include "obs/telemetry.hh"
 #include "sim/machine.hh"
+#include "stats/stratify.hh"
 #include "util/json.hh"
 
 namespace osp
@@ -44,16 +45,45 @@ enum class RunMode
     Full,         //!< fully detailed (reference/baseline)
     AppOnly,      //!< application-only (SimpleScalar-style)
     Accelerated,  //!< detailed + the paper's prediction engine
+    /** Stratified interval sampling of user time, OS time fully
+     *  simulated (sample-only ablation). */
+    Sampled,
+    /** Sampling composed with the prediction engine: user time
+     *  sampled, kernel time predicted — the multiplicative shrink
+     *  of detailed-simulation work (fig13). */
+    SampledAccel,
 };
 
-/** Display name ("full", "app-only", "accelerated"). */
+/** Display name ("full", "app-only", "accelerated", "sampled",
+ *  "sampled-accel"). */
 const char *runModeName(RunMode mode);
+
+/** True for the two stratified-sampling modes. */
+bool isSampledMode(RunMode mode);
 
 /** One predictor configuration under test, with a report label. */
 struct PredictorVariant
 {
     std::string label;
     PredictorParams params;
+};
+
+/**
+ * Stratified interval-sampling knobs for the Sampled/SampledAccel
+ * modes (the `--sample intervals=N,strata=K,rate=R` CLI surface).
+ * Part of cell identity: every field is folded into the content
+ * address of sampled cells.
+ */
+struct SampleParams
+{
+    bool enabled = false;
+    /** Interval length in application instructions. */
+    InstCount intervalLen = 20000;
+    std::uint32_t strata = 4;
+    /** Target fraction of full intervals simulated in detail. */
+    double rate = 0.25;
+    StratifyParams::Allocation allocation =
+        StratifyParams::Allocation::Proportional;
 };
 
 /** A named cartesian product of experiment dimensions. */
@@ -78,10 +108,23 @@ struct SweepSpec
     double scale = 1.0;
     /** Label only: set when the scale was reduced for smoke runs. */
     bool smoke = false;
+    /** Stratified-sampling knobs; consulted by Sampled and
+     *  SampledAccel cells only. */
+    SampleParams sample;
     /** Template for every cell's MachineConfig; seed, L2 size,
      *  appOnly and pollution policy are overridden per cell. */
     MachineConfig baseConfig;
 };
+
+/**
+ * Turn sampling on for @p spec: records @p params and appends a
+ * Sampled mode (when the spec has a Full baseline to compare
+ * against) and a SampledAccel mode (when the spec has predictors to
+ * compose with), skipping modes already present. This is the
+ * `--sample` CLI transform, exposed so tests and CI drive the exact
+ * same spec mutation.
+ */
+void applySweepSampling(SweepSpec &spec, const SampleParams &params);
 
 /**
  * Per-cell machine seed. Seed index 0 maps to the base seed itself,
@@ -130,6 +173,43 @@ void setSweepBackend(SweepSpec &spec, PredictorBackendKind kind);
  */
 std::vector<SweepCell> expandSweep(const SweepSpec &spec);
 
+/**
+ * What a sampled cell's two-phase run measured and estimated (the
+ * per-cell payload of the "ospredict-sample-v1" results section).
+ * Cycles are carried as doubles: the estimate is a weighted mean
+ * expansion, not a count.
+ */
+struct CellSampleSection
+{
+    bool present = false;
+    InstCount intervalLen = 0;
+    std::uint64_t numIntervals = 0;      //!< full intervals
+    std::uint64_t numStrata = 0;
+    std::uint64_t sampledIntervals = 0;  //!< full intervals sampled
+    InstCount tailInsts = 0;             //!< always-detailed tail
+    Cycles tailCycles = 0;
+    /** App instructions simulated on the timing engine (sampled
+     *  intervals + tail) vs fast-forwarded with warming. */
+    InstCount detailedAppInsts = 0;
+    InstCount ffAppInsts = 0;
+    double estAppCycles = 0.0;   //!< stratified total + tail
+    double estTotalCycles = 0.0; //!< + measured/predicted OS cycles
+    double ciHalfWidth = 0.0;    //!< 95% half-width on estTotal
+    std::uint64_t df = 0;
+    bool hasCi = false;
+    /** Detailed-simulated fraction of all retired instructions
+     *  (app sampled + tail + detailed OS) — the work that remains. */
+    double detailedFraction = 0.0;
+    /** Per-stratum [N_h, n_h, mean, sample variance]. */
+    std::vector<StratumEstimate> strata;
+
+    // Filled by the aggregator when a Full baseline exists:
+    /** |estTotalCycles - oracle| / oracle. */
+    double oracleError = 0.0;
+    bool hasOracle = false;
+    bool withinCi = false;  //!< oracle inside [est +- ciHalfWidth]
+};
+
 /** Everything one cell produced. */
 struct CellResult
 {
@@ -161,6 +241,9 @@ struct CellResult
      * store can archive it for cross-run warm starts.
      */
     std::string pltProfile;
+    /** Two-phase sampling measurements (Sampled/SampledAccel cells
+     *  only; present is false otherwise). */
+    CellSampleSection sample;
     /**
      * Worker-thread failure capture: a cell whose run threw keeps
      * its slot with failed set and the exception text in error, so

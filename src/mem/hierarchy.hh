@@ -148,6 +148,17 @@ class MemoryHierarchy
     bool probeL1(Addr addr, AccessType type) const;
 
     /**
+     * Functional-warming access: update TLB/L1/L2 contents (and the
+     * per-owner hit/miss counters) exactly as access() would for the
+     * same stream, but leave the bus-queueing clock untouched. Used
+     * when fast-forwarding between sampled intervals, where there is
+     * no meaningful "now" to charge queueing against — letting
+     * warm-up misses occupy the bus would push busFreeAt far past
+     * real time and tax the first post-warm-up demand accesses.
+     */
+    void warmAccess(Addr addr, AccessType type, Owner owner);
+
+    /**
      * Inject predicted OS cache pollution (Sec. 4.5): displace the
      * given number of lines in each level.
      *
@@ -235,6 +246,25 @@ MemoryHierarchy::access(Addr addr, AccessType type, Owner owner,
 
     out.l1Miss = true;
     return accessBeyondL1(addr, is_write, owner, now, out);
+}
+
+inline void
+MemoryHierarchy::warmAccess(Addr addr, AccessType type, Owner owner)
+{
+    bool is_fetch = (type == AccessType::InstFetch);
+    bool is_write = (type == AccessType::Store);
+    Cache &l1 = is_fetch ? l1i_ : l1d_;
+
+    if (Cache *tlb = is_fetch ? itlb_.get() : dtlb_.get())
+        tlb->access(addr, false, owner);
+
+    if (l1.access(addr, is_write, owner).hit)
+        return;
+    if (l2_.access(addr, is_write, owner).hit)
+        return;
+    // Keep the prefetcher's content effect; its bus time is timing.
+    if (params_.l2NextLinePrefetch)
+        l2_.install(addr + l2_.lineBytes(), owner);
 }
 
 } // namespace osp

@@ -50,6 +50,18 @@ Machine::setController(ServiceController *ctrl)
 }
 
 void
+Machine::setIntervalProfiler(IntervalProfiler *profiler)
+{
+    profiler_ = profiler;
+}
+
+void
+Machine::setSamplePlan(const SamplePlan *plan)
+{
+    samplePlan_ = plan;
+}
+
+void
 Machine::setTelemetry(obs::Telemetry *telemetry)
 {
     telemetry_ = telemetry;
@@ -59,6 +71,9 @@ Machine::setTelemetry(obs::Telemetry *telemetry)
         cPollutionRequested_ = nullptr;
         cPollutionAffected_ = nullptr;
         cFootprintFills_ = nullptr;
+        cIntervalsSampled_ = nullptr;
+        cSampleDetailedInsts_ = nullptr;
+        cSampleFfInsts_ = nullptr;
         hServiceInsts_ = nullptr;
         return;
     }
@@ -72,7 +87,37 @@ Machine::setTelemetry(obs::Telemetry *telemetry)
         &reg.counter("machine", "pollution_slots_affected");
     cFootprintFills_ =
         &reg.counter("machine", "footprint_install_fills");
+    cIntervalsSampled_ =
+        &reg.counter("machine", "intervals_sampled");
+    cSampleDetailedInsts_ =
+        &reg.counter("machine", "sample_detailed_insts");
+    cSampleFfInsts_ = &reg.counter("machine", "sample_ff_insts");
     hServiceInsts_ = &reg.histogram("machine", "service_insts");
+}
+
+void
+Machine::warmOp(const MicroOp &op, Addr &fetch_line)
+{
+    // Same state-mutating calls the timing engines make (fetch per
+    // new 64B line, one access per load/store, one predictor update
+    // per branch), through the bus-neutral warm path so only cache
+    // contents and predictor state carry across the fast-forward.
+    if (usesCaches(config_.level)) {
+        const Addr line = op.pc >> 6;
+        if (line != fetch_line) {
+            fetch_line = line;
+            hier.warmAccess(op.pc, AccessType::InstFetch,
+                            Owner::App);
+        }
+        if (op.cls == OpClass::Load)
+            hier.warmAccess(op.effAddr, AccessType::Load,
+                            Owner::App);
+        else if (op.cls == OpClass::Store)
+            hier.warmAccess(op.effAddr, AccessType::Store,
+                            Owner::App);
+    }
+    if (op.cls == OpClass::Branch)
+        bp.predictAndUpdate(op.pc, op.taken);
 }
 
 void
@@ -141,11 +186,21 @@ Machine::runServiceT(EngineT *eng, const ServiceRequest &req)
     if (telemetry_)
         telemetry_->tracer.setTick(totals_.totalInsts());
 
+    // A controller participates only when the run's configured
+    // level is detailed — i.e. when it is actually offered the
+    // chooseLevel() decision. An Emulate-level run with a
+    // controller attached (e.g. the Phase-1 profiling pass of
+    // sampled simulation) must not feed the predictor's learning or
+    // audit state: a later detailed pass over the same controller
+    // would double-count every service.
+    const bool controller_active =
+        controller && isDetailed(config_.level);
+
     // Decide the detail level for this invocation.
     DetailLevel level;
     if (!warmupDone) {
         level = DetailLevel::Emulate;
-    } else if (controller && isDetailed(config_.level)) {
+    } else if (controller_active) {
         DetailLevel chosen = controller->chooseLevel(req.type);
         // Any detailed choice maps onto the run's detail engine so
         // one run uses a single consistent timing model.
@@ -171,7 +226,7 @@ Machine::runServiceT(EngineT *eng, const ServiceRequest &req)
     std::uint64_t mix_loads = 0;
     std::uint64_t mix_stores = 0;
     std::uint64_t mix_branches = 0;
-    bool need_mix = controller && controller->wantsOpMix();
+    bool need_mix = controller_active && controller->wantsOpMix();
     auto tally = [&](const MicroOp &op) {
         switch (op.cls) {
           case OpClass::Load: ++mix_loads; break;
@@ -282,8 +337,13 @@ Machine::runServiceT(EngineT *eng, const ServiceRequest &req)
     ++svc.invocations;
     svc.insts += n;
 
+    if (profiler_)
+        profiler_->noteService(
+            totals_.appInsts / profiler_->intervalLen(), req.type,
+            n);
+
     ServiceController::Prediction pred;
-    if (controller) {
+    if (controller_active) {
         ServiceController::IntervalOutcome outcome;
         outcome.type = req.type;
         outcome.invocation = invocation;
@@ -467,6 +527,22 @@ Machine::runLoop(EngineT *eng, InstCount max_insts)
     };
     refreshIrq();
 
+    // Stratified-sampling support: with a profiler (Phase 1) or a
+    // sample plan (Phase 2) attached, retirement chunks are
+    // additionally cut at fixed-length app-instruction interval
+    // edges so every chunk lies inside one interval. Detached (the
+    // common case) this costs one predictable test per chunk and
+    // nothing per op.
+    const InstCount interval_len =
+        samplePlan_ ? samplePlan_->intervalLen
+                    : (profiler_ ? profiler_->intervalLen() : 0);
+    constexpr std::uint64_t kNoInterval = ~std::uint64_t(0);
+    std::uint64_t cur_interval = kNoInterval;
+    Cycles interval_cycles0 = 0;
+    InstCount interval_insts0 = 0;
+    Addr warm_fetch_line = ~Addr(0);
+    sampleLog_.clear();
+
     MicroOp op;
     ServiceRequest req;
     for (;;) {
@@ -483,6 +559,10 @@ Machine::runLoop(EngineT *eng, InstCount max_insts)
             warmupDone = true;
             totals_ = RunTotals();
             intervals_.clear();
+            if (profiler_)
+                profiler_->reset();
+            sampleLog_.clear();
+            cur_interval = kNoInterval;
         }
 
         // Fetch a block of queued user compute; fall back to
@@ -547,9 +627,46 @@ Machine::runLoop(EngineT *eng, InstCount max_insts)
             const InstCount base = totals_.totalInsts();
             if (i && max_insts && base >= max_insts)
                 break;
+            bool chunk_live = engine_live;
+            [[maybe_unused]] bool warm_ff = false;
+            if (interval_len && warmupDone) {
+                // Interval bookkeeping at the chunk edge: close a
+                // finished sampled interval (drain so its cycle
+                // cost is exact) and open the next.
+                const std::uint64_t iv =
+                    totals_.appInsts / interval_len;
+                if (iv != cur_interval) {
+                    if (samplePlan_) {
+                        if (cur_interval != kNoInterval &&
+                            samplePlan_->sampled(cur_interval)) {
+                            drainIntoT(eng, Owner::App);
+                            sampleLog_.push_back(
+                                {cur_interval,
+                                 totals_.appCycles -
+                                     interval_cycles0,
+                                 totals_.appInsts -
+                                     interval_insts0});
+                        }
+                        if (samplePlan_->sampled(iv)) {
+                            interval_cycles0 = totals_.appCycles;
+                            interval_insts0 = totals_.appInsts;
+                        }
+                    }
+                    cur_interval = iv;
+                }
+                if (samplePlan_) {
+                    chunk_live = engine_live &&
+                                 samplePlan_->sampled(cur_interval);
+                    warm_ff = timing && warmupDone && !chunk_live;
+                }
+            }
             InstCount limit = static_cast<InstCount>(n - i);
             if (max_insts)
                 limit = std::min(limit, max_insts - base);
+            if (interval_len && warmupDone)
+                limit = std::min(
+                    limit,
+                    interval_len - totals_.appInsts % interval_len);
             bool irq_boundary = false;
             if (!app_only) {
                 // The op that reaches irq_due triggers delivery
@@ -565,6 +682,7 @@ Machine::runLoop(EngineT *eng, InstCount max_insts)
             }
             const std::size_t end =
                 i + static_cast<std::size_t>(limit);
+            const std::size_t chunk_begin = i;
             InstCount retired = 0;
             bool resync = false;
             for (; i < end; ++i) {
@@ -588,8 +706,10 @@ Machine::runLoop(EngineT *eng, InstCount max_insts)
                             // resync: the service moved the counts,
                             // so the chunk boundaries are stale.
                             if constexpr (timing) {
-                                if (engine_live)
+                                if (chunk_live)
                                     eng->execute(o, Owner::App);
+                                else if (warm_ff)
+                                    warmOp(o, warm_fetch_line);
                             }
                             ++totals_.appInsts;
                             ++i;
@@ -604,11 +724,16 @@ Machine::runLoop(EngineT *eng, InstCount max_insts)
                     }
                 }
                 if constexpr (timing) {
-                    if (engine_live)
+                    if (chunk_live)
                         eng->execute(o, Owner::App);
+                    else if (warm_ff)
+                        warmOp(o, warm_fetch_line);
                 }
                 ++retired;
             }
+            if (profiler_ && warmupDone && i > chunk_begin)
+                profiler_->noteOps(cur_interval, buf + chunk_begin,
+                                   i - chunk_begin);
             if (resync)
                 continue;
             totals_.appInsts += retired;
@@ -617,6 +742,26 @@ Machine::runLoop(EngineT *eng, InstCount max_insts)
                 refreshIrq();
             }
         }
+    }
+
+    // Close the last (possibly partial, always-detailed-tail)
+    // sampled interval and finalize the profile.
+    if (samplePlan_ && warmupDone && cur_interval != kNoInterval &&
+        samplePlan_->sampled(cur_interval)) {
+        drainIntoT(eng, Owner::App);
+        sampleLog_.push_back(
+            {cur_interval, totals_.appCycles - interval_cycles0,
+             totals_.appInsts - interval_insts0});
+    }
+    if (profiler_)
+        profiler_->finish(totals_.appInsts);
+    if (samplePlan_ && cIntervalsSampled_) {
+        InstCount detailed = 0;
+        for (const IntervalSample &s : sampleLog_)
+            detailed += s.appInsts;
+        cIntervalsSampled_->inc(sampleLog_.size());
+        cSampleDetailedInsts_->inc(detailed);
+        cSampleFfInsts_->inc(totals_.appInsts - detailed);
     }
 
     drainIntoT(eng, Owner::App);

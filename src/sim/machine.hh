@@ -30,6 +30,7 @@
 #include "detail_level.hh"
 #include "inorder_cpu.hh"
 #include "interfaces.hh"
+#include "interval_profile.hh"
 #include "mem/hierarchy.hh"
 #include "obs/telemetry.hh"
 #include "ooo_cpu.hh"
@@ -239,6 +240,33 @@ class Machine
     void setTelemetry(obs::Telemetry *telemetry);
 
     /**
+     * Attach (or detach, with nullptr) a Phase-1 interval profiler.
+     * Not owned; must outlive the run. While attached, the run loop
+     * cuts retirement chunks at app-instruction interval edges and
+     * feeds the profiler per-chunk tallies plus one note per
+     * OS-service invocation; profiling restarts when warm-up ends
+     * (mirroring the statistics reset). Purely observational.
+     */
+    void setIntervalProfiler(IntervalProfiler *profiler);
+
+    /**
+     * Attach (or detach, with nullptr) a Phase-2 sample plan. Not
+     * owned; must outlive the run. Intervals the plan samples run
+     * on the configured timing engine and are logged in
+     * sampleLog(); the rest fast-forward in emulation with
+     * functional cache/branch-predictor warming. OS services are
+     * unaffected (kernel time is never sampled: it is either
+     * simulated in detail or predicted by the controller).
+     */
+    void setSamplePlan(const SamplePlan *plan);
+
+    /** Per-sampled-interval measurements (Phase-2 runs only). */
+    const std::vector<IntervalSample> &sampleLog() const
+    {
+        return sampleLog_;
+    }
+
+    /**
      * Run until the workload completes or @p max_insts total
      * instructions retire (0 = no limit). Returns the totals, which
      * stay accessible via totals() afterwards.
@@ -290,6 +318,14 @@ class Machine
     template <class EngineT>
     void drainIntoT(EngineT *eng, Owner owner);
 
+    /**
+     * Functionally warm caches and the branch predictor with one
+     * fast-forwarded app op: the same state-mutating accesses the
+     * timing engines make, with the latency discarded.
+     * @p fetch_line memoizes the last touched I-line.
+     */
+    void warmOp(const MicroOp &op, Addr &fetch_line);
+
     /** Record a machine-level trace event (no-op unattached). */
     void
     trace(obs::TraceEventKind kind, std::uint8_t service,
@@ -316,6 +352,9 @@ class Machine
 
     RunTotals totals_;
     std::vector<IntervalRecord> intervals_;
+    IntervalProfiler *profiler_ = nullptr;
+    const SamplePlan *samplePlan_ = nullptr;
+    std::vector<IntervalSample> sampleLog_;
     std::array<std::uint64_t, numServiceTypes> invocationIndex{};
     std::uint64_t serviceSeq = 0;  //!< global invocation counter
     ServiceResult lastServiceResult;
@@ -334,6 +373,9 @@ class Machine
     obs::Counter *cPollutionRequested_ = nullptr;
     obs::Counter *cPollutionAffected_ = nullptr;
     obs::Counter *cFootprintFills_ = nullptr;
+    obs::Counter *cIntervalsSampled_ = nullptr;
+    obs::Counter *cSampleDetailedInsts_ = nullptr;
+    obs::Counter *cSampleFfInsts_ = nullptr;
     obs::Histogram *hServiceInsts_ = nullptr;
 };
 

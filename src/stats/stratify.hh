@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic stratified interval sampling (Ekman-style two-phase
+ * sampling): a seeded k-means clusterer over per-interval feature
+ * vectors, a per-stratum sample draw with proportional or Neyman
+ * allocation, and the classic stratified-total estimator with a
+ * Student-t confidence interval.
+ *
+ * Everything is a pure function of (inputs, params): k-means uses a
+ * seeded first pick plus farthest-point init, Lloyd iterations break
+ * ties toward the lowest centroid index, and each stratum's draw
+ * uses its own Pcg32 stream — so the result is independent of
+ * thread count, iteration order and platform.
+ */
+
+#ifndef OSP_STATS_STRATIFY_HH
+#define OSP_STATS_STRATIFY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace osp
+{
+
+/** Knobs for stratification and the stratified draw. */
+struct StratifyParams
+{
+    /** How sample sizes are split across strata. */
+    enum class Allocation : std::uint8_t
+    {
+        /** n_h proportional to stratum population N_h. */
+        Proportional = 0,
+        /** n_h proportional to N_h * s_h (s_h = stddev of the cost
+         *  proxy within the stratum); minimizes estimator variance
+         *  for a fixed total sample size. */
+        Neyman = 1,
+    };
+
+    std::uint32_t strata = 4;        //!< requested cluster count k
+    double rate = 0.25;              //!< target sampled fraction
+    Allocation allocation = Allocation::Proportional;
+    std::uint64_t seed = 1;          //!< drives init pick + draws
+    std::uint32_t maxIters = 32;     //!< Lloyd iteration cap
+    /** Floor on n_h (clamped to N_h); >= 2 keeps per-stratum
+     *  variance estimable wherever the population allows it. */
+    std::uint32_t minPerStratum = 2;
+};
+
+const char *allocationName(StratifyParams::Allocation a);
+
+/** Cluster labels for a population of intervals. */
+struct StrataAssignment
+{
+    std::uint32_t numStrata = 0;            //!< actual k used
+    std::vector<std::uint32_t> assignment;  //!< stratum per interval
+    std::vector<std::uint64_t> population;  //!< N_h per stratum
+};
+
+/**
+ * Cluster @p features (one row per interval, equal-length rows) into
+ * at most params.strata groups. Columns are z-score normalized
+ * internally; constant columns are ignored. Deterministic in
+ * (features, params).
+ */
+StrataAssignment
+stratifyIntervals(const std::vector<std::vector<double>> &features,
+                  const StratifyParams &params);
+
+/**
+ * Draw a seeded per-stratum sample without replacement. @p costProxy
+ * (one scalar per interval; may be empty for proportional
+ * allocation) feeds Neyman allocation. Returns sorted interval
+ * indices.
+ */
+std::vector<std::uint64_t>
+drawStratifiedSample(const StrataAssignment &strata,
+                     const StratifyParams &params,
+                     const std::vector<double> &costProxy);
+
+/** Per-stratum slice of the estimate, for reporting. */
+struct StratumEstimate
+{
+    std::uint64_t population = 0;  //!< N_h
+    std::uint64_t sampled = 0;     //!< n_h
+    double mean = 0.0;             //!< sample mean of the value
+    double sampleVar = 0.0;        //!< unbiased sample variance
+};
+
+/** Whole-population total reconstructed from a stratified sample. */
+struct StratifiedEstimate
+{
+    double total = 0.0;     //!< sum_h N_h * mean_h
+    double variance = 0.0;  //!< Var(total) with fpc
+    std::uint64_t df = 0;   //!< sum_h (n_h - 1)
+    double ci95Half = 0.0;  //!< t(df, 0.025) * sqrt(variance)
+    bool hasCi = false;     //!< df >= 1
+    std::vector<StratumEstimate> strata;
+};
+
+/**
+ * Expand per-sample values to a population total: total =
+ * sum_h N_h * mean_h, with the finite-population-corrected variance
+ * sum_h N_h^2 (1 - n_h/N_h) s_h^2 / n_h and a symmetric Student-t
+ * 95% interval on sum_h (n_h - 1) degrees of freedom.
+ *
+ * @p sampleIndex/@p sampleValues are parallel arrays: the sampled
+ * interval indices (into strata.assignment) and the measured value
+ * of each.
+ */
+StratifiedEstimate
+estimateStratifiedTotal(const StrataAssignment &strata,
+                        const std::vector<std::uint64_t> &sampleIndex,
+                        const std::vector<double> &sampleValues);
+
+} // namespace osp
+
+#endif // OSP_STATS_STRATIFY_HH

@@ -634,11 +634,12 @@ TEST(SweepAccuracy, ReportRendersCellAndBudgetTables)
 
 TEST(NamedSweeps, FactoriesMatchTheBenchExperiments)
 {
-    EXPECT_EQ(namedSweeps().size(), 4u);
+    EXPECT_EQ(namedSweeps().size(), 5u);
     EXPECT_EQ(expandSweep(fig08Sweep()).size(), 15u);
     EXPECT_EQ(expandSweep(fig10Sweep()).size(), 30u);
     EXPECT_EQ(expandSweep(fig11Sweep()).size(), 30u);
     EXPECT_EQ(expandSweep(table2Sweep()).size(), 10u);
+    EXPECT_EQ(expandSweep(fig13Sweep()).size(), 20u);
 
     // Smoke multiplier shrinks work volume, not cell count.
     SweepSpec smoke = makeNamedSweep("fig08", 0.05, true);

@@ -128,18 +128,39 @@ TEST(DetailLevels, AccelerationWorksOnInOrderEngine)
               0.15);
 }
 
-TEST(DetailLevels, ControllerIgnoredInEmulateRuns)
+TEST(DetailLevels, ControllerInertInEmulateRuns)
 {
+    // Regression: a controller attached to an Emulate-level run
+    // must be completely inert — no level decisions, no recorded
+    // outcomes, no audit/prediction counters. A two-phase sampled
+    // run reuses one accelerator across a fast Emulate pass and a
+    // detailed pass; a live controller in phase 1 would
+    // double-count every service into the audit ledger.
     MachineConfig cfg;
     cfg.seed = 42;
     cfg.level = DetailLevel::Emulate;
+    auto bare = makeMachine("du", cfg, 0.2);
+    const RunTotals ref = bare->run();
+
     auto m = makeMachine("du", cfg, 0.2);
     Accelerator accel(smallParams());
     m->setController(&accel);
     const RunTotals &t = m->run();
     EXPECT_EQ(t.totalCycles(), 0u);
-    // Everything emulated counts as "predicted" zero-time services.
-    EXPECT_EQ(t.osSimulated + t.osPredicted, t.osInvocations);
+    // Identical to the controller-less run: emulated services
+    // still count as zero-time "predicted" services, but none of
+    // that routes through the controller.
+    EXPECT_EQ(t.osPredicted, ref.osPredicted);
+    EXPECT_EQ(t.osSimulated, ref.osSimulated);
+    EXPECT_EQ(t.osPredCycles, ref.osPredCycles);
+    EXPECT_EQ(t.osInsts, ref.osInsts);
+    EXPECT_EQ(t.appInsts, ref.appInsts);
+
+    ServicePredictor::Stats s = accel.aggregateStats();
+    EXPECT_EQ(s.warmupRuns, 0u);
+    EXPECT_EQ(s.learnedRuns, 0u);
+    EXPECT_EQ(s.predictedRuns, 0u);
+    EXPECT_EQ(s.audits, 0u);
 }
 
 TEST(Determinism, AcceleratedRunsAreBitIdentical)

@@ -33,6 +33,8 @@ quiet machine with a Release (-O3) build:
   ./bench/microbench_components --bench-json hotpath.json --smoke
   ./bench/sweep fig08 --smoke --threads "$(nproc)" --out /dev/null \
       --bench-json hotpath.json --log-level silent
+  ./bench/fig13_sampled_speedup --smoke --threads "$(nproc)" \
+      --bench-json hotpath.json > /dev/null
   for j in 1 2; do
     rm -f "jobs$j.db" "jobs$j.db.lock"
     ./bench/sweep table2 --smoke --jobs "$j" --store "jobs$j.db" \
@@ -50,6 +52,12 @@ import sys
 
 RATIO_TOL = 2.5
 BLOCK_FLOOR = 1.0
+# Composed sampling x prediction shrink of detailed-simulated
+# instructions (fig13's median over the workload set). Instruction
+# counts are deterministic, so unlike the wall-clock ratios this
+# gets a hard floor, not a tolerance band: median >= 3 is exactly
+# ">= 3x shrink on at least 3 of the 5 workloads".
+SAMPLED_FLOOR = 3.0
 
 RATIOS = {
     "block_speedup": ("emulate_block_mips", "emulate_perop_mips"),
@@ -119,6 +127,8 @@ def main():
                        for k, v in sorted(got.items())},
             "required_metrics": sorted(metrics),
         }
+        if "sampled_vs_full_speedup" in metrics:
+            baseline["sampled_floor"] = SAMPLED_FLOOR
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -152,6 +162,19 @@ def main():
             fail(f"{name} {cur:.3f} outside [{base / tol:.3f}, "
                  f"{base * tol:.3f}] (baseline {base:.3f}, "
                  f"tol x{tol})")
+
+    if "sampled_vs_full_speedup" in want.get("required_metrics",
+                                             []):
+        sampled_floor = want.get("sampled_floor", SAMPLED_FLOOR)
+        speedup = metrics["sampled_vs_full_speedup"]
+        if speedup < sampled_floor:
+            fail(f"sampled_vs_full_speedup {speedup:.3f} fell "
+                 f"below the floor {sampled_floor} — the composed "
+                 f"sampling x prediction shrink regressed")
+        fraction = metrics.get("sampled_detailed_fraction")
+        if fraction is None or not fraction < 1.0:
+            fail(f"sampled_detailed_fraction {fraction!r} must be "
+                 f"below 1.0 — sampled runs are not skipping work")
 
     print(f"perf baseline: OK ({len(want['ratios'])} ratios within "
           f"x{tol} of baseline; block_speedup "

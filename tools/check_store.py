@@ -23,6 +23,15 @@ without linking the simulator:
     writes both atomically), no owner may hold two live claims at
     once (workers claim one cell per transaction), and no claim may
     be newer than its fingerprint's ``claimhb/<fp>`` heartbeat
+  * the cell result keyspace (src/driver/cell_io.cc) is validated:
+    every ``cell/<fp>/<cellkey>`` value must be a valid
+    ``ospredict-cell-v1`` document, and any cell recorded under a
+    sampled run mode (RunMode::Sampled / RunMode::SampledAccel)
+    must carry a well-formed ``sample`` section — interval/stratum
+    bookkeeping, the stratified estimate and its CI fields, and one
+    4-tuple per stratum — so a store written by a pre-sampling
+    binary (or hand-edited) is rejected instead of silently
+    assembling sampled cells with no estimates
   * the fleet telemetry keyspace (src/driver/fleet.hh) is
     cross-checked: every ``fleet/<fp>/<owner>`` value must be a
     valid ``ospredict-worker-v1`` snapshot whose owner field matches
@@ -165,14 +174,14 @@ def pick_meta(data: bytes, path: str):
 
 def walk_tree(data: bytes, meta: Meta):
     """Validate the live tree; returns (stats, reachable page set,
-    coordination view). The coordination view is what the claim
-    checker needs: claim records and heartbeats by key (decoded
-    values) plus the set of cell keys (names only)."""
+    coordination view). The coordination view is what the claim and
+    payload checkers need: claim records, heartbeats, cell results
+    and fleet snapshots by key (raw values)."""
     ps = meta.page_size
     reachable = {0, 1}
     stats = {"leaf_pages": 0, "overflow_pages": 0,
              "root_run_pages": 0, "keys": 0, "value_bytes": 0}
-    coord = {"claims": {}, "heartbeats": {}, "cell_keys": set(),
+    coord = {"claims": {}, "heartbeats": {}, "cells": {},
              "fleet": {}}
     if meta.root == 0:
         return stats, reachable, coord
@@ -227,7 +236,7 @@ def walk_tree(data: bytes, meta: Meta):
             prev_key = key
             value = None
             want_value = key.startswith(
-                (b"claim/", b"claimhb/", b"fleet/"))
+                (b"claim/", b"claimhb/", b"cell/", b"fleet/"))
             if is_overflow:
                 (ov,) = struct.unpack_from(
                     "<Q", data, base + pos + 9 + ksize)
@@ -259,8 +268,8 @@ def walk_tree(data: bytes, meta: Meta):
                 coord["heartbeats"][key.decode(
                     "utf-8", "replace")] = value
             elif key.startswith(b"cell/"):
-                coord["cell_keys"].add(key.decode("utf-8",
-                                                  "replace"))
+                coord["cells"][key.decode("utf-8",
+                                          "replace")] = value
             elif key.startswith(b"fleet/"):
                 coord["fleet"][key.decode("utf-8",
                                           "replace")] = value
@@ -338,7 +347,7 @@ def check_claims(coord: dict, no_orphans: bool) -> dict:
             raise Corrupt(f"claim {key} epoch {rec['epoch']} is "
                           f"ahead of heartbeat {hb}")
 
-        has_cell = f"cell/{fp}/{cell_key}" in coord["cell_keys"]
+        has_cell = f"cell/{fp}/{cell_key}" in coord["cells"]
         if state == "done" and not has_cell:
             raise Corrupt(f"done claim {key} has no cell value")
         if state == "claimed":
@@ -358,6 +367,76 @@ def check_claims(coord: dict, no_orphans: bool) -> dict:
             f"{counts['claimed']} live and {counts['retry']} "
             "retry-state claim(s) survive (--no-orphans: "
             "every cell must be done or failed after assembly)")
+    return counts
+
+
+CELL_SCHEMA = "ospredict-cell-v1"
+# RunMode values carrying a mandatory "sample" section (Sampled,
+# SampledAccel in src/driver/sweep.hh).
+SAMPLED_MODES = (3, 4)
+# The fields encodeCellResult() writes for every sampled cell
+# (src/driver/cell_io.cc); "strata" is checked separately.
+SAMPLE_FIELDS = (
+    "interval_len", "num_intervals", "num_strata",
+    "sampled_intervals", "tail_insts", "tail_cycles",
+    "detailed_app_insts", "ff_app_insts", "est_app_cycles",
+    "est_total_cycles", "ci95_half", "df", "has_ci",
+    "detailed_fraction",
+)
+
+
+def check_cells(coord: dict) -> dict:
+    """Validate the cell/<fp>/<cellkey> result keyspace (see module
+    docstring); returns counts of total/sampled/failed cells."""
+    counts = {"total": 0, "sampled": 0, "failed": 0}
+    for key, raw in sorted(coord["cells"].items()):
+        counts["total"] += 1
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise Corrupt(f"cell {key} is not valid JSON")
+        if not isinstance(doc, dict):
+            raise Corrupt(f"cell {key} is not an object")
+        if doc.get("schema") != CELL_SCHEMA:
+            raise Corrupt(f"cell {key} schema is "
+                          f"{doc.get('schema')!r}, want "
+                          f"{CELL_SCHEMA!r}")
+        cell = doc.get("cell")
+        if (not isinstance(cell, dict)
+                or not isinstance(cell.get("mode"), int)):
+            raise Corrupt(f"cell {key} lacks a cell/mode record")
+        if "error" in doc:
+            # Failed cells encode only identity + diagnostic.
+            counts["failed"] += 1
+            continue
+        sampled = cell["mode"] in SAMPLED_MODES
+        sample = doc.get("sample")
+        if not sampled:
+            if sample is not None:
+                raise Corrupt(f"cell {key} mode {cell['mode']} "
+                              "carries a sample section")
+            continue
+        counts["sampled"] += 1
+        # A sampled cell written by a pre-sampling binary (or a
+        # hand-edited store) would be missing the estimator state
+        # the aggregator needs; reject rather than mis-assemble.
+        if not isinstance(sample, dict):
+            raise Corrupt(f"sampled cell {key} has no sample "
+                          "section (stale writer?)")
+        missing = [f for f in SAMPLE_FIELDS if f not in sample]
+        if missing:
+            raise Corrupt(f"sampled cell {key} sample section "
+                          f"lacks {', '.join(missing)}")
+        strata = sample.get("strata")
+        if (not isinstance(strata, list)
+                or not all(isinstance(row, list) and len(row) == 4
+                           for row in strata)):
+            raise Corrupt(f"sampled cell {key} strata table is "
+                          "malformed")
+        if len(strata) != sample["num_strata"]:
+            raise Corrupt(f"sampled cell {key} records "
+                          f"{sample['num_strata']} strata but "
+                          f"lists {len(strata)}")
     return counts
 
 
@@ -439,6 +518,7 @@ def main() -> int:
         free_count, freelist_run_pages = check_freelist(
             data, meta, reachable)
         claim_counts = check_claims(coord, args.no_orphans)
+        cell_counts = check_cells(coord)
         fleet_workers = check_fleet(coord)
     except Corrupt as e:
         print(f"check_store: {args.store}: CORRUPT: {e}",
@@ -457,6 +537,7 @@ def main() -> int:
         "freelist_run_pages": freelist_run_pages,
         **stats,
         "claims": claim_counts,
+        "cells": cell_counts,
         "fleet_workers": fleet_workers,
     }
     if args.expect_keys is not None and stats["keys"] != args.expect_keys:
@@ -478,6 +559,9 @@ def main() -> int:
               f"{free_count} free), "
               f"{valid_slots}/2 meta slots valid"
               + (f"; claims: {claims}" if claims else "")
+              + (f"; cells: {cell_counts['total']} "
+                 f"({cell_counts['sampled']} sampled)"
+                 if cell_counts["total"] else "")
               + (f"; fleet: {fleet_workers} worker(s)"
                  if fleet_workers else ""))
     return 0
